@@ -1,0 +1,160 @@
+// micro_smt — google-benchmark microbenchmarks of the solver substrate
+// (DESIGN.md experiment A2): bit-blasting throughput, SAT solving on the
+// circuit classes the QED models are made of (adders, shifters, mux
+// trees, comparators), CEGIS-style incremental solving, and the cost of
+// one BMC unrolling step of the pipelined DUV.
+#include <benchmark/benchmark.h>
+
+#include "bmc/bmc.hpp"
+#include "proc/processor.hpp"
+#include "qed/qed_module.hpp"
+#include "smt/smt_solver.hpp"
+#include "synth/cegis.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace sepe;
+using smt::Result;
+using smt::SmtSolver;
+using smt::TermManager;
+using smt::TermRef;
+
+// Validity of an adder identity: (a + b) - b == a at the given width.
+void BM_AdderValidity(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    TermManager mgr;
+    SmtSolver s(mgr);
+    const TermRef a = mgr.mk_var("a", w), b = mgr.mk_var("b", w);
+    s.assert_formula(mgr.mk_ne(mgr.mk_sub(mgr.mk_add(a, b), b), a));
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_AdderValidity)->Arg(16)->Arg(32)->Arg(64);
+
+// Barrel shifter: shl by a symbolic amount equals repeated doubling.
+void BM_ShifterValidity(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    TermManager mgr;
+    SmtSolver s(mgr);
+    const TermRef a = mgr.mk_var("a", w);
+    const TermRef one = mgr.mk_const(w, 1);
+    s.assert_formula(mgr.mk_ne(mgr.mk_shl(a, one), mgr.mk_add(a, a)));
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_ShifterValidity)->Arg(16)->Arg(32);
+
+// 32-way register-file mux tree (the DUV's read port) solved for a
+// specific selected register.
+void BM_RegfileMuxSolve(benchmark::State& state) {
+  const unsigned w = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    TermManager mgr;
+    SmtSolver s(mgr);
+    const TermRef idx = mgr.mk_var("idx", 5);
+    std::vector<TermRef> regs;
+    for (unsigned i = 0; i < 32; ++i) regs.push_back(mgr.mk_var("x" + std::to_string(i), w));
+    TermRef v = regs[0];
+    for (unsigned i = 1; i < 32; ++i)
+      v = mgr.mk_ite(mgr.mk_eq(idx, mgr.mk_const(5, i)), regs[i], v);
+    s.assert_formula(mgr.mk_eq(v, mgr.mk_const(w, 0x5a)));
+    s.assert_formula(mgr.mk_eq(idx, mgr.mk_const(5, 17)));
+    benchmark::DoNotOptimize(s.check());
+  }
+}
+BENCHMARK(BM_RegfileMuxSolve)->Arg(8)->Arg(32);
+
+// Incremental assumption solving, the CEGIS access pattern: one shared
+// encoding queried under many different assumption sets.
+void BM_IncrementalAssumptions(benchmark::State& state) {
+  TermManager mgr;
+  SmtSolver s(mgr);
+  const unsigned w = 16;
+  const TermRef a = mgr.mk_var("a", w), b = mgr.mk_var("b", w);
+  const TermRef sum = mgr.mk_add(a, b);
+  s.assert_formula(mgr.mk_ult(a, mgr.mk_const(w, 1000)));
+  Rng rng(1);
+  for (auto _ : state) {
+    const TermRef av = mgr.mk_eq(a, mgr.mk_const(w, rng.below(1000)));
+    const TermRef sv = mgr.mk_eq(sum, mgr.mk_const(w, rng.below(1 << 15)));
+    benchmark::DoNotOptimize(s.check({av, sv}));
+  }
+}
+BENCHMARK(BM_IncrementalAssumptions);
+
+// One CEGIS call on the paper's Listing-1 multiset.
+void BM_CegisListing1(benchmark::State& state) {
+  const auto lib = synth::make_standard_library();
+  auto comp = [&](const char* n) -> const synth::Component* {
+    for (const auto& c : lib)
+      if (c.name == n) return &c;
+    return nullptr;
+  };
+  const synth::SynthSpec spec = synth::make_spec(isa::Opcode::SUB);
+  synth::CegisOptions o;
+  o.xlen = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    auto p = synth::cegis_multiset(spec, {comp("NOT"), comp("ADD"), comp("NOT")}, o);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_CegisListing1)->Arg(8)->Arg(16)->Arg(32);
+
+// Cost of unrolling + solving one more bound of the healthy EDDI-V model
+// (the inner loop of every Table-1/Figure-4 run).
+void BM_QedModelBmcStep(benchmark::State& state) {
+  const unsigned xlen = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    TermManager mgr;
+    ts::TransitionSystem ts(mgr);
+    proc::ProcConfig config;
+    config.xlen = xlen;
+    config.mem_words = 8;
+    config.opcodes = {isa::Opcode::ADD, isa::Opcode::XOR};
+    qed::QedOptions qo;
+    qo.mode = qed::QedMode::EddiV;
+    qed::build_qed_model(ts, config, qo);
+    bmc::Bmc checker(ts);
+    bmc::BmcOptions bo;
+    bo.max_bound = 3;
+    benchmark::DoNotOptimize(checker.check(bo));
+  }
+}
+BENCHMARK(BM_QedModelBmcStep)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond);
+
+// Term-construction throughput: hash-consing a wide balanced xor tree.
+void BM_TermConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    TermManager mgr;
+    std::vector<TermRef> layer;
+    for (unsigned i = 0; i < 256; ++i) layer.push_back(mgr.mk_var("v" + std::to_string(i), 32));
+    while (layer.size() > 1) {
+      std::vector<TermRef> next;
+      for (std::size_t i = 0; i + 1 < layer.size(); i += 2)
+        next.push_back(mgr.mk_xor(layer[i], layer[i + 1]));
+      layer = std::move(next);
+    }
+    benchmark::DoNotOptimize(layer[0]);
+  }
+}
+BENCHMARK(BM_TermConstruction);
+
+// Concrete evaluation of a deep shared DAG (the TsSim/witness path).
+void BM_EvalSharedDag(benchmark::State& state) {
+  TermManager mgr;
+  const TermRef a = mgr.mk_var("a", 32);
+  TermRef t = a;
+  for (int i = 0; i < 2000; ++i) t = mgr.mk_add(mgr.mk_xor(t, a), mgr.mk_const(32, i));
+  smt::Assignment assign{{a, BitVec(32, 0x1234)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smt::eval_term(mgr, t, assign));
+  }
+}
+BENCHMARK(BM_EvalSharedDag);
+
+}  // namespace
+
+BENCHMARK_MAIN();

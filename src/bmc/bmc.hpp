@@ -1,0 +1,78 @@
+// bmc.hpp — bounded model checking over transition systems.
+//
+// The "Pono seat" of the reproduction (§6.2): given a TransitionSystem
+// with bad-state conditions, unroll the transition relation step by step
+// into the incremental SMT facade and search for a reachable bad state.
+// A found violation yields a Witness — the counterexample trace whose
+// length Figure 4 compares between SQED and SEPE-SQED.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "smt/eval.hpp"
+#include "smt/smt_solver.hpp"
+#include "smt/subst.hpp"
+#include "ts/transition_system.hpp"
+
+namespace sepe::bmc {
+
+/// A counterexample trace.
+struct Witness {
+  unsigned length = 0;      // bad state holds after `length` steps
+  std::size_t bad_index = 0;
+  std::string bad_label;
+  /// Per step 0..length: concrete values of inputs and states.
+  std::vector<smt::Assignment> inputs;
+  std::vector<smt::Assignment> states;
+};
+
+struct BmcOptions {
+  unsigned max_bound = 20;
+  /// Per-check() SAT conflict cap (0 = unlimited).
+  std::uint64_t conflict_budget_per_bound = 0;
+  /// Overall wall-clock cap in seconds (0 = none). When hit, check()
+  /// returns nullopt with hit_resource_limit set in the stats.
+  double max_seconds = 0.0;
+};
+
+struct BmcStats {
+  unsigned bounds_checked = 0;
+  double seconds = 0.0;
+  bool hit_resource_limit = false;
+  std::uint64_t solver_conflicts = 0;
+};
+
+/// The unrolling engine. One instance per (transition system, run).
+class Bmc {
+ public:
+  explicit Bmc(const ts::TransitionSystem& ts);
+
+  /// Search for any bad state reachable within options.max_bound steps.
+  /// Nullopt = no violation found up to the bound (or resource limit hit —
+  /// inspect stats().hit_resource_limit to distinguish).
+  std::optional<Witness> check(const BmcOptions& options);
+
+  const BmcStats& stats() const { return stats_; }
+
+  /// The timed copy of a state/input variable at a step (for inspection
+  /// and tests). Valid after check() has unrolled that far.
+  smt::TermRef timed(smt::TermRef var, unsigned step) const;
+
+ private:
+  void unroll_to(unsigned step);
+
+  const ts::TransitionSystem& ts_;
+  smt::TermManager& mgr_;
+  smt::SmtSolver solver_;
+  /// step -> substitution (model var -> timed var/term).
+  std::vector<smt::SubstMap> time_maps_;
+  std::vector<smt::SubstMap> subst_caches_;
+  BmcStats stats_;
+};
+
+/// Render a witness as a human-readable trace table.
+std::string witness_to_string(const ts::TransitionSystem& ts, const Witness& w);
+
+}  // namespace sepe::bmc

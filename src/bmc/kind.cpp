@@ -1,0 +1,144 @@
+#include "bmc/kind.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "smt/subst.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sepe::bmc {
+
+using smt::Result;
+using smt::SubstMap;
+using smt::TermRef;
+
+namespace {
+
+/// The inductive-step unroller: a window of fully symbolic steps (no
+/// init), constraints asserted at every step, with per-step "good"
+/// literals. Incremental: growing the window reuses all prior clauses.
+class InductiveWindow {
+ public:
+  explicit InductiveWindow(const ts::TransitionSystem& ts)
+      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_) {}
+
+  /// Ensure steps 0..k exist. Returns the "any bad at step k" term.
+  TermRef extend_to(unsigned k) {
+    while (maps_.size() <= k) {
+      const unsigned t = static_cast<unsigned>(maps_.size());
+      SubstMap map;
+      if (t == 0) {
+        for (TermRef s : ts_.states()) map[s] = fresh_copy(s, 0);
+      } else {
+        SubstMap& prev = maps_[t - 1];
+        SubstMap& prev_cache = caches_[t - 1];
+        for (TermRef s : ts_.states())
+          map[s] = smt::substitute(mgr_, ts_.next_of(s), prev, &prev_cache);
+      }
+      for (TermRef in : ts_.inputs()) map[in] = fresh_copy(in, t);
+      maps_.push_back(std::move(map));
+      caches_.emplace_back();
+      for (TermRef c : ts_.constraints())
+        solver_.assert_formula(smt::substitute(mgr_, c, maps_[t], &caches_[t]));
+      bads_.push_back(bad_at(t));
+    }
+    return bads_[k];
+  }
+
+  /// Pairwise state-vector disequality between steps i and j.
+  TermRef states_differ(unsigned i, unsigned j) {
+    std::vector<TermRef> diffs;
+    for (TermRef s : ts_.states())
+      diffs.push_back(mgr_.mk_ne(maps_[i].at(s), maps_[j].at(s)));
+    return mgr_.mk_or_many(diffs);
+  }
+
+  smt::SmtSolver& solver() { return solver_; }
+  smt::TermManager& mgr() { return mgr_; }
+
+ private:
+  TermRef fresh_copy(TermRef var, unsigned step) {
+    return mgr_.mk_var("kind." + mgr_.node(var).name + "@" + std::to_string(step),
+                       mgr_.width(var));
+  }
+
+  TermRef bad_at(unsigned t) {
+    std::vector<TermRef> bad_terms;
+    for (TermRef b : ts_.bads())
+      bad_terms.push_back(smt::substitute(mgr_, b, maps_[t], &caches_[t]));
+    return mgr_.mk_or_many(bad_terms);
+  }
+
+  const ts::TransitionSystem& ts_;
+  smt::TermManager& mgr_;
+  smt::SmtSolver solver_;
+  std::vector<SubstMap> maps_;
+  std::vector<SubstMap> caches_;
+  std::vector<TermRef> bads_;
+};
+
+}  // namespace
+
+KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
+                                      const KInductionOptions& options) {
+  assert(ts.complete());
+  Stopwatch clock;
+  KInductionResult result;
+
+  Bmc base(ts);
+  InductiveWindow window(ts);
+
+  const auto remaining = [&]() {
+    return options.max_seconds > 0 ? options.max_seconds - clock.seconds() : 0.0;
+  };
+  const auto out_of_time = [&]() {
+    return options.max_seconds > 0 && clock.seconds() >= options.max_seconds;
+  };
+
+  for (unsigned k = 1; k <= options.max_k; ++k) {
+    // --- base: any violation within k steps from init? ---
+    BmcOptions bo;
+    bo.max_bound = k;
+    bo.conflict_budget_per_bound = options.conflict_budget;
+    bo.max_seconds = remaining();
+    const auto w = base.check(bo);
+    if (w) {
+      result.status = KInductionStatus::Falsified;
+      result.k = k;
+      result.witness = w;
+      result.seconds = clock.seconds();
+      return result;
+    }
+    if (base.stats().hit_resource_limit || out_of_time()) break;
+
+    // --- inductive step: k good steps, bad at step k. Unsat => proved. ---
+    const TermRef bad_k = window.extend_to(k);
+    std::vector<TermRef> assumptions;
+    for (unsigned t = 0; t < k; ++t)
+      assumptions.push_back(window.mgr().mk_not(window.extend_to(t)));
+    if (options.simple_path) {
+      for (unsigned i = 0; i <= k; ++i)
+        for (unsigned j = i + 1; j <= k; ++j)
+          assumptions.push_back(window.states_differ(i, j));
+    }
+    assumptions.push_back(bad_k);
+
+    window.solver().set_conflict_budget(options.conflict_budget);
+    window.solver().set_time_budget(remaining());
+    const Result r = window.solver().check(assumptions);
+    if (r == Result::Unsat) {
+      result.status = KInductionStatus::Proved;
+      result.k = k;
+      result.seconds = clock.seconds();
+      return result;
+    }
+    if (r == Result::Unknown || out_of_time()) break;
+    result.k = k;  // Sat: not yet inductive, deepen
+  }
+
+  result.hit_resource_limit = out_of_time();
+  result.seconds = clock.seconds();
+  return result;
+}
+
+}  // namespace sepe::bmc

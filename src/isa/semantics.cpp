@@ -1,0 +1,154 @@
+#include "isa/semantics.hpp"
+
+#include <cassert>
+
+namespace sepe::isa {
+
+using smt::TermManager;
+using smt::TermRef;
+
+BitVec imm_to_xlen(std::int32_t imm, unsigned xlen) {
+  // Architectural immediates are 12-bit two's complement; represent at 12
+  // bits, then sign-extend or truncate onto the datapath width.
+  const BitVec imm12(12, static_cast<std::uint64_t>(static_cast<std::int64_t>(imm)));
+  if (xlen >= 12) return imm12.sext(xlen);
+  return imm12.extract(xlen - 1, 0);
+}
+
+BitVec alu_concrete(Opcode op, const BitVec& a, const BitVec& b) {
+  switch (op) {
+    case Opcode::ADD:
+    case Opcode::ADDI: return a + b;
+    case Opcode::SUB: return a - b;
+    case Opcode::SLL:
+    case Opcode::SLLI: return a.shl_masked(b);
+    case Opcode::SLT:
+    case Opcode::SLTI: return a.slt(b).zext(a.width());
+    case Opcode::SLTU:
+    case Opcode::SLTIU: return a.ult(b).zext(a.width());
+    case Opcode::XOR:
+    case Opcode::XORI: return a ^ b;
+    case Opcode::SRL:
+    case Opcode::SRLI: return a.lshr_masked(b);
+    case Opcode::SRA:
+    case Opcode::SRAI: return a.ashr_masked(b);
+    case Opcode::OR:
+    case Opcode::ORI: return a | b;
+    case Opcode::AND:
+    case Opcode::ANDI: return a & b;
+    case Opcode::MUL: return a * b;
+    case Opcode::MULH: return a.mulh_ss(b);
+    case Opcode::MULHSU: return a.mulh_su(b);
+    case Opcode::MULHU: return a.mulh_uu(b);
+    case Opcode::DIV: return a.sdiv(b);
+    case Opcode::DIVU: return a.udiv(b);
+    case Opcode::REM: return a.srem(b);
+    case Opcode::REMU: return a.urem(b);
+    default: break;
+  }
+  assert(false && "not an ALU opcode");
+  return BitVec::zeros(a.width());
+}
+
+namespace {
+
+/// Mask a shift amount to log2(xlen) bits, as RISC-V register shifts do.
+TermRef mask_shift_amount(TermManager& mgr, TermRef amount, unsigned xlen) {
+  unsigned log2 = 0;
+  while ((1u << log2) < xlen) ++log2;
+  const std::uint64_t mask = (1ULL << log2) - 1;
+  return mgr.mk_and(amount, mgr.mk_const(xlen, mask));
+}
+
+/// High half of a product via widened multiply then extract. Widths above
+/// 32 would exceed the 64-bit term limit; the ISA layer asserts xlen<=32.
+TermRef mulh_symbolic(TermManager& mgr, Opcode op, TermRef a, TermRef b, unsigned xlen) {
+  assert(xlen <= 32 && "mulh modelling needs 2*xlen <= 64");
+  TermRef wa, wb;
+  switch (op) {
+    case Opcode::MULH:
+      wa = mgr.mk_sext(a, 2 * xlen);
+      wb = mgr.mk_sext(b, 2 * xlen);
+      break;
+    case Opcode::MULHU:
+      wa = mgr.mk_zext(a, 2 * xlen);
+      wb = mgr.mk_zext(b, 2 * xlen);
+      break;
+    case Opcode::MULHSU:
+      wa = mgr.mk_sext(a, 2 * xlen);
+      wb = mgr.mk_zext(b, 2 * xlen);
+      break;
+    default: assert(false); return a;
+  }
+  return mgr.mk_extract(mgr.mk_mul(wa, wb), 2 * xlen - 1, xlen);
+}
+
+}  // namespace
+
+TermRef alu_symbolic(TermManager& mgr, Opcode op, TermRef a, TermRef b) {
+  const unsigned xlen = mgr.width(a);
+  assert(mgr.width(b) == xlen);
+  switch (op) {
+    case Opcode::ADD:
+    case Opcode::ADDI: return mgr.mk_add(a, b);
+    case Opcode::SUB: return mgr.mk_sub(a, b);
+    case Opcode::SLL:
+    case Opcode::SLLI: return mgr.mk_shl(a, mask_shift_amount(mgr, b, xlen));
+    case Opcode::SLT:
+    case Opcode::SLTI: return mgr.mk_zext(mgr.mk_slt(a, b), xlen);
+    case Opcode::SLTU:
+    case Opcode::SLTIU: return mgr.mk_zext(mgr.mk_ult(a, b), xlen);
+    case Opcode::XOR:
+    case Opcode::XORI: return mgr.mk_xor(a, b);
+    case Opcode::SRL:
+    case Opcode::SRLI: return mgr.mk_lshr(a, mask_shift_amount(mgr, b, xlen));
+    case Opcode::SRA:
+    case Opcode::SRAI: return mgr.mk_ashr(a, mask_shift_amount(mgr, b, xlen));
+    case Opcode::OR:
+    case Opcode::ORI: return mgr.mk_or(a, b);
+    case Opcode::AND:
+    case Opcode::ANDI: return mgr.mk_and(a, b);
+    case Opcode::MUL: return mgr.mk_mul(a, b);
+    case Opcode::MULH:
+    case Opcode::MULHSU:
+    case Opcode::MULHU: return mulh_symbolic(mgr, op, a, b, xlen);
+    case Opcode::DIV: return mgr.mk_sdiv(a, b);
+    case Opcode::DIVU: return mgr.mk_udiv(a, b);
+    case Opcode::REM: return mgr.mk_srem(a, b);
+    case Opcode::REMU: return mgr.mk_urem(a, b);
+    default: break;
+  }
+  assert(false && "not an ALU opcode");
+  return a;
+}
+
+TermRef imm_symbolic(TermManager& mgr, const Instruction& inst, unsigned xlen) {
+  if (opcode_format(inst.op) == Format::Shift)
+    return mgr.mk_const(xlen, static_cast<std::uint64_t>(inst.imm));
+  return mgr.mk_const(imm_to_xlen(inst.imm, xlen));
+}
+
+TermRef instruction_result(TermManager& mgr, const Instruction& inst, TermRef rs1_val,
+                           TermRef rs2_val, unsigned xlen) {
+  assert(writes_register(inst.op) && !is_load(inst.op));
+  if (inst.op == Opcode::LUI) {
+    // rd = imm20 << 12, truncated onto the datapath.
+    const std::uint64_t v = static_cast<std::uint64_t>(inst.imm) << 12;
+    return mgr.mk_const(xlen, xlen >= 64 ? v : (v & BitVec::mask(xlen)));
+  }
+  if (is_rtype(inst.op)) return alu_symbolic(mgr, inst.op, rs1_val, rs2_val);
+  return alu_symbolic(mgr, inst.op, rs1_val, imm_symbolic(mgr, inst, xlen));
+}
+
+BitVec instruction_result_concrete(const Instruction& inst, const BitVec& rs1_val,
+                                   const BitVec& rs2_val, unsigned xlen) {
+  assert(writes_register(inst.op) && !is_load(inst.op));
+  if (inst.op == Opcode::LUI)
+    return BitVec(xlen, static_cast<std::uint64_t>(inst.imm) << 12);
+  if (is_rtype(inst.op)) return alu_concrete(inst.op, rs1_val, rs2_val);
+  if (opcode_format(inst.op) == Format::Shift)
+    return alu_concrete(inst.op, rs1_val, BitVec(xlen, static_cast<std::uint64_t>(inst.imm)));
+  return alu_concrete(inst.op, rs1_val, imm_to_xlen(inst.imm, xlen));
+}
+
+}  // namespace sepe::isa

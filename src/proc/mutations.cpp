@@ -1,0 +1,283 @@
+#include "proc/mutations.hpp"
+
+#include "isa/semantics.hpp"
+
+namespace sepe::proc {
+
+using isa::Opcode;
+using smt::TermManager;
+using smt::TermRef;
+
+namespace {
+
+/// Single-instruction bug: replace the target opcode's result with an
+/// alternative function of the same operands.
+Mutation functional_bug(Opcode target, const char* name, const char* description,
+                        std::function<TermRef(const MutationCtx&)> wrong) {
+  Mutation m;
+  m.name = name;
+  m.description = description;
+  m.single_instruction = true;
+  m.target = target;
+  m.result_hook = [wrong](const MutationCtx& ctx, TermRef) { return wrong(ctx); };
+  return m;
+}
+
+/// Multi-instruction bug: the rs1 forwarding path is dead for one
+/// consuming opcode — the consumer silently reads the stale register file.
+Mutation fwd_a_dead_for(Opcode consumer) {
+  Mutation m;
+  m.name = std::string("fwd_a_dead_") + isa::opcode_name(consumer);
+  m.description = std::string("rs1 bypass disabled when the consumer is ") +
+                  isa::opcode_name(consumer);
+  m.single_instruction = false;
+  m.target = consumer;
+  m.fwd_a_hook = [consumer](const MutationCtx& ctx, TermRef correct) {
+    TermManager& mgr = *ctx.mgr;
+    const TermRef is_consumer =
+        mgr.mk_eq(ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
+    return mgr.mk_and(correct, mgr.mk_not(is_consumer));
+  };
+  return m;
+}
+
+Mutation fwd_b_dead_for(Opcode consumer) {
+  Mutation m;
+  m.name = std::string("fwd_b_dead_") + isa::opcode_name(consumer);
+  m.description = std::string("rs2 bypass disabled when the consumer is ") +
+                  isa::opcode_name(consumer);
+  m.single_instruction = false;
+  m.target = consumer;
+  m.fwd_b_hook = [consumer](const MutationCtx& ctx, TermRef correct) {
+    TermManager& mgr = *ctx.mgr;
+    const TermRef is_consumer =
+        mgr.mk_eq(ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
+    return mgr.mk_and(correct, mgr.mk_not(is_consumer));
+  };
+  return m;
+}
+
+}  // namespace
+
+std::vector<Mutation> table1_single_instruction_bugs() {
+  std::vector<Mutation> bugs;
+
+  bugs.push_back(functional_bug(Opcode::ADD, "add_carry_stuck",
+                                "ADD computes a+b+1 (carry-in stuck at 1)",
+                                [](const MutationCtx& c) {
+                                  TermManager& mgr = *c.mgr;
+                                  const TermRef one = mgr.mk_const(c.xlen, 1);
+                                  return mgr.mk_add(mgr.mk_add(c.op_a, c.op_b), one);
+                                }));
+  bugs.push_back(functional_bug(Opcode::SUB, "sub_missing_inc",
+                                "SUB computes a+~b (missing +1 of two's complement)",
+                                [](const MutationCtx& c) {
+                                  TermManager& mgr = *c.mgr;
+                                  return mgr.mk_add(c.op_a, mgr.mk_not(c.op_b));
+                                }));
+  bugs.push_back(functional_bug(Opcode::XOR, "xor_as_or", "XOR computes OR",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_or(c.op_a, c.op_b);
+                                }));
+  bugs.push_back(functional_bug(Opcode::OR, "or_as_xor", "OR computes XOR",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_xor(c.op_a, c.op_b);
+                                }));
+  bugs.push_back(functional_bug(Opcode::AND, "and_operand_complement",
+                                "AND computes a & ~b",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_and(c.op_a, c.mgr->mk_not(c.op_b));
+                                }));
+  bugs.push_back(functional_bug(Opcode::SLT, "slt_unsigned",
+                                "SLT performs the unsigned comparison",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_zext(c.mgr->mk_ult(c.op_a, c.op_b), c.xlen);
+                                }));
+  bugs.push_back(functional_bug(Opcode::SLTU, "sltu_signed",
+                                "SLTU performs the signed comparison",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_zext(c.mgr->mk_slt(c.op_a, c.op_b), c.xlen);
+                                }));
+  bugs.push_back(functional_bug(Opcode::SRA, "sra_logical",
+                                "SRA shifts in zeros (behaves like SRL)",
+                                [](const MutationCtx& c) {
+                                  return isa::alu_symbolic(*c.mgr, Opcode::SRL, c.op_a, c.op_b);
+                                }));
+  bugs.push_back(functional_bug(Opcode::MULH, "mulh_unsigned",
+                                "MULH returns the unsigned high product (MULHU)",
+                                [](const MutationCtx& c) {
+                                  return isa::alu_symbolic(*c.mgr, Opcode::MULHU, c.op_a,
+                                                           c.op_b);
+                                }));
+  bugs.push_back(functional_bug(Opcode::XORI, "xori_as_ori", "XORI computes ORI",
+                                [](const MutationCtx& c) {
+                                  return c.mgr->mk_or(c.op_a, c.d_imm);
+                                }));
+  bugs.push_back(functional_bug(Opcode::SLLI, "slli_amount_lsb_stuck",
+                                "SLLI shift amount LSB stuck at 0",
+                                [](const MutationCtx& c) {
+                                  TermManager& mgr = *c.mgr;
+                                  const TermRef masked = mgr.mk_and(
+                                      c.d_imm, mgr.mk_const(c.xlen, ~std::uint64_t(1)));
+                                  return isa::alu_symbolic(mgr, Opcode::SLL, c.op_a, masked);
+                                }));
+  bugs.push_back(functional_bug(Opcode::SRAI, "srai_logical",
+                                "SRAI shifts in zeros (behaves like SRLI)",
+                                [](const MutationCtx& c) {
+                                  return isa::alu_symbolic(*c.mgr, Opcode::SRL, c.op_a,
+                                                           c.d_imm);
+                                }));
+  // SW: store datapath picks rs1's value instead of rs2's — uniform for
+  // every SW, invisible to EDDI-V duplication.
+  {
+    Mutation m;
+    m.name = "sw_stores_rs1";
+    m.description = "SW writes the rs1 (address base) value instead of rs2";
+    m.single_instruction = true;
+    m.target = Opcode::SW;
+    m.store_data_hook = [](const MutationCtx& c, TermRef) { return c.op_a; };
+    bugs.push_back(m);
+  }
+  return bugs;
+}
+
+std::vector<Mutation> figure4_multi_instruction_bugs(bool with_memory) {
+  std::vector<Mutation> bugs;
+
+  // 1-8: rs1 bypass dead for one consumer opcode.
+  for (Opcode op : {Opcode::ADD, Opcode::SUB, Opcode::XOR, Opcode::OR, Opcode::AND,
+                    Opcode::SLT, Opcode::SRA, Opcode::MUL})
+    bugs.push_back(fwd_a_dead_for(op));
+  // 9-12: rs2 bypass dead for one consumer opcode.
+  for (Opcode op : {Opcode::ADD, Opcode::SUB, Opcode::XOR, Opcode::SLTU})
+    bugs.push_back(fwd_b_dead_for(op));
+
+  // 13: bypass tag comparator aliases on the low 4 bits of rd.
+  {
+    Mutation m;
+    m.name = "fwd_rd_alias4";
+    m.description = "bypass rd comparator ignores rd[4]: x(i) aliases x(i+16)";
+    m.single_instruction = false;
+    m.fwd_a_hook = [](const MutationCtx& c, TermRef) {
+      TermManager& mgr = *c.mgr;
+      const TermRef lo_w = mgr.mk_extract(c.w_rd, 3, 0);
+      const TermRef lo_s = mgr.mk_extract(c.d_rs1, 3, 0);
+      return mgr.mk_and(mgr.mk_and(c.w_valid, c.w_wen),
+                        mgr.mk_and(mgr.mk_eq(lo_w, lo_s),
+                                   mgr.mk_ne(c.d_rs1, mgr.mk_const(5, 0))));
+    };
+    bugs.push_back(m);
+  }
+
+  // 14: forwarded rs1 value corrupted (bypass mux bit flip).
+  {
+    Mutation m;
+    m.name = "fwd_a_value_flip";
+    m.description = "bypassed rs1 operand has bit 0 flipped";
+    m.single_instruction = false;
+    m.op_a_hook = [](const MutationCtx& c, TermRef correct) {
+      TermManager& mgr = *c.mgr;
+      return mgr.mk_ite(c.fwd_a, mgr.mk_xor(correct, mgr.mk_const(c.xlen, 1)), correct);
+    };
+    bugs.push_back(m);
+  }
+  // 15: forwarded rs2 value corrupted.
+  {
+    Mutation m;
+    m.name = "fwd_b_value_flip";
+    m.description = "bypassed rs2 operand has its MSB flipped";
+    m.single_instruction = false;
+    m.op_b_hook = [](const MutationCtx& c, TermRef correct) {
+      TermManager& mgr = *c.mgr;
+      const TermRef msb = mgr.mk_const(c.xlen, 1ULL << (c.xlen - 1));
+      return mgr.mk_ite(c.fwd_b, mgr.mk_xor(correct, msb), correct);
+    };
+    bugs.push_back(m);
+  }
+
+  // 16: back-to-back writes to the same rd lose the second write.
+  {
+    Mutation m;
+    m.name = "wen_drop_same_rd";
+    m.description = "write-enable dropped when writing the rd just written";
+    m.single_instruction = false;
+    m.wen_hook = [](const MutationCtx& c, TermRef correct) {
+      TermManager& mgr = *c.mgr;
+      const TermRef collide = mgr.mk_and(mgr.mk_and(c.w_valid, c.w_wen),
+                                         mgr.mk_eq(c.w_rd, c.d_rd));
+      return mgr.mk_and(correct, mgr.mk_not(collide));
+    };
+    bugs.push_back(m);
+  }
+
+  // 17: writeback data corrupted when the in-flight consumer reads it.
+  {
+    Mutation m;
+    m.name = "wdata_corrupt_on_read";
+    m.description = "regfile write data +1 when the X-stage reads the same register";
+    m.single_instruction = false;
+    m.wdata_hook = [](const MutationCtx& c, TermRef correct) {
+      TermManager& mgr = *c.mgr;
+      const TermRef read_hit = mgr.mk_and(
+          c.d_valid, mgr.mk_or(mgr.mk_eq(c.w_rd, c.d_rs1), mgr.mk_eq(c.w_rd, c.d_rs2)));
+      return mgr.mk_ite(read_hit, mgr.mk_add(correct, mgr.mk_const(c.xlen, 1)), correct);
+    };
+    bugs.push_back(m);
+  }
+
+  // 18: result corrupted when the previous instruction targets the same rd.
+  {
+    Mutation m;
+    m.name = "result_corrupt_same_rd_pair";
+    m.description = "X-stage result xor 2 when the W-stage writes the same rd";
+    m.single_instruction = false;
+    m.target = Opcode::NOP;  // opcode-independent: applied to merged result
+    m.result_hook = [](const MutationCtx& c, TermRef correct) {
+      TermManager& mgr = *c.mgr;
+      const TermRef collide = mgr.mk_and(mgr.mk_and(c.w_valid, c.w_wen),
+                                         mgr.mk_eq(c.w_rd, c.d_rd));
+      return mgr.mk_ite(collide, mgr.mk_xor(correct, mgr.mk_const(c.xlen, 2)), correct);
+    };
+    bugs.push_back(m);
+  }
+
+  if (with_memory) {
+    // 19: stores never see the bypass (stale rs2 on store-after-compute).
+    {
+      Mutation m;
+      m.name = "store_no_bypass";
+      m.description = "SW data path bypass disabled (stores stale rs2)";
+      m.single_instruction = false;
+      m.target = Opcode::SW;
+      m.store_data_hook = [](const MutationCtx& c, TermRef correct) {
+        TermManager& mgr = *c.mgr;
+        // Reconstruct the un-forwarded value: if the bypass was hit, the
+        // correct term is w_value; the bug stores the stale value +0
+        // corrupted via xor with w_value ^ correct == 0... simplest: when
+        // fwd_b fired, corrupt the data by adding 1 (models stale read).
+        return mgr.mk_ite(c.fwd_b, mgr.mk_add(correct, mgr.mk_const(c.xlen, 1)), correct);
+      };
+      bugs.push_back(m);
+    }
+    // 20: store address off by one word when the base was bypassed.
+    {
+      Mutation m;
+      m.name = "store_addr_bypass_skew";
+      m.description = "SW address +4 when the base register was bypassed";
+      m.single_instruction = false;
+      m.target = Opcode::SW;
+      m.store_addr_hook = [](const MutationCtx& c, TermRef correct) {
+        TermManager& mgr = *c.mgr;
+        return mgr.mk_ite(c.fwd_a, mgr.mk_add(correct, mgr.mk_const(c.xlen, 4)), correct);
+      };
+      bugs.push_back(m);
+    }
+  } else {
+    // Keep the catalog at 20 entries: two more bypass-dead variants.
+    bugs.push_back(fwd_a_dead_for(Opcode::SLTU));
+    bugs.push_back(fwd_b_dead_for(Opcode::AND));
+  }
+  return bugs;
+}
+
+}  // namespace sepe::proc

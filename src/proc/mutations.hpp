@@ -1,0 +1,31 @@
+// mutations.hpp — the injected-bug catalogs for the paper's evaluation.
+//
+// Two families, mirroring §6.2's mutation testing on RIDECORE:
+//
+//   * table1_single_instruction_bugs() — 13 bugs, one per row of Table 1
+//     (ADD, SUB, XOR, OR, AND, SLT, SLTU, SRA, MULH, XORI, SLLI, SRAI,
+//     SW). Each corrupts one instruction's *function* uniformly, so an
+//     original instruction and its EDDI-V duplicate are wrong in exactly
+//     the same way: SQED's self-consistency cannot see them, SEPE-SQED's
+//     semantically-equivalent program can.
+//
+//   * figure4_multi_instruction_bugs() — 20 bugs that only fire on
+//     specific instruction *interactions* (forwarding, back-to-back
+//     writes, store paths). Both SQED and SEPE-SQED detect these; the
+//     Figure-4 bench compares runtimes and counterexample lengths.
+#pragma once
+
+#include <vector>
+
+#include "proc/processor.hpp"
+
+namespace sepe::proc {
+
+/// The 13 single-instruction bugs of Table 1, in table order.
+std::vector<Mutation> table1_single_instruction_bugs();
+
+/// The 20 multiple-instruction bugs of Figure 4. `with_memory` includes
+/// the two store-path bugs (requires a memory-enabled ProcConfig).
+std::vector<Mutation> figure4_multi_instruction_bugs(bool with_memory);
+
+}  // namespace sepe::proc

@@ -1,0 +1,249 @@
+#include "proc/processor.hpp"
+
+#include <cassert>
+
+namespace sepe::proc {
+
+using isa::Opcode;
+using smt::TermManager;
+using smt::TermRef;
+
+ProcConfig ProcConfig::alu_subset(unsigned xlen) {
+  ProcConfig c;
+  c.xlen = xlen;
+  c.opcodes = {Opcode::ADD,  Opcode::SUB,  Opcode::SLL,  Opcode::SLT,  Opcode::SLTU,
+               Opcode::XOR,  Opcode::SRL,  Opcode::SRA,  Opcode::OR,   Opcode::AND,
+               Opcode::ADDI, Opcode::SLTI, Opcode::SLTIU, Opcode::XORI, Opcode::ORI,
+               Opcode::ANDI, Opcode::SLLI, Opcode::SRLI, Opcode::SRAI, Opcode::MUL,
+               Opcode::MULH, Opcode::MULHSU, Opcode::MULHU};
+  return c;
+}
+
+ProcConfig ProcConfig::with_memory(unsigned xlen) {
+  ProcConfig c = alu_subset(xlen);
+  c.opcodes.push_back(Opcode::LW);
+  c.opcodes.push_back(Opcode::SW);
+  return c;
+}
+
+bool ProcConfig::supports(isa::Opcode op) const {
+  for (Opcode o : opcodes)
+    if (o == op) return true;
+  return false;
+}
+
+bool ProcConfig::has_memory() const { return supports(Opcode::LW) || supports(Opcode::SW); }
+
+TermRef ProcModel::drained() const {
+  TermManager& mgr = ts->mgr();
+  return mgr.mk_and(mgr.mk_not(d_valid), mgr.mk_not(w_valid));
+}
+
+TermRef ProcModel::opcode_const(Opcode op) const {
+  return ts->mgr().mk_const(kOpcodeBits, static_cast<std::uint64_t>(op));
+}
+
+namespace {
+
+TermRef apply(const TermHook& hook, const MutationCtx& ctx, TermRef correct) {
+  return hook ? hook(ctx, correct) : correct;
+}
+
+}  // namespace
+
+ProcModel build_processor(ts::TransitionSystem& ts, const ProcConfig& config,
+                          const Mutation* mutation, const std::string& prefix) {
+  TermManager& mgr = ts.mgr();
+  const unsigned xlen = config.xlen;
+  assert((config.mem_words & (config.mem_words - 1)) == 0 && "mem_words must be a power of 2");
+  // When memory instructions are implemented, byte addresses must fit
+  // the datapath: mem_words * 4 <= 2^xlen. (Memory-less configs may carry
+  // unused mem state words; they are never indexed.)
+  assert(!config.has_memory() || (config.mem_words <= (1ull << xlen) / 4 &&
+                                  "memory exceeds the address space"));
+
+  ProcModel m;
+  m.config = config;
+  m.ts = &ts;
+
+  // --- interface: decoded instruction bundle ---
+  m.in_valid = ts.add_input(prefix + ".in_valid", 1);
+  m.in_op = ts.add_input(prefix + ".in_op", kOpcodeBits);
+  m.in_rd = ts.add_input(prefix + ".in_rd", 5);
+  m.in_rs1 = ts.add_input(prefix + ".in_rs1", 5);
+  m.in_rs2 = ts.add_input(prefix + ".in_rs2", 5);
+  m.in_imm = ts.add_input(prefix + ".in_imm", xlen);
+
+  // --- architectural state ---
+  for (unsigned i = 0; i < 32; ++i)
+    m.regs.push_back(ts.add_state(prefix + ".x" + std::to_string(i), xlen));
+  ts.set_init(m.regs[0], mgr.mk_const(xlen, 0));  // x0 hard-wired zero
+  for (unsigned w = 0; w < config.mem_words; ++w)
+    m.mem.push_back(ts.add_state(prefix + ".mem" + std::to_string(w), xlen));
+
+  // --- pipeline latches ---
+  m.d_valid = ts.add_state(prefix + ".d_valid", 1);
+  m.d_op = ts.add_state(prefix + ".d_op", kOpcodeBits);
+  m.d_rd = ts.add_state(prefix + ".d_rd", 5);
+  m.d_rs1 = ts.add_state(prefix + ".d_rs1", 5);
+  m.d_rs2 = ts.add_state(prefix + ".d_rs2", 5);
+  m.d_imm = ts.add_state(prefix + ".d_imm", xlen);
+  m.w_valid = ts.add_state(prefix + ".w_valid", 1);
+  m.w_wen = ts.add_state(prefix + ".w_wen", 1);
+  m.w_rd = ts.add_state(prefix + ".w_rd", 5);
+  m.w_value = ts.add_state(prefix + ".w_value", xlen);
+
+  const TermRef zero1 = mgr.mk_false();
+  ts.set_init(m.d_valid, zero1);
+  ts.set_init(m.w_valid, zero1);
+  ts.set_init(m.w_wen, zero1);
+
+  // --- decode latch: captures the input bundle every cycle ---
+  ts.set_next(m.d_valid, m.in_valid);
+  ts.set_next(m.d_op, m.in_op);
+  ts.set_next(m.d_rd, m.in_rd);
+  ts.set_next(m.d_rs1, m.in_rs1);
+  ts.set_next(m.d_rs2, m.in_rs2);
+  ts.set_next(m.d_imm, m.in_imm);
+
+  // --- execute stage ---
+  // Register file read: 32-way mux over the source index.
+  auto regfile_read = [&](TermRef idx) {
+    TermRef v = m.regs[0];
+    for (unsigned i = 1; i < 32; ++i)
+      v = mgr.mk_ite(mgr.mk_eq(idx, mgr.mk_const(5, i)), m.regs[i], v);
+    return v;
+  };
+  const TermRef raw_a = regfile_read(m.d_rs1);
+  const TermRef raw_b = regfile_read(m.d_rs2);
+
+  MutationCtx ctx;
+  ctx.mgr = &mgr;
+  ctx.xlen = xlen;
+  ctx.d_valid = m.d_valid;
+  ctx.d_op = m.d_op;
+  ctx.d_rd = m.d_rd;
+  ctx.d_rs1 = m.d_rs1;
+  ctx.d_rs2 = m.d_rs2;
+  ctx.d_imm = m.d_imm;
+  ctx.w_valid = m.w_valid;
+  ctx.w_wen = m.w_wen;
+  ctx.w_rd = m.w_rd;
+  ctx.w_value = m.w_value;
+
+  // Forwarding: the previous instruction's result sits in the W latch and
+  // has not yet reached the register file.
+  const TermRef reg0 = mgr.mk_const(5, 0);
+  auto fwd_cond = [&](TermRef rs) {
+    return mgr.mk_and(
+        mgr.mk_and(m.w_valid, m.w_wen),
+        mgr.mk_and(mgr.mk_eq(m.w_rd, rs), mgr.mk_ne(rs, reg0)));
+  };
+  TermRef fwd_a = fwd_cond(m.d_rs1);
+  TermRef fwd_b = fwd_cond(m.d_rs2);
+  ctx.fwd_a = fwd_a;
+  ctx.fwd_b = fwd_b;
+  if (mutation) {
+    fwd_a = apply(mutation->fwd_a_hook, ctx, fwd_a);
+    fwd_b = apply(mutation->fwd_b_hook, ctx, fwd_b);
+  }
+  TermRef op_a = mgr.mk_ite(fwd_a, m.w_value, raw_a);
+  TermRef op_b = mgr.mk_ite(fwd_b, m.w_value, raw_b);
+  if (mutation) {
+    op_a = apply(mutation->op_a_hook, ctx, op_a);
+    op_b = apply(mutation->op_b_hook, ctx, op_b);
+  }
+  ctx.op_a = op_a;
+  ctx.op_b = op_b;
+
+  // Memory address and word index (shared by LW/SW).
+  unsigned mem_idx_bits = 0;
+  while ((1u << mem_idx_bits) < config.mem_words) ++mem_idx_bits;
+  const TermRef addr = mgr.mk_add(op_a, m.d_imm);
+  if (config.has_memory()) m.x_addr = addr;
+  const TermRef widx =
+      config.has_memory() && mem_idx_bits > 0
+          ? mgr.mk_extract(addr, 2 + mem_idx_bits - 1, 2)
+          : smt::kNullTerm;
+
+  auto mem_read = [&]() {
+    TermRef v = m.mem[0];
+    for (unsigned w = 1; w < config.mem_words; ++w)
+      v = mgr.mk_ite(mgr.mk_eq(widx, mgr.mk_const(mem_idx_bits, w)), m.mem[w], v);
+    return v;
+  };
+
+  // Result mux over the supported opcode set.
+  TermRef result = mgr.mk_const(xlen, 0);
+  for (Opcode op : config.opcodes) {
+    TermRef r;
+    if (op == Opcode::LW) {
+      r = mem_read();
+    } else if (op == Opcode::SW) {
+      continue;  // no register result
+    } else if (op == Opcode::LUI) {
+      r = m.d_imm;  // imm input is pre-shifted by the issuer
+    } else {
+      const TermRef b_operand = isa::is_rtype(op) ? op_b : m.d_imm;
+      r = isa::alu_symbolic(mgr, op, op_a, b_operand);
+    }
+    if (mutation && mutation->result_hook && mutation->target == op) {
+      r = mutation->result_hook(ctx, r);
+    }
+    result = mgr.mk_ite(mgr.mk_eq(m.d_op, m.opcode_const(op)), r, result);
+  }
+  if (mutation && mutation->result_hook && mutation->target == Opcode::NOP) {
+    // Target NOP = apply to the merged result (opcode-independent bugs).
+    result = mutation->result_hook(ctx, result);
+  }
+
+  // Writeback latch.
+  TermRef wen = mgr.mk_false();
+  for (Opcode op : config.opcodes) {
+    if (!isa::writes_register(op)) continue;
+    wen = mgr.mk_or(wen, mgr.mk_eq(m.d_op, m.opcode_const(op)));
+  }
+  wen = mgr.mk_and(wen, m.d_valid);
+  if (mutation) wen = apply(mutation->wen_hook, ctx, wen);
+
+  ts.set_next(m.w_valid, m.d_valid);
+  ts.set_next(m.w_wen, wen);
+  ts.set_next(m.w_rd, m.d_rd);
+  ts.set_next(m.w_value, result);
+
+  // Register file write (x0 never written).
+  TermRef w_commit = mgr.mk_and(m.w_valid, m.w_wen);
+  TermRef wdata = m.w_value;
+  if (mutation) wdata = apply(mutation->wdata_hook, ctx, wdata);
+  ts.set_next(m.regs[0], m.regs[0]);
+  for (unsigned i = 1; i < 32; ++i) {
+    const TermRef hit = mgr.mk_and(w_commit, mgr.mk_eq(m.w_rd, mgr.mk_const(5, i)));
+    ts.set_next(m.regs[i], mgr.mk_ite(hit, wdata, m.regs[i]));
+  }
+
+  // Data memory write (SW commits in the X stage).
+  if (config.has_memory()) {
+    TermRef store_en =
+        mgr.mk_and(m.d_valid, mgr.mk_eq(m.d_op, m.opcode_const(Opcode::SW)));
+    TermRef store_addr = addr;
+    TermRef store_data = op_b;
+    if (mutation) {
+      store_addr = apply(mutation->store_addr_hook, ctx, store_addr);
+      store_data = apply(mutation->store_data_hook, ctx, store_data);
+    }
+    const TermRef store_widx = mem_idx_bits > 0
+                                   ? mgr.mk_extract(store_addr, 2 + mem_idx_bits - 1, 2)
+                                   : smt::kNullTerm;
+    for (unsigned w = 0; w < config.mem_words; ++w) {
+      const TermRef hit =
+          mgr.mk_and(store_en, mgr.mk_eq(store_widx, mgr.mk_const(mem_idx_bits, w)));
+      ts.set_next(m.mem[w], mgr.mk_ite(hit, store_data, m.mem[w]));
+    }
+  } else {
+    for (unsigned w = 0; w < config.mem_words; ++w) ts.set_next(m.mem[w], m.mem[w]);
+  }
+
+  return m;
+}
+
+}  // namespace sepe::proc

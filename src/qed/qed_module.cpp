@@ -1,0 +1,480 @@
+#include "qed/qed_module.hpp"
+
+#include <cassert>
+
+#include "isa/semantics.hpp"
+
+namespace sepe::qed {
+
+using isa::Opcode;
+using smt::TermManager;
+using smt::TermRef;
+using synth::SynthProgram;
+
+const char* qed_mode_name(QedMode mode) {
+  return mode == QedMode::EddiV ? "EDDI-V (SQED)" : "EDSEP-V (SEPE-SQED)";
+}
+
+RegisterSplit register_split(QedMode mode) {
+  if (mode == QedMode::EddiV) {
+    // §2.1: regs[i] <-> regs[i+16], i in [0,16).
+    return RegisterSplit{16, 16, 0, 0};
+  }
+  // §5: O = regs[0..12], E = regs[13..25], T = regs[26..31].
+  return RegisterSplit{13, 13, 26, 6};
+}
+
+namespace {
+
+constexpr unsigned kImmBits = 12;
+
+/// Extend the architectural 12-bit immediate onto the datapath the way
+/// the issuing frontend does for each opcode class.
+TermRef arch_imm_to_xlen(TermManager& mgr, TermRef imm12, Opcode op, unsigned xlen) {
+  if (isa::opcode_format(op) == isa::Format::Shift) {
+    const TermRef shamt = mgr.mk_extract(imm12, 4, 0);
+    return xlen > 5 ? mgr.mk_zext(shamt, xlen) : mgr.mk_extract(shamt, xlen - 1, 0);
+  }
+  if (isa::is_rtype(op) || op == Opcode::NOP) return mgr.mk_const(xlen, 0);
+  // I-type / LW / SW: sign-extend (or truncate on narrow datapaths).
+  return xlen >= kImmBits ? mgr.mk_sext(imm12, xlen)
+                          : mgr.mk_extract(imm12, xlen - 1, 0);
+}
+
+/// One instruction of an EDSEP-V replay template. Register fields either
+/// are constants (temps, x0) or map an original operand into the E bank;
+/// immediates either are constants or pass the original immediate through.
+struct TemplateInstr {
+  Opcode op = Opcode::NOP;
+  enum class RegSrc : std::uint8_t { Const, RdMap, Rs1Map, Rs2Map };
+  RegSrc rd_src = RegSrc::Const, rs1_src = RegSrc::Const, rs2_src = RegSrc::Const;
+  unsigned rd_const = 0, rs1_const = 0, rs2_const = 0;
+  bool imm_passthrough = false;
+  std::int32_t imm_const = 0;
+};
+
+/// Lower a synthesized program into a replay template for original
+/// instruction `g`. Spec reg input 0 maps to Rs1, input 1 to Rs2; the
+/// final output maps to Rd; intermediates take T registers in order.
+std::vector<TemplateInstr> make_template(const SynthProgram& prog,
+                                         const RegisterSplit& split) {
+  assert(prog.temps_needed() <= split.temp_count &&
+         "equivalent program needs more temporaries than the T bank holds");
+  const unsigned m = prog.spec->num_reg_inputs();
+
+  // Register of each location: spec inputs map symbolically; line outputs
+  // get T registers except the last (RdMap).
+  struct LocReg {
+    TemplateInstr::RegSrc src;
+    unsigned cst;
+  };
+  std::vector<LocReg> loc_reg(m + prog.lines.size());
+  if (m >= 1) loc_reg[0] = {TemplateInstr::RegSrc::Rs1Map, 0};
+  if (m >= 2) loc_reg[1] = {TemplateInstr::RegSrc::Rs2Map, 0};
+
+  unsigned next_temp = split.temp_base;
+  std::vector<TemplateInstr> out;
+  for (unsigned j = 0; j < prog.lines.size(); ++j) {
+    const synth::SynthLine& line = prog.lines[j];
+    const bool last = (j + 1 == prog.lines.size());
+    LocReg dest;
+    if (last) {
+      dest = {TemplateInstr::RegSrc::RdMap, 0};
+    } else {
+      dest = {TemplateInstr::RegSrc::Const, next_temp++};
+    }
+    loc_reg[m + j] = dest;
+
+    // Component-internal temps.
+    std::vector<unsigned> comp_temps;
+    for (unsigned t = 0; t < line.comp->num_temps; ++t) comp_temps.push_back(next_temp++);
+
+    for (const synth::ExpansionInstr& e : line.comp->expansion) {
+      TemplateInstr ti;
+      ti.op = e.op;
+      auto resolve_reg = [&](const synth::RegOperand& r, TemplateInstr::RegSrc& src,
+                             unsigned& cst) {
+        switch (r.kind) {
+          case synth::RegOperand::Kind::Fixed:
+            src = TemplateInstr::RegSrc::Const;
+            cst = r.index;
+            break;
+          case synth::RegOperand::Kind::Input: {
+            const unsigned loc = line.input_locs[r.index];
+            src = loc_reg[loc].src;
+            cst = loc_reg[loc].cst;
+            break;
+          }
+          case synth::RegOperand::Kind::Output:
+            src = dest.src;
+            cst = dest.cst;
+            break;
+          case synth::RegOperand::Kind::Temp:
+            src = TemplateInstr::RegSrc::Const;
+            cst = comp_temps[r.index];
+            break;
+        }
+      };
+      resolve_reg(e.rd, ti.rd_src, ti.rd_const);
+      resolve_reg(e.rs1, ti.rs1_src, ti.rs1_const);
+      resolve_reg(e.rs2, ti.rs2_src, ti.rs2_const);
+
+      if (e.imm.kind == synth::ImmOperand::Kind::Fixed) {
+        ti.imm_const = e.imm.value;
+      } else {
+        const synth::AttrBinding& ab = line.attrs[e.imm.attr_index];
+        if (ab.passthrough) {
+          ti.imm_passthrough = true;
+        } else {
+          ti.imm_const = static_cast<std::int32_t>(
+              ab.constant.width() == 12 ? ab.constant.sval()
+                                        : static_cast<std::int64_t>(ab.constant.uval()));
+        }
+      }
+      out.push_back(ti);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& config,
+                         const QedOptions& options, const proc::Mutation* mutation) {
+  TermManager& mgr = ts.mgr();
+  const unsigned xlen = config.xlen;
+  const RegisterSplit split = register_split(options.mode);
+  const bool edsep = options.mode == QedMode::EdsepV;
+
+  QedModel model;
+  model.options = options;
+  model.duv = proc::build_processor(ts, config, mutation, "duv");
+  proc::ProcModel& duv = model.duv;
+
+  // --- the original-instruction stream (free inputs, constrained) ---
+  model.issue_original = ts.add_input("qed.issue_orig", 1);
+  const TermRef issue_eq_in = ts.add_input("qed.issue_eq", 1);
+  model.orig_op = ts.add_input("qed.orig_op", proc::kOpcodeBits);
+  model.orig_rd = ts.add_input("qed.orig_rd", 5);
+  model.orig_rs1 = ts.add_input("qed.orig_rs1", 5);
+  model.orig_rs2 = ts.add_input("qed.orig_rs2", 5);
+  model.orig_imm = ts.add_input("qed.orig_imm", kImmBits);
+
+  // Which opcodes may appear as originals: the DUV subset, additionally
+  // restricted (for EDSEP-V) to instructions with an equivalence entry.
+  std::vector<Opcode> stream_ops;
+  for (Opcode op : config.opcodes) {
+    if (edsep) {
+      assert(options.equivalences && "EDSEP-V needs an equivalence table");
+      const char* key = isa::opcode_name(op);
+      if (isa::is_load(op) || isa::is_store(op)) {
+        if (!options.equivalences->first(std::string(key) + "_ADDR")) continue;
+      } else if (!options.equivalences->first(key)) {
+        continue;
+      }
+    }
+    stream_ops.push_back(op);
+  }
+  assert(!stream_ops.empty());
+
+  {
+    std::vector<TermRef> valid_op;
+    for (Opcode op : stream_ops)
+      valid_op.push_back(mgr.mk_eq(model.orig_op, duv.opcode_const(op)));
+    ts.add_constraint(mgr.mk_or_many(valid_op));
+  }
+  // Operand register ranges: rd in [1, |O|), rs in [0, |O|).
+  ts.add_constraint(mgr.mk_ult(mgr.mk_const(5, 0), model.orig_rd));
+  ts.add_constraint(mgr.mk_ult(model.orig_rd, mgr.mk_const(5, split.original_count)));
+  ts.add_constraint(mgr.mk_ult(model.orig_rs1, mgr.mk_const(5, split.original_count)));
+  ts.add_constraint(mgr.mk_ult(model.orig_rs2, mgr.mk_const(5, split.original_count)));
+  // Architectural shift-immediate encoding: shamt lives in imm[4:0], the
+  // upper immediate bits are zero (RV32 SLLI/SRLI/SRAI encodings).
+  {
+    std::vector<TermRef> is_shift;
+    for (Opcode op : stream_ops)
+      if (isa::opcode_format(op) == isa::Format::Shift)
+        is_shift.push_back(mgr.mk_eq(model.orig_op, duv.opcode_const(op)));
+    if (!is_shift.empty()) {
+      ts.add_constraint(mgr.mk_implies(
+          mgr.mk_or_many(is_shift),
+          mgr.mk_eq(mgr.mk_extract(model.orig_imm, 11, 5), mgr.mk_const(7, 0))));
+    }
+  }
+
+  // --- the pending-transformation queue ---
+  const unsigned cap = options.queue_capacity;
+  struct Slot {
+    TermRef valid, op, rd, rs1, rs2, imm;
+  };
+  std::vector<Slot> q(cap);
+  for (unsigned i = 0; i < cap; ++i) {
+    const std::string p = "qed.q" + std::to_string(i);
+    q[i].valid = ts.add_state(p + ".valid", 1);
+    q[i].op = ts.add_state(p + ".op", proc::kOpcodeBits);
+    q[i].rd = ts.add_state(p + ".rd", 5);
+    q[i].rs1 = ts.add_state(p + ".rs1", 5);
+    q[i].rs2 = ts.add_state(p + ".rs2", 5);
+    q[i].imm = ts.add_state(p + ".imm", kImmBits);
+    ts.set_init(q[i].valid, mgr.mk_false());
+  }
+  // EDSEP-V: progress within the head's replay program.
+  const unsigned step_bits = 4;
+  TermRef q_step = smt::kNullTerm;
+  if (edsep) {
+    q_step = ts.add_state("qed.q_step", step_bits);
+    ts.set_init(q_step, mgr.mk_const(step_bits, 0));
+  }
+
+  // Commit counters.
+  const unsigned cb = options.counter_bits;
+  const TermRef cnt_orig = ts.add_state("qed.cnt_orig", cb);
+  const TermRef cnt_eq = ts.add_state("qed.cnt_eq", cb);
+  ts.set_init(cnt_orig, mgr.mk_const(cb, 0));
+  ts.set_init(cnt_eq, mgr.mk_const(cb, 0));
+  // No counter wrap within any trace we examine.
+  ts.add_constraint(mgr.mk_ult(cnt_orig, mgr.mk_const(cb, (1u << cb) - 1)));
+
+  // --- issue selection ---
+  const TermRef q_full = q[cap - 1].valid;
+  const TermRef q_nonempty = q[0].valid;
+  const TermRef fire_orig = mgr.mk_and(model.issue_original, mgr.mk_not(q_full));
+  const TermRef fire_eq =
+      mgr.mk_and(mgr.mk_and(mgr.mk_not(fire_orig), issue_eq_in), q_nonempty);
+
+  // --- the replayed (duplicate / equivalent) instruction for the head ---
+  TermRef eq_op = duv.opcode_const(Opcode::NOP);
+  TermRef eq_rd = mgr.mk_const(5, 0), eq_rs1 = mgr.mk_const(5, 0), eq_rs2 = mgr.mk_const(5, 0);
+  TermRef eq_imm = mgr.mk_const(xlen, 0);
+  TermRef head_completes = mgr.mk_false();  // this replay step finishes the head
+
+  const TermRef off5 = mgr.mk_const(5, split.shadow_offset);
+  const std::uint64_t half_bytes =
+      static_cast<std::uint64_t>(config.mem_words / 2) * 4;
+
+  if (!edsep) {
+    // EDDI-V: one duplicate instruction with registers mapped +16 and
+    // memory addresses shifted into the shadow half.
+    eq_op = q[0].op;
+    eq_rd = mgr.mk_add(q[0].rd, off5);
+    eq_rs1 = mgr.mk_add(q[0].rs1, off5);
+    eq_rs2 = mgr.mk_add(q[0].rs2, off5);
+    TermRef imm_x = mgr.mk_const(xlen, 0);
+    for (Opcode op : stream_ops) {
+      TermRef v = arch_imm_to_xlen(mgr, q[0].imm, op, xlen);
+      if (isa::is_load(op) || isa::is_store(op))
+        v = mgr.mk_add(v, mgr.mk_const(xlen, half_bytes));
+      imm_x = mgr.mk_ite(mgr.mk_eq(q[0].op, duv.opcode_const(op)), v, imm_x);
+    }
+    eq_imm = imm_x;
+    head_completes = mgr.mk_true();  // a duplicate is a 1-instruction program
+  } else {
+    // EDSEP-V: replay the semantically equivalent program step by step.
+    for (Opcode g : stream_ops) {
+      // Build the template for g.
+      std::vector<TemplateInstr> tmpl;
+      if (isa::is_load(g) || isa::is_store(g)) {
+        const SynthProgram* addr_prog =
+            options.equivalences->first(std::string(isa::opcode_name(g)) + "_ADDR");
+        tmpl = make_template(*addr_prog, split);
+        // The address program leaves the effective address in the "rd"
+        // mapping; redirect it into a T register and append the access
+        // with the shadow-half displacement.
+        unsigned addr_temp = split.temp_base + split.temp_count - 1;
+        for (TemplateInstr& ti : tmpl) {
+          if (ti.rd_src == TemplateInstr::RegSrc::RdMap) {
+            ti.rd_src = TemplateInstr::RegSrc::Const;
+            ti.rd_const = addr_temp;
+          }
+          if (ti.rs1_src == TemplateInstr::RegSrc::RdMap) {
+            ti.rs1_src = TemplateInstr::RegSrc::Const;
+            ti.rs1_const = addr_temp;
+          }
+          if (ti.rs2_src == TemplateInstr::RegSrc::RdMap) {
+            ti.rs2_src = TemplateInstr::RegSrc::Const;
+            ti.rs2_const = addr_temp;
+          }
+        }
+        TemplateInstr access;
+        access.op = g;
+        access.rs1_src = TemplateInstr::RegSrc::Const;
+        access.rs1_const = addr_temp;
+        access.imm_const = static_cast<std::int32_t>(half_bytes);
+        if (isa::is_load(g)) {
+          access.rd_src = TemplateInstr::RegSrc::RdMap;
+        } else {
+          access.rs2_src = TemplateInstr::RegSrc::Rs2Map;
+        }
+        tmpl.push_back(access);
+      } else {
+        const SynthProgram* prog = options.equivalences->first(isa::opcode_name(g));
+        tmpl = make_template(*prog, split);
+      }
+
+      const TermRef is_g = mgr.mk_eq(q[0].op, duv.opcode_const(g));
+      TermRef g_op = eq_op, g_rd = eq_rd, g_rs1 = eq_rs1, g_rs2 = eq_rs2, g_imm = eq_imm;
+      for (unsigned s = 0; s < tmpl.size(); ++s) {
+        const TemplateInstr& ti = tmpl[s];
+        const TermRef at_s = mgr.mk_eq(q_step, mgr.mk_const(step_bits, s));
+        auto reg_term = [&](TemplateInstr::RegSrc src, unsigned cst) -> TermRef {
+          switch (src) {
+            case TemplateInstr::RegSrc::Const: return mgr.mk_const(5, cst);
+            case TemplateInstr::RegSrc::RdMap: return mgr.mk_add(q[0].rd, off5);
+            case TemplateInstr::RegSrc::Rs1Map: return mgr.mk_add(q[0].rs1, off5);
+            case TemplateInstr::RegSrc::Rs2Map: return mgr.mk_add(q[0].rs2, off5);
+          }
+          return mgr.mk_const(5, 0);
+        };
+        TermRef imm_term;
+        if (ti.imm_passthrough) {
+          imm_term = arch_imm_to_xlen(mgr, q[0].imm, ti.op, xlen);
+        } else {
+          const BitVec v = isa::opcode_format(ti.op) == isa::Format::Shift
+                               ? BitVec(xlen, static_cast<std::uint64_t>(ti.imm_const) & 31)
+                               : isa::imm_to_xlen(ti.imm_const, xlen);
+          imm_term = mgr.mk_const(v);
+        }
+        g_op = mgr.mk_ite(at_s, duv.opcode_const(ti.op), g_op);
+        g_rd = mgr.mk_ite(at_s, reg_term(ti.rd_src, ti.rd_const), g_rd);
+        g_rs1 = mgr.mk_ite(at_s, reg_term(ti.rs1_src, ti.rs1_const), g_rs1);
+        g_rs2 = mgr.mk_ite(at_s, reg_term(ti.rs2_src, ti.rs2_const), g_rs2);
+        g_imm = mgr.mk_ite(at_s, imm_term, g_imm);
+      }
+      eq_op = mgr.mk_ite(is_g, g_op, eq_op);
+      eq_rd = mgr.mk_ite(is_g, g_rd, eq_rd);
+      eq_rs1 = mgr.mk_ite(is_g, g_rs1, eq_rs1);
+      eq_rs2 = mgr.mk_ite(is_g, g_rs2, eq_rs2);
+      eq_imm = mgr.mk_ite(is_g, g_imm, eq_imm);
+      head_completes = mgr.mk_ite(
+          is_g,
+          mgr.mk_eq(q_step, mgr.mk_const(step_bits, tmpl.size() - 1)),
+          head_completes);
+    }
+  }
+
+  // --- drive the DUV's instruction inputs ---
+  const TermRef orig_imm_x = [&] {
+    TermRef v = mgr.mk_const(xlen, 0);
+    for (Opcode op : stream_ops)
+      v = mgr.mk_ite(mgr.mk_eq(model.orig_op, duv.opcode_const(op)),
+                     arch_imm_to_xlen(mgr, model.orig_imm, op, xlen), v);
+    return v;
+  }();
+  ts.add_constraint(mgr.mk_eq(duv.in_valid, mgr.mk_or(fire_orig, fire_eq)));
+  ts.add_constraint(mgr.mk_eq(duv.in_op, mgr.mk_ite(fire_orig, model.orig_op, eq_op)));
+  ts.add_constraint(mgr.mk_eq(duv.in_rd, mgr.mk_ite(fire_orig, model.orig_rd, eq_rd)));
+  ts.add_constraint(mgr.mk_eq(duv.in_rs1, mgr.mk_ite(fire_orig, model.orig_rs1, eq_rs1)));
+  ts.add_constraint(mgr.mk_eq(duv.in_rs2, mgr.mk_ite(fire_orig, model.orig_rs2, eq_rs2)));
+  ts.add_constraint(mgr.mk_eq(duv.in_imm, mgr.mk_ite(fire_orig, orig_imm_x, eq_imm)));
+
+  // --- queue next-state ---
+  const TermRef dequeue = mgr.mk_and(fire_eq, head_completes);
+  for (unsigned i = 0; i < cap; ++i) {
+    // Shift down on dequeue.
+    const Slot cur = q[i];
+    const Slot from = (i + 1 < cap) ? q[i + 1]
+                                    : Slot{mgr.mk_false(), cur.op, cur.rd, cur.rs1,
+                                           cur.rs2, cur.imm};
+    auto shifted = [&](TermRef c, TermRef f) { return mgr.mk_ite(dequeue, f, c); };
+    TermRef n_valid = shifted(cur.valid, from.valid);
+    TermRef n_op = shifted(cur.op, from.op);
+    TermRef n_rd = shifted(cur.rd, from.rd);
+    TermRef n_rs1 = shifted(cur.rs1, from.rs1);
+    TermRef n_rs2 = shifted(cur.rs2, from.rs2);
+    TermRef n_imm = shifted(cur.imm, from.imm);
+
+    // Enqueue the new original into the first free slot (after shift).
+    const TermRef prev_valid =
+        i == 0 ? mgr.mk_true()
+               : mgr.mk_ite(dequeue, q[i].valid, q[i - 1].valid);
+    const TermRef this_valid = n_valid;
+    const TermRef here = mgr.mk_and(fire_orig,
+                                    mgr.mk_and(prev_valid, mgr.mk_not(this_valid)));
+    ts.set_next(cur.valid, mgr.mk_or(n_valid, here));
+    ts.set_next(cur.op, mgr.mk_ite(here, model.orig_op, n_op));
+    ts.set_next(cur.rd, mgr.mk_ite(here, model.orig_rd, n_rd));
+    ts.set_next(cur.rs1, mgr.mk_ite(here, model.orig_rs1, n_rs1));
+    ts.set_next(cur.rs2, mgr.mk_ite(here, model.orig_rs2, n_rs2));
+    ts.set_next(cur.imm, mgr.mk_ite(here, model.orig_imm, n_imm));
+  }
+  if (edsep) {
+    // Advance within the head's program; reset on dequeue.
+    const TermRef one = mgr.mk_const(step_bits, 1);
+    TermRef next_step = q_step;
+    next_step = mgr.mk_ite(fire_eq, mgr.mk_add(q_step, one), next_step);
+    next_step = mgr.mk_ite(dequeue, mgr.mk_const(step_bits, 0), next_step);
+    ts.set_next(q_step, next_step);
+  }
+
+  // --- counters ---
+  {
+    const TermRef one = mgr.mk_const(cb, 1);
+    ts.set_next(cnt_orig, mgr.mk_ite(fire_orig, mgr.mk_add(cnt_orig, one), cnt_orig));
+    ts.set_next(cnt_eq, mgr.mk_ite(dequeue, mgr.mk_add(cnt_eq, one), cnt_eq));
+  }
+
+  // --- memory-stream address discipline ---
+  if (config.has_memory()) {
+    // Ghost tag mirroring the DUV's D latch: 1 = shadow-stream access.
+    const TermRef d_tag = ts.add_state("qed.d_tag", 1);
+    ts.set_init(d_tag, mgr.mk_false());
+    ts.set_next(d_tag, fire_eq);
+
+    const TermRef is_mem = mgr.mk_or(
+        mgr.mk_eq(duv.d_op, duv.opcode_const(Opcode::LW)),
+        mgr.mk_eq(duv.d_op, duv.opcode_const(Opcode::SW)));
+    const TermRef active = mgr.mk_and(duv.d_valid, is_mem);
+    const TermRef addr = duv.x_addr;
+    const TermRef aligned =
+        mgr.mk_eq(mgr.mk_extract(addr, 1, 0), mgr.mk_const(2, 0));
+    const TermRef half = mgr.mk_const(xlen, half_bytes);
+    const TermRef full = mgr.mk_const(xlen, 2 * half_bytes);
+    const TermRef lo_ok = mgr.mk_ult(addr, half);
+    const TermRef hi_ok = mgr.mk_and(mgr.mk_ule(half, addr), mgr.mk_ult(addr, full));
+    const TermRef range_ok = mgr.mk_ite(d_tag, hi_ok, lo_ok);
+    ts.add_constraint(mgr.mk_implies(active, mgr.mk_and(aligned, range_ok)));
+  }
+
+  // --- QED-ready and the universal property ---
+  const TermRef counts_equal = mgr.mk_eq(cnt_orig, cnt_eq);
+  const TermRef some_committed = mgr.mk_ult(mgr.mk_const(cb, 0), cnt_orig);
+  model.qed_ready = mgr.mk_and(
+      mgr.mk_and(counts_equal, some_committed),
+      mgr.mk_and(mgr.mk_not(q_nonempty), duv.drained()));
+
+  TermRef consistent = mgr.mk_true();
+  for (unsigned i = 0; i < split.original_count; ++i) {
+    consistent = mgr.mk_and(
+        consistent, mgr.mk_eq(duv.regs[i], duv.regs[i + split.shadow_offset]));
+  }
+  if (config.has_memory()) {
+    for (unsigned w = 0; w < config.mem_words / 2; ++w)
+      consistent =
+          mgr.mk_and(consistent, mgr.mk_eq(duv.mem[w], duv.mem[w + config.mem_words / 2]));
+  }
+  model.qed_consistent = consistent;
+
+  // QED-consistent initial state (registers and memory symbolic but
+  // pairwise equal), as SQED requires.
+  for (unsigned i = 0; i < split.original_count; ++i) {
+    ts.add_init_constraint(
+        mgr.mk_eq(duv.regs[i], duv.regs[i + split.shadow_offset]));
+  }
+  if (edsep) {
+    // The paired bank E must also start consistent with O; x0's partner
+    // regs[13] starts at zero like x0 itself.
+    ts.add_init_constraint(mgr.mk_eq(duv.regs[split.shadow_offset], mgr.mk_const(xlen, 0)));
+  }
+  if (config.has_memory()) {
+    for (unsigned w = 0; w < config.mem_words / 2; ++w)
+      ts.add_init_constraint(
+          mgr.mk_eq(duv.mem[w], duv.mem[w + config.mem_words / 2]));
+  }
+
+  model.bad_index = ts.bads().size();
+  ts.add_bad(mgr.mk_and(model.qed_ready, mgr.mk_not(model.qed_consistent)),
+             std::string("qed-inconsistent/") + qed_mode_name(options.mode));
+  return model;
+}
+
+}  // namespace sepe::qed

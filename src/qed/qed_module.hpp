@@ -1,0 +1,85 @@
+// qed_module.hpp — the QED modules: EDDI-V (SQED) and EDSEP-V (SEPE-SQED).
+//
+// Mirrors Figure 2 of the paper. A QED module wraps the DUV (src/proc):
+// it drives the DUV's instruction inputs, maintains a queue of pending
+// transformed instructions, exposes the QED-ready condition and asserts
+// the universal self-consistency property:
+//
+//   EDDI-V  (SQED, §2.1) : registers split 16/16, regs[i] <-> regs[i+16];
+//     every original instruction is replayed as an exact duplicate on the
+//     shadow half; property: QED-ready => AND_i regs[i] == regs[i+16].
+//
+//   EDSEP-V (SEPE-SQED, §5): registers split 13/13/6 into O / E / T;
+//     every original instruction is replayed as its *semantically
+//     equivalent program* from the synthesis table, with inputs/outputs
+//     mapped O->E and intermediates allocated in T (read-after-write
+//     order); property: QED-ready => AND_{i=0..12} regs[i] == regs[i+13].
+//
+// Both modules let the solver choose freely, cycle by cycle, whether to
+// issue a fresh original instruction, replay a pending transformed one,
+// or bubble — the interleaving freedom that lets BMC find short traces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proc/processor.hpp"
+#include "synth/cegis.hpp"
+#include "ts/transition_system.hpp"
+
+namespace sepe::qed {
+
+/// Which QED transformation to attach.
+enum class QedMode { EddiV, EdsepV };
+
+const char* qed_mode_name(QedMode mode);
+
+struct QedOptions {
+  QedMode mode = QedMode::EddiV;
+  /// Queue capacity: how many originals may be outstanding (awaiting
+  /// their duplicate / equivalent replay).
+  unsigned queue_capacity = 2;
+  /// Width of the commit counters (bounds trace lengths representable).
+  unsigned counter_bits = 4;
+  /// EDSEP-V: equivalent programs, keyed by opcode name (plus "LW_ADDR" /
+  /// "SW_ADDR" entries for the memory instructions when present).
+  const synth::EquivalenceTable* equivalences = nullptr;
+};
+
+/// The verification model: DUV + QED module + property, ready for BMC.
+struct QedModel {
+  proc::ProcModel duv;
+  QedOptions options;
+
+  // Module inputs: what the solver controls each cycle.
+  smt::TermRef issue_original;  // 1 = present a fresh original instruction
+  smt::TermRef orig_op;         // opcode choice for the original
+  smt::TermRef orig_rd, orig_rs1, orig_rs2;
+  smt::TermRef orig_imm;        // architectural immediate (12-bit)
+
+  // Observation points.
+  smt::TermRef qed_ready;       // both streams committed & pipeline drained
+  smt::TermRef qed_consistent;  // the register(/memory)-file consistency
+
+  /// Index of the "qed" bad state in the transition system.
+  std::size_t bad_index = 0;
+};
+
+/// Attach a QED module to a freshly built DUV inside `ts`. The DUV is
+/// constructed internally (its instruction inputs must be driven by the
+/// module, so the caller supplies only the processor config + mutation).
+QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& config,
+                         const QedOptions& options,
+                         const proc::Mutation* mutation = nullptr);
+
+/// Register-split helpers (32 architectural registers).
+struct RegisterSplit {
+  unsigned original_count;  // |O|
+  unsigned shadow_offset;   // o -> o + offset
+  unsigned temp_base;       // first T register (EDSEP-V only)
+  unsigned temp_count;
+};
+RegisterSplit register_split(QedMode mode);
+
+}  // namespace sepe::qed

@@ -1,0 +1,175 @@
+#include "qed/qed_test.hpp"
+
+#include <cassert>
+
+namespace sepe::qed {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+namespace {
+
+/// Map a register into the shadow half.
+std::uint8_t shadow_reg(std::uint8_t r, unsigned offset) {
+  return r == 0 ? 0 : static_cast<std::uint8_t>(r + offset);
+}
+
+}  // namespace
+
+Program eddi_v_transform(const Program& original, unsigned mem_bytes_half) {
+  const RegisterSplit split = register_split(QedMode::EddiV);
+  Program out;
+  for (const Instruction& inst : original) {
+    out.push_back(inst);
+    Instruction dup = inst;
+    if (isa::writes_register(inst.op)) dup.rd = shadow_reg(inst.rd, split.shadow_offset);
+    dup.rs1 = shadow_reg(inst.rs1, split.shadow_offset);
+    dup.rs2 = shadow_reg(inst.rs2, split.shadow_offset);
+    if (isa::is_load(inst.op) || isa::is_store(inst.op))
+      dup.imm = inst.imm + static_cast<std::int32_t>(mem_bytes_half);
+    out.push_back(dup);
+  }
+  return out;
+}
+
+Program edsep_v_transform(const Program& original, const synth::EquivalenceTable& table,
+                          unsigned mem_bytes_half) {
+  const RegisterSplit split = register_split(QedMode::EdsepV);
+  Program out;
+  std::vector<std::uint8_t> temps;
+  for (unsigned t = 0; t < split.temp_count; ++t)
+    temps.push_back(static_cast<std::uint8_t>(split.temp_base + t));
+
+  for (const Instruction& inst : original) {
+    out.push_back(inst);
+
+    const auto emit_value_program = [&](const synth::SynthProgram& prog) {
+      std::vector<std::uint8_t> in_regs;
+      std::vector<std::int32_t> imm_values(prog.spec->inputs.size(), 0);
+      unsigned reg_i = 0;
+      for (unsigned i = 0; i < prog.spec->inputs.size(); ++i) {
+        if (prog.spec->inputs[i] == synth::InputClass::Reg) {
+          const std::uint8_t src = reg_i == 0 ? inst.rs1 : inst.rs2;
+          in_regs.push_back(shadow_reg(src, split.shadow_offset));
+          ++reg_i;
+        } else {
+          imm_values[i] = inst.imm;
+        }
+      }
+      const std::uint8_t out_reg = shadow_reg(inst.rd, split.shadow_offset);
+      const Program expansion = prog.lower(in_regs, out_reg, imm_values, temps);
+      out.insert(out.end(), expansion.begin(), expansion.end());
+    };
+
+    if (isa::is_load(inst.op) || isa::is_store(inst.op)) {
+      const synth::SynthProgram* addr_prog =
+          table.first(std::string(isa::opcode_name(inst.op)) + "_ADDR");
+      assert(addr_prog && "no address-path equivalence for memory op");
+      // Compute the shadow effective address into the last temp, then
+      // re-attach the access with the shadow-half displacement.
+      const std::uint8_t addr_temp =
+          static_cast<std::uint8_t>(split.temp_base + split.temp_count - 1);
+      std::vector<std::uint8_t> in_regs{shadow_reg(inst.rs1, split.shadow_offset)};
+      std::vector<std::int32_t> imm_values(addr_prog->spec->inputs.size(), 0);
+      for (unsigned i = 0; i < addr_prog->spec->inputs.size(); ++i)
+        if (addr_prog->spec->inputs[i] != synth::InputClass::Reg) imm_values[i] = inst.imm;
+      const Program addr_expansion =
+          addr_prog->lower(in_regs, addr_temp, imm_values,
+                           std::vector<std::uint8_t>(temps.begin(), temps.end() - 1));
+      out.insert(out.end(), addr_expansion.begin(), addr_expansion.end());
+      if (isa::is_load(inst.op)) {
+        out.push_back(Instruction::lw(shadow_reg(inst.rd, split.shadow_offset), addr_temp,
+                                      static_cast<std::int32_t>(mem_bytes_half)));
+      } else {
+        out.push_back(Instruction::sw(shadow_reg(inst.rs2, split.shadow_offset), addr_temp,
+                                      static_cast<std::int32_t>(mem_bytes_half)));
+      }
+      continue;
+    }
+
+    const synth::SynthProgram* prog = table.first(isa::opcode_name(inst.op));
+    assert(prog && "no equivalence entry for instruction");
+    emit_value_program(*prog);
+  }
+  return out;
+}
+
+QedTestResult run_qed_test(const Program& transformed, QedMode mode, unsigned xlen,
+                           std::size_t mem_words, const BuggyIssHook& buggy) {
+  const RegisterSplit split = register_split(mode);
+  sim::Iss iss(xlen, mem_words);
+  // QED-consistent start: both halves zero (the ISS default).
+
+  for (const Instruction& inst : transformed) {
+    if (buggy && isa::writes_register(inst.op) && !isa::is_load(inst.op) &&
+        inst.op != Opcode::NOP) {
+      const BitVec correct = isa::instruction_result_concrete(
+          inst, iss.state().reg(inst.rs1), iss.state().reg(inst.rs2), xlen);
+      iss.state().set_reg(inst.rd, buggy(inst, correct));
+    } else {
+      iss.step(inst);
+    }
+  }
+
+  QedTestResult result;
+  result.transformed = transformed;
+  for (unsigned i = 0; i < split.original_count; ++i) {
+    if (!(iss.state().reg(i) == iss.state().reg(i + split.shadow_offset))) {
+      result.consistent = false;
+      result.mismatched_reg = i;
+      break;
+    }
+  }
+  if (result.consistent) {
+    for (std::size_t w = 0; w < mem_words / 2; ++w) {
+      const BitVec a = iss.state().load_word(BitVec(xlen, w * 4));
+      const BitVec b = iss.state().load_word(BitVec(xlen, (w + mem_words / 2) * 4));
+      if (!(a == b)) {
+        result.consistent = false;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+Program random_original_program(Rng& rng, unsigned length, QedMode mode, bool with_memory,
+                                unsigned mem_bytes_half) {
+  const RegisterSplit split = register_split(mode);
+  static const Opcode kAlu[] = {Opcode::ADD,  Opcode::SUB,  Opcode::XOR,   Opcode::OR,
+                                Opcode::AND,  Opcode::SLT,  Opcode::SLTU,  Opcode::SLL,
+                                Opcode::SRL,  Opcode::SRA,  Opcode::ADDI,  Opcode::XORI,
+                                Opcode::ORI,  Opcode::ANDI, Opcode::SLTI,  Opcode::SLTIU,
+                                Opcode::SLLI, Opcode::SRLI, Opcode::SRAI,  Opcode::MUL,
+                                Opcode::MULH, Opcode::MULHU, Opcode::MULHSU};
+  Program p;
+  for (unsigned i = 0; i < length; ++i) {
+    const auto rd = static_cast<unsigned>(1 + rng.below(split.original_count - 1));
+    const auto rs1 = static_cast<unsigned>(rng.below(split.original_count));
+    const auto rs2 = static_cast<unsigned>(rng.below(split.original_count));
+    if (with_memory && rng.below(5) == 0) {
+      // Word-aligned access within the original half, base x0.
+      const std::int32_t off =
+          static_cast<std::int32_t>(rng.below(mem_bytes_half / 4)) * 4;
+      if (rng.flip()) {
+        p.push_back(Instruction::lw(rd, 0, off));
+      } else {
+        p.push_back(Instruction::sw(rs2, 0, off));
+      }
+      continue;
+    }
+    const Opcode op = kAlu[rng.below(std::size(kAlu))];
+    if (isa::is_rtype(op)) {
+      p.push_back(Instruction::rtype(op, rd, rs1, rs2));
+    } else if (isa::opcode_format(op) == isa::Format::Shift) {
+      p.push_back(Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(32))));
+    } else {
+      const std::int32_t imm = static_cast<std::int32_t>(rng.below(4096)) - 2048;
+      p.push_back(Instruction::itype(op, rd, rs1, imm));
+    }
+  }
+  return p;
+}
+
+}  // namespace sepe::qed

@@ -1,0 +1,66 @@
+// qed_test.hpp — concrete QED testing (Lin et al. [13], §2.1 background).
+//
+// The pre-SQED methodology: take an existing concrete test (instruction
+// sequence), apply the EDDI-V transformation (duplicate every instruction
+// onto the shadow register/memory half), execute on a simulator, and flag
+// a bug when any original/duplicate register or memory pair disagrees.
+//
+// This module implements that flow on the ISS (src/sim), plus the EDSEP-V
+// analogue that replays each instruction's semantically equivalent
+// program. It serves three purposes: background reproduction, a fast
+// sanity oracle for the equivalence table, and a demonstration harness
+// (examples/qed_testing.cpp).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qed/qed_module.hpp"
+#include "sim/iss.hpp"
+#include "synth/cegis.hpp"
+
+namespace sepe::qed {
+
+/// A concrete QED test: the original instruction sequence (operands
+/// restricted to the original register half / memory half).
+struct QedTest {
+  isa::Program original;
+};
+
+/// Result of a concrete QED run.
+struct QedTestResult {
+  bool consistent = true;
+  /// First register pair that disagrees (original index), if any.
+  std::optional<unsigned> mismatched_reg;
+  /// Transformed program that was executed.
+  isa::Program transformed;
+};
+
+/// Apply the EDDI-V transformation: interleave each original instruction
+/// with its duplicate on the shadow half (registers +16, memory +half).
+isa::Program eddi_v_transform(const isa::Program& original, unsigned mem_bytes_half);
+
+/// Apply the EDSEP-V transformation using the equivalence table:
+/// each original instruction is followed by its semantically equivalent
+/// program on the E/T halves (registers +13, temps in x26..x31).
+isa::Program edsep_v_transform(const isa::Program& original,
+                               const synth::EquivalenceTable& table,
+                               unsigned mem_bytes_half);
+
+/// Execute a transformed test from a QED-consistent state on the ISS and
+/// check final consistency. `mode` selects the register split to compare.
+/// `buggy_iss` optionally injects an execution-level bug (see
+/// BuggyIssHook) to demonstrate detection.
+using BuggyIssHook =
+    std::function<BitVec(const isa::Instruction&, const BitVec& /*correct*/)>;
+
+QedTestResult run_qed_test(const isa::Program& transformed, QedMode mode, unsigned xlen,
+                           std::size_t mem_words, const BuggyIssHook& buggy = nullptr);
+
+/// Generate a random QED-compatible original test program (ALU subset,
+/// operands within the original half).
+isa::Program random_original_program(Rng& rng, unsigned length, QedMode mode,
+                                     bool with_memory, unsigned mem_bytes_half);
+
+}  // namespace sepe::qed

@@ -1,0 +1,560 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace sepe::sat {
+
+Solver::Solver() = default;
+
+int Solver::new_var() {
+  const int v = static_cast<int>(assigns_.size());
+  assigns_.push_back(Value::Unknown);
+  model_.push_back(Value::False);
+  saved_phase_.push_back(Value::False);
+  level_.push_back(0);
+  reason_.push_back(kNullRef);
+  activity_.push_back(0.0);
+  heap_index_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_insert(v);
+  return v;
+}
+
+Solver::ClauseRef Solver::alloc_clause(const std::vector<Lit>& clause_lits, bool learnt) {
+  const std::size_t bytes = sizeof(ClauseHeader) + clause_lits.size() * sizeof(Lit);
+  // Keep 4-byte alignment of the arena.
+  const std::size_t aligned = (bytes + 3) & ~std::size_t(3);
+  const ClauseRef ref = static_cast<ClauseRef>(arena_.size());
+  arena_.resize(arena_.size() + aligned);
+  ClauseHeader* h = header(ref);
+  h->size = static_cast<std::uint32_t>(clause_lits.size());
+  h->lbd = learnt ? 2 : 0;
+  h->activity = 0.0f;
+  std::copy(clause_lits.begin(), clause_lits.end(), lits(ref));
+  return ref;
+}
+
+void Solver::attach(ClauseRef ref) {
+  const Lit* c = lits(ref);
+  watches_[(~c[0]).code()].push_back({ref, c[1]});
+  watches_[(~c[1]).code()].push_back({ref, c[0]});
+}
+
+void Solver::detach(ClauseRef ref) {
+  const Lit* c = lits(ref);
+  for (Lit w : {~c[0], ~c[1]}) {
+    auto& ws = watches_[w.code()];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].ref == ref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::add_clause(std::vector<Lit> clause_lits) {
+  if (root_unsat_) return false;
+  assert(decision_level() == 0);
+
+  // Normalize: sort, dedupe, drop false literals, detect tautology/sat.
+  std::sort(clause_lits.begin(), clause_lits.end(),
+            [](Lit a, Lit b) { return a.code() < b.code(); });
+  std::vector<Lit> out;
+  out.reserve(clause_lits.size());
+  Lit prev = Lit::from_code(-2);
+  for (Lit l : clause_lits) {
+    if (l == prev) continue;
+    if (l == ~prev) return true;  // tautology
+    if (value(l) == Value::True) return true;
+    if (value(l) == Value::False) { prev = l; continue; }
+    out.push_back(l);
+    prev = l;
+  }
+
+  if (out.empty()) {
+    root_unsat_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], kNullRef);
+    if (propagate() != kNullRef) {
+      root_unsat_ = true;
+      return false;
+    }
+    return true;
+  }
+  const ClauseRef ref = alloc_clause(out, /*learnt=*/false);
+  clauses_.push_back(ref);
+  attach(ref);
+  return true;
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == Value::Unknown);
+  const int v = l.var();
+  assigns_[v] = l.sign() ? Value::False : Value::True;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_propagations_;
+    auto& ws = watches_[p.code()];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == Value::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      ClauseHeader* h = header(w.ref);
+      Lit* c = lits(w.ref);
+      // Ensure the false literal ~p is at position 1.
+      const Lit not_p = ~p;
+      if (c[0] == not_p) std::swap(c[0], c[1]);
+      assert(c[1] == not_p);
+      if (value(c[0]) == Value::True) {
+        ws[j++] = {w.ref, c[0]};
+        ++i;
+        continue;
+      }
+      // Look for a new watch.
+      bool found = false;
+      for (std::uint32_t k = 2; k < h->size; ++k) {
+        if (value(c[k]) != Value::False) {
+          std::swap(c[1], c[k]);
+          watches_[(~c[1]).code()].push_back({w.ref, c[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        ++i;  // watcher moved elsewhere; do not keep
+        continue;
+      }
+      // Clause is unit or conflicting.
+      if (value(c[0]) == Value::False) {
+        // Conflict: keep remaining watchers, return.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        return w.ref;
+      }
+      enqueue(c[0], w.ref);
+      ws[j++] = {w.ref, c[0]};
+      ++i;
+    }
+    ws.resize(j);
+  }
+  return kNullRef;
+}
+
+std::uint32_t Solver::compute_lbd(const std::vector<Lit>& clause) {
+  // LBD = number of distinct decision levels in the clause.
+  static thread_local std::vector<int> mark;
+  static thread_local int stamp = 0;
+  ++stamp;
+  std::uint32_t lbd = 0;
+  for (Lit l : clause) {
+    const int lev = level_[l.var()];
+    if (lev >= static_cast<int>(mark.size())) mark.resize(lev + 1, 0);
+    if (mark[lev] != stamp) {
+      mark[lev] = stamp;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::bump_var(int var) {
+  activity_[var] += var_inc_;
+  if (activity_[var] > kActivityLimit) rescale_var_activity();
+  if (heap_contains(var)) heap_percolate_up(heap_index_[var]);
+}
+
+void Solver::rescale_var_activity() {
+  for (double& a : activity_) a *= 1e-100;
+  var_inc_ *= 1e-100;
+}
+
+void Solver::bump_clause(ClauseRef ref) {
+  ClauseHeader* h = header(ref);
+  h->activity += static_cast<float>(clause_inc_);
+  if (h->activity > 1e20f) {
+    for (ClauseRef r : learnts_) header(r)->activity *= 1e-20f;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+                     std::uint32_t& out_lbd) {
+  out_learnt.clear();
+  out_learnt.push_back(Lit());  // placeholder for the asserting literal
+  int counter = 0;
+  Lit p;
+  std::size_t index = trail_.size();
+  bool first = true;
+
+  do {
+    assert(confl != kNullRef);
+    bump_clause(confl);
+    const ClauseHeader* h = header(confl);
+    const Lit* c = lits(confl);
+    for (std::uint32_t k = first ? 0 : 1; k < h->size; ++k) {
+      const Lit q = c[k];
+      const int v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        bump_var(v);
+        if (level_[v] >= decision_level()) {
+          ++counter;
+        } else {
+          out_learnt.push_back(q);
+        }
+      }
+    }
+    // Find the next literal on the trail to resolve on.
+    while (!seen_[trail_[--index].var()]) {}
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --counter;
+    first = false;
+  } while (counter > 0);
+  out_learnt[0] = ~p;
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  // Remember every var marked seen_ so far: literals dropped below still
+  // need their marks cleared at the end (stale marks corrupt later calls).
+  analyze_toclear_.clear();
+  for (Lit l : out_learnt) analyze_toclear_.push_back(l.var());
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t k = 1; k < out_learnt.size(); ++k)
+    abstract_levels |= 1u << (level_[out_learnt[k].var()] & 31);
+  std::size_t keep = 1;
+  for (std::size_t k = 1; k < out_learnt.size(); ++k) {
+    if (reason_[out_learnt[k].var()] == kNullRef ||
+        !literal_redundant(out_learnt[k], abstract_levels)) {
+      out_learnt[keep++] = out_learnt[k];
+    }
+  }
+  out_learnt.resize(keep);
+
+  // Find backtrack level: the second-highest level in the clause.
+  out_btlevel = 0;
+  if (out_learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t k = 2; k < out_learnt.size(); ++k)
+      if (level_[out_learnt[k].var()] > level_[out_learnt[max_i].var()]) max_i = k;
+    std::swap(out_learnt[1], out_learnt[max_i]);
+    out_btlevel = level_[out_learnt[1].var()];
+  }
+  out_lbd = compute_lbd(out_learnt);
+
+  for (int v : analyze_toclear_) seen_[v] = 0;
+  for (int v : minimize_marked_) seen_[v] = 0;
+  minimize_marked_.clear();
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  std::vector<int> to_clear;
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[q.var()];
+    if (r == kNullRef) {
+      for (int v : to_clear) seen_[v] = 0;
+      return false;
+    }
+    const ClauseHeader* h = header(r);
+    const Lit* c = lits(r);
+    for (std::uint32_t k = 1; k < h->size; ++k) {
+      const Lit p = c[k];
+      const int v = p.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] == kNullRef || !((1u << (level_[v] & 31)) & abstract_levels)) {
+        for (int u : to_clear) seen_[u] = 0;
+        return false;
+      }
+      seen_[v] = 1;
+      to_clear.push_back(v);
+      analyze_stack_.push_back(p);
+    }
+  }
+  // Redundant: keep the marks so sibling redundancy checks can reuse them;
+  // they are recorded in minimize_marked_ and cleared at the end of
+  // analyze() together with the clause's own marks.
+  minimize_marked_.insert(minimize_marked_.end(), to_clear.begin(), to_clear.end());
+  return true;
+}
+
+void Solver::analyze_final(Lit p) {
+  // Compute the set of assumptions implying ~p (conflict core).
+  conflict_core_.clear();
+  conflict_core_.push_back(~p);
+  if (decision_level() == 0) return;
+  seen_[p.var()] = 1;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    const int v = trail_[i].var();
+    if (!seen_[v]) continue;
+    if (reason_[v] == kNullRef) {
+      if (v != p.var()) conflict_core_.push_back(~trail_[i]);
+    } else {
+      const ClauseHeader* h = header(reason_[v]);
+      const Lit* c = lits(reason_[v]);
+      for (std::uint32_t k = 1; k < h->size; ++k)
+        if (level_[c[k].var()] > 0) seen_[c[k].var()] = 1;
+    }
+    seen_[v] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+void Solver::backtrack(int target) {
+  if (decision_level() <= target) return;
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[target]);) {
+    const int v = trail_[i].var();
+    saved_phase_[v] = assigns_[v];
+    assigns_[v] = Value::Unknown;
+    reason_[v] = kNullRef;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(trail_lim_[target]);
+  trail_lim_.resize(target);
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_empty()) {
+    const int v = heap_pop();
+    if (value(v) == Value::Unknown) {
+      ++stats_decisions_;
+      return Lit(v, saved_phase_[v] == Value::False);
+    }
+  }
+  return Lit();  // all assigned
+}
+
+std::uint64_t Solver::luby(std::uint64_t i) {
+  // Luby sequence, 1-based: luby(1..)= 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  assert(i >= 1);
+  std::uint64_t k = 1;
+  while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  while (i != (1ULL << k) - 1) {
+    i -= (1ULL << k) - 1;
+    k = 1;
+    while ((1ULL << (k + 1)) - 1 <= i) ++k;
+  }
+  return 1ULL << (k - 1);
+}
+
+void Solver::reduce_learnts() {
+  // Keep low-LBD ("glue") clauses; drop the worse half of the rest.
+  std::vector<ClauseRef> sorted = learnts_;
+  std::sort(sorted.begin(), sorted.end(), [this](ClauseRef a, ClauseRef b) {
+    const ClauseHeader *ha = header(a), *hb = header(b);
+    if (ha->lbd != hb->lbd) return ha->lbd < hb->lbd;
+    return ha->activity > hb->activity;
+  });
+  const std::size_t keep_count = sorted.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(keep_count + 16);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const ClauseRef r = sorted[i];
+    // Never drop clauses that are reasons for current assignments or glue.
+    bool locked = false;
+    const Lit first = lits(r)[0];
+    if (value(first) == Value::True && reason_[first.var()] == r) locked = true;
+    if (i < keep_count || header(r)->lbd <= 3 || locked) {
+      kept.push_back(r);
+    } else {
+      detach(r);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
+  if (root_unsat_) {
+    conflict_core_.clear();
+    return SolveResult::Unsat;
+  }
+  backtrack(0);
+  if (propagate() != kNullRef) {
+    root_unsat_ = true;
+    return SolveResult::Unsat;
+  }
+
+  const auto solve_start = std::chrono::steady_clock::now();
+  std::uint64_t conflicts_at_start = stats_conflicts_;
+  std::uint64_t restart_count = 0;
+  std::uint64_t restart_limit = 100 * luby(restart_count + 1);
+  std::uint64_t conflicts_this_restart = 0;
+  std::uint64_t next_reduce = 4000;
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    const ClauseRef confl = propagate();
+    if (confl != kNullRef) {
+      ++stats_conflicts_;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) {
+        root_unsat_ = true;
+        conflict_core_.clear();
+        return SolveResult::Unsat;
+      }
+      // If the conflict is at or below the assumption prefix, the
+      // assumptions are responsible.
+      int btlevel;
+      std::uint32_t lbd;
+      analyze(confl, learnt, btlevel, lbd);
+      if (decision_level() <= static_cast<int>(assumptions.size()) &&
+          btlevel < static_cast<int>(assumptions.size())) {
+        // The learnt clause is falsified within the assumption prefix if
+        // all its literals are assumption-level: derive the core from the
+        // asserting literal's complement.
+        // Simplest sound approach: if after backtracking the asserting
+        // literal conflicts with an assumption, analyze_final handles it
+        // in the decision loop below.
+      }
+      backtrack(btlevel);
+      if (learnt.size() == 1) {
+        if (value(learnt[0]) == Value::Unknown) {
+          enqueue(learnt[0], kNullRef);
+        } else if (value(learnt[0]) == Value::False) {
+          root_unsat_ = true;
+          conflict_core_.clear();
+          return SolveResult::Unsat;
+        }
+      } else {
+        const ClauseRef ref = alloc_clause(learnt, /*learnt=*/true);
+        header(ref)->lbd = lbd;
+        learnts_.push_back(ref);
+        attach(ref);
+        enqueue(learnt[0], ref);
+      }
+      decay_var_activity();
+      clause_inc_ *= 1.001;
+      if (conflict_budget_ != 0 &&
+          stats_conflicts_ - conflicts_at_start >= conflict_budget_) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      if (time_budget_seconds_ > 0 &&
+          (stats_conflicts_ - conflicts_at_start) % 1024 == 0) {
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - solve_start)
+                .count();
+        if (elapsed >= time_budget_seconds_) {
+          backtrack(0);
+          return SolveResult::Unknown;
+        }
+      }
+      continue;
+    }
+
+    if (conflicts_this_restart >= restart_limit &&
+        decision_level() > static_cast<int>(assumptions.size())) {
+      ++stats_restarts_;
+      ++restart_count;
+      restart_limit = 100 * luby(restart_count + 1);
+      conflicts_this_restart = 0;
+      backtrack(static_cast<int>(assumptions.size()));
+      continue;
+    }
+    if (learnts_.size() >= next_reduce) {
+      next_reduce += 2000;
+      reduce_learnts();
+    }
+
+    // Extend with assumptions first, then branch.
+    Lit next = Lit();
+    bool have_next = false;
+    while (decision_level() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[decision_level()];
+      if (value(a) == Value::True) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));  // dummy level
+      } else if (value(a) == Value::False) {
+        analyze_final(~a);
+        backtrack(0);
+        return SolveResult::Unsat;
+      } else {
+        next = a;
+        have_next = true;
+        break;
+      }
+    }
+    if (!have_next) {
+      next = pick_branch();
+      if (next == Lit()) {
+        // Full assignment: record the model.
+        model_ = assigns_;
+        backtrack(0);
+        return SolveResult::Sat;
+      }
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    enqueue(next, kNullRef);
+  }
+}
+
+// --- binary max-heap keyed on activity ---
+
+void Solver::heap_insert(int var) {
+  heap_index_[var] = static_cast<int>(heap_.size());
+  heap_.push_back(var);
+  heap_percolate_up(heap_index_[var]);
+}
+
+void Solver::heap_percolate_up(int i) {
+  const int v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_index_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+void Solver::heap_percolate_down(int i) {
+  const int v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && activity_[heap_[child + 1]] > activity_[heap_[child]]) ++child;
+    if (activity_[heap_[child]] <= activity_[v]) break;
+    heap_[i] = heap_[child];
+    heap_index_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_index_[v] = i;
+}
+
+int Solver::heap_pop() {
+  const int v = heap_[0];
+  heap_index_[v] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_index_[heap_[0]] = 0;
+    heap_percolate_down(0);
+  }
+  return v;
+}
+
+}  // namespace sepe::sat

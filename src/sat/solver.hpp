@@ -1,0 +1,208 @@
+// solver.hpp — incremental CDCL SAT solver.
+//
+// This is the decision engine under the whole repository: the bit-blasted
+// SMT facade (src/smt) lowers bit-vector formulas onto it, CEGIS (src/synth)
+// uses it incrementally across refinement iterations, and BMC (src/bmc)
+// solves unrolled transition systems on it.
+//
+// Features: two-watched-literal propagation, first-UIP conflict analysis
+// with clause minimization, VSIDS branching with exponential decay, phase
+// saving, Luby restarts, LBD-based learnt-clause reduction, and solving
+// under assumptions (the incremental interface CEGIS relies on).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace sepe::sat {
+
+/// A propositional literal: variable index plus sign. Encoded as
+/// 2*var + (negated ? 1 : 0), the classic MiniSat representation.
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(int var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
+
+  static Lit from_code(int code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  int var() const { return code_ >> 1; }
+  bool sign() const { return code_ & 1; }  // true = negated
+  int code() const { return code_; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+
+  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
+  friend bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
+
+ private:
+  int code_;
+};
+
+enum class Value : std::uint8_t { False = 0, True = 1, Unknown = 2 };
+
+inline Value operator^(Value v, bool sign) {
+  if (v == Value::Unknown) return v;
+  return static_cast<Value>(static_cast<std::uint8_t>(v) ^ static_cast<std::uint8_t>(sign));
+}
+
+/// Result of a solve() call.
+enum class SolveResult { Sat, Unsat, Unknown /* resource limit hit */ };
+
+/// Incremental CDCL SAT solver.
+///
+/// Usage: new_var() to allocate variables, add_clause() to add constraints
+/// (allowed between solve calls), then solve() or solve(assumptions).
+/// After Sat, model_value() reads the satisfying assignment. After an
+/// assumption-based Unsat, failed_assumptions() gives the subset used.
+class Solver {
+ public:
+  Solver();
+
+  /// Allocate a fresh variable; returns its index.
+  int new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Add a clause (disjunction of literals). Returns false if the solver
+  /// is already in an unsatisfiable root state.
+  bool add_clause(std::vector<Lit> lits);
+  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
+  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
+  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+
+  SolveResult solve() { return solve({}); }
+  SolveResult solve(const std::vector<Lit>& assumptions);
+
+  /// Value of a variable in the last satisfying assignment. Variables
+  /// created after that solve read as false.
+  bool model_value(int var) const {
+    return var < static_cast<int>(model_.size()) && model_[var] == Value::True;
+  }
+  bool model_value(Lit l) const { return model_value(l.var()) ^ l.sign(); }
+
+  /// After Unsat under assumptions: the (not necessarily minimal) subset of
+  /// assumptions involved in the refutation.
+  const std::vector<Lit>& failed_assumptions() const { return conflict_core_; }
+
+  /// Abort solve() with Unknown after this many conflicts (0 = no limit).
+  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+
+  /// Abort solve() with Unknown after this many wall-clock seconds
+  /// (0 = no limit). Checked every 1024 conflicts, so the overshoot is
+  /// bounded by one short conflict burst.
+  void set_time_budget(double seconds) { time_budget_seconds_ = seconds; }
+
+  // --- statistics, for the micro benches and EXPERIMENTS.md ---
+  std::uint64_t num_conflicts() const { return stats_conflicts_; }
+  std::uint64_t num_decisions() const { return stats_decisions_; }
+  std::uint64_t num_propagations() const { return stats_propagations_; }
+  std::uint64_t num_restarts() const { return stats_restarts_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_learnts() const { return learnts_.size(); }
+
+ private:
+  // Clauses live in an arena; a ClauseRef is an offset into it.
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNullRef = std::numeric_limits<ClauseRef>::max();
+
+  struct ClauseHeader {
+    std::uint32_t size;
+    std::uint32_t lbd;       // literal block distance (glue); 0 for problem clauses
+    float activity;
+    // literals follow inline in the arena
+  };
+
+  struct Watcher {
+    ClauseRef ref;
+    Lit blocker;  // quick check to skip clause traversal
+  };
+
+  ClauseHeader* header(ClauseRef r) { return reinterpret_cast<ClauseHeader*>(&arena_[r]); }
+  const ClauseHeader* header(ClauseRef r) const {
+    return reinterpret_cast<const ClauseHeader*>(&arena_[r]);
+  }
+  Lit* lits(ClauseRef r) { return reinterpret_cast<Lit*>(&arena_[r + sizeof(ClauseHeader)]); }
+  const Lit* lits(ClauseRef r) const {
+    return reinterpret_cast<const Lit*>(&arena_[r + sizeof(ClauseHeader)]);
+  }
+
+  ClauseRef alloc_clause(const std::vector<Lit>& lits, bool learnt);
+  void attach(ClauseRef ref);
+  void detach(ClauseRef ref);
+
+  Value value(int var) const { return assigns_[var]; }
+  Value value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
+
+  void enqueue(Lit l, ClauseRef reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
+               std::uint32_t& out_lbd);
+  bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  void analyze_final(Lit trail_false);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(int var);
+  void decay_var_activity() { var_inc_ /= kVarDecay; }
+  void bump_clause(ClauseRef ref);
+  void reduce_learnts();
+  void rescale_var_activity();
+  static std::uint64_t luby(std::uint64_t i);
+
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  std::uint32_t compute_lbd(const std::vector<Lit>& clause);
+
+  // Heap-based VSIDS order.
+  void heap_insert(int var);
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+  int heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  bool heap_contains(int var) const {
+    return var < static_cast<int>(heap_index_.size()) && heap_index_[var] >= 0;
+  }
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kActivityLimit = 1e100;
+
+  std::vector<std::uint8_t> arena_;
+  std::vector<ClauseRef> clauses_;
+  std::vector<ClauseRef> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal code
+
+  std::vector<Value> assigns_;
+  std::vector<Value> model_;
+  std::vector<Value> saved_phase_;
+  std::vector<int> level_;
+  std::vector<ClauseRef> reason_;
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<int> heap_;        // binary max-heap of variables
+  std::vector<int> heap_index_;  // var -> heap position, -1 if absent
+
+  double clause_inc_ = 1.0;
+
+  bool root_unsat_ = false;
+  std::vector<Lit> conflict_core_;
+  std::uint64_t conflict_budget_ = 0;
+  double time_budget_seconds_ = 0.0;
+
+  // scratch for analyze()
+  std::vector<std::uint8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<int> minimize_marked_;
+  std::vector<int> analyze_toclear_;
+
+  std::uint64_t stats_conflicts_ = 0;
+  std::uint64_t stats_decisions_ = 0;
+  std::uint64_t stats_propagations_ = 0;
+  std::uint64_t stats_restarts_ = 0;
+};
+
+}  // namespace sepe::sat

@@ -1,0 +1,67 @@
+#include "sim/iss.hpp"
+
+#include <cassert>
+
+namespace sepe::sim {
+
+ArchState::ArchState(unsigned xlen, std::size_t mem_words)
+    : xlen_(xlen), mem_words_(mem_words), regs_(32, BitVec::zeros(xlen)) {
+  assert(xlen >= 4 && xlen <= 64);
+  assert(mem_words >= 2);
+}
+
+void ArchState::set_reg(unsigned idx, const BitVec& v) {
+  assert(idx < 32 && v.width() == xlen_);
+  if (idx == 0) return;  // x0 is hard-wired zero
+  regs_[idx] = v;
+}
+
+std::size_t ArchState::word_index(const BitVec& addr) const {
+  // Word-addressed memory: drop the two byte-offset bits, wrap modulo size.
+  return static_cast<std::size_t>(addr.uval() >> 2) % mem_words_;
+}
+
+BitVec ArchState::load_word(const BitVec& addr) const {
+  const auto it = mem_.find(word_index(addr));
+  return it != mem_.end() ? it->second : BitVec::zeros(xlen_);
+}
+
+void ArchState::store_word(const BitVec& addr, const BitVec& value) {
+  assert(value.width() == xlen_);
+  mem_[word_index(addr)] = value;
+}
+
+bool ArchState::operator==(const ArchState& o) const {
+  if (xlen_ != o.xlen_ || mem_words_ != o.mem_words_ || regs_ != o.regs_) return false;
+  // Sparse maps compare equal iff non-zero entries agree.
+  for (const auto& [k, v] : mem_)
+    if (!(o.load_word(BitVec(xlen_, k << 2)) == v)) return false;
+  for (const auto& [k, v] : o.mem_)
+    if (!(load_word(BitVec(xlen_, k << 2)) == v)) return false;
+  return true;
+}
+
+void Iss::step(const isa::Instruction& inst) {
+  const unsigned xlen = state_.xlen();
+  using isa::Opcode;
+  if (inst.op == Opcode::NOP) return;
+  if (isa::is_load(inst.op)) {
+    const BitVec addr = state_.reg(inst.rs1) + isa::imm_to_xlen(inst.imm, xlen);
+    state_.set_reg(inst.rd, state_.load_word(addr));
+    return;
+  }
+  if (isa::is_store(inst.op)) {
+    const BitVec addr = state_.reg(inst.rs1) + isa::imm_to_xlen(inst.imm, xlen);
+    state_.store_word(addr, state_.reg(inst.rs2));
+    return;
+  }
+  const BitVec result = isa::instruction_result_concrete(
+      inst, state_.reg(inst.rs1), state_.reg(inst.rs2), xlen);
+  state_.set_reg(inst.rd, result);
+}
+
+void Iss::run(const isa::Program& program) {
+  for (const isa::Instruction& inst : program) step(inst);
+}
+
+}  // namespace sepe::sim

@@ -1,0 +1,74 @@
+// iss.hpp — instruction-set simulator (golden architectural model).
+//
+// Executes RV32IM straight-line programs over an architectural state of 32
+// general-purpose registers and a word-addressed data memory. Used as:
+//   * the reference model that property tests cross-check the symbolic
+//     semantics and the pipelined processor model against;
+//   * the execution engine for concrete QED testing (src/qed/qed_test.hpp),
+//     reproducing the original QED methodology the paper builds on.
+//
+// Width-parameterized like the rest of the stack: registers are `xlen`
+// bits wide; addresses are register values taken modulo the memory size.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "isa/semantics.hpp"
+#include "util/bitvec.hpp"
+
+namespace sepe::sim {
+
+/// Architectural state: registers + data memory.
+///
+/// Memory is sparse (unordered_map keyed by word index); unwritten
+/// locations read as zero, matching the zero-initialized memory the BMC
+/// model assumes for QED-consistent initial states.
+class ArchState {
+ public:
+  explicit ArchState(unsigned xlen = 32, std::size_t mem_words = 1024);
+
+  unsigned xlen() const { return xlen_; }
+  std::size_t mem_words() const { return mem_words_; }
+
+  const BitVec& reg(unsigned idx) const { return regs_[idx]; }
+  /// Writes to x0 are discarded (RISC-V hard-wired zero).
+  void set_reg(unsigned idx, const BitVec& v);
+
+  BitVec load_word(const BitVec& addr) const;
+  void store_word(const BitVec& addr, const BitVec& value);
+
+  /// Word index a register-valued address maps to (modulo memory size).
+  std::size_t word_index(const BitVec& addr) const;
+
+  bool operator==(const ArchState& o) const;
+
+ private:
+  unsigned xlen_;
+  std::size_t mem_words_;
+  std::vector<BitVec> regs_;
+  std::unordered_map<std::size_t, BitVec> mem_;
+};
+
+/// The simulator: steps instructions against an ArchState.
+class Iss {
+ public:
+  explicit Iss(unsigned xlen = 32, std::size_t mem_words = 1024)
+      : state_(xlen, mem_words) {}
+
+  ArchState& state() { return state_; }
+  const ArchState& state() const { return state_; }
+
+  /// Execute one instruction.
+  void step(const isa::Instruction& inst);
+
+  /// Execute a straight-line program front to back.
+  void run(const isa::Program& program);
+
+ private:
+  ArchState state_;
+};
+
+}  // namespace sepe::sim

@@ -1,0 +1,348 @@
+#include "smt/bitblast.hpp"
+
+#include <cassert>
+
+namespace sepe::smt {
+
+using sat::Lit;
+
+BitBlaster::BitBlaster(const TermManager& mgr, sat::Solver& solver)
+    : mgr_(mgr), solver_(solver) {
+  true_lit_ = fresh();
+  solver_.add_clause(true_lit_);
+}
+
+Lit BitBlaster::gate_and(Lit a, Lit b) {
+  if (a == const_lit(false) || b == const_lit(false)) return const_lit(false);
+  if (a == const_lit(true)) return b;
+  if (b == const_lit(true)) return a;
+  if (a == b) return a;
+  if (a == ~b) return const_lit(false);
+  if (a.code() > b.code()) std::swap(a, b);
+  GateKey key{0, a.code(), b.code(), -1};
+  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
+  const Lit o = fresh();
+  solver_.add_clause(~a, ~b, o);
+  solver_.add_clause(a, ~o);
+  solver_.add_clause(b, ~o);
+  gate_cache_.emplace(key, o);
+  return o;
+}
+
+Lit BitBlaster::gate_or(Lit a, Lit b) { return ~gate_and(~a, ~b); }
+
+Lit BitBlaster::gate_xor(Lit a, Lit b) {
+  if (a == const_lit(false)) return b;
+  if (b == const_lit(false)) return a;
+  if (a == const_lit(true)) return ~b;
+  if (b == const_lit(true)) return ~a;
+  if (a == b) return const_lit(false);
+  if (a == ~b) return const_lit(true);
+  if (a.code() > b.code()) std::swap(a, b);
+  GateKey key{1, a.code(), b.code(), -1};
+  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
+  const Lit o = fresh();
+  solver_.add_clause(~a, ~b, ~o);
+  solver_.add_clause(a, b, ~o);
+  solver_.add_clause(~a, b, o);
+  solver_.add_clause(a, ~b, o);
+  gate_cache_.emplace(key, o);
+  return o;
+}
+
+Lit BitBlaster::gate_mux(Lit sel, Lit t, Lit e) {
+  if (sel == const_lit(true)) return t;
+  if (sel == const_lit(false)) return e;
+  if (t == e) return t;
+  if (t == const_lit(true) && e == const_lit(false)) return sel;
+  if (t == const_lit(false) && e == const_lit(true)) return ~sel;
+  GateKey key{2, sel.code(), t.code(), e.code()};
+  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
+  const Lit o = fresh();
+  solver_.add_clause(~sel, ~t, o);
+  solver_.add_clause(~sel, t, ~o);
+  solver_.add_clause(sel, ~e, o);
+  solver_.add_clause(sel, e, ~o);
+  gate_cache_.emplace(key, o);
+  return o;
+}
+
+Lit BitBlaster::gate_full_add(Lit a, Lit b, Lit cin, Lit& cout) {
+  const Lit axb = gate_xor(a, b);
+  const Lit sum = gate_xor(axb, cin);
+  // cout = (a & b) | (cin & (a ^ b))
+  cout = gate_or(gate_and(a, b), gate_and(cin, axb));
+  return sum;
+}
+
+BitBlaster::Bits BitBlaster::encode_add(const Bits& a, const Bits& b, Lit carry_in) {
+  Bits out(a.size());
+  Lit carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = gate_full_add(a[i], b[i], carry, carry);
+  return out;
+}
+
+BitBlaster::Bits BitBlaster::negate(const Bits& a) {
+  Bits inv(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) inv[i] = ~a[i];
+  Bits one(a.size(), const_lit(false));
+  return encode_add(inv, one, const_lit(true));
+}
+
+BitBlaster::Bits BitBlaster::encode_mul(const Bits& a, const Bits& b) {
+  const std::size_t w = a.size();
+  Bits acc(w, const_lit(false));
+  for (std::size_t i = 0; i < w; ++i) {
+    // acc[i..] += b[0..w-i) & a[i]
+    Bits addend(w, const_lit(false));
+    for (std::size_t j = 0; i + j < w; ++j) addend[i + j] = gate_and(a[i], b[j]);
+    acc = encode_add(acc, addend, const_lit(false));
+  }
+  return acc;
+}
+
+void BitBlaster::encode_udivrem(const Bits& a, const Bits& b, Bits& quot, Bits& rem) {
+  // Restoring division over a (w+1)-bit working remainder.
+  const std::size_t w = a.size();
+  Bits br(w + 1);  // b zero-extended
+  for (std::size_t i = 0; i < w; ++i) br[i] = b[i];
+  br[w] = const_lit(false);
+  const Bits neg_b = negate(br);
+
+  Bits r(w + 1, const_lit(false));
+  quot.assign(w, const_lit(false));
+  for (std::size_t step = w; step-- > 0;) {
+    // r = (r << 1) | a[step]
+    Bits shifted(w + 1);
+    shifted[0] = a[step];
+    for (std::size_t i = 1; i <= w; ++i) shifted[i] = r[i - 1];
+    // trial = shifted - b ; non-negative iff carry out of the addition of -b
+    Lit carry = const_lit(true);
+    Bits trial(w + 1);
+    for (std::size_t i = 0; i <= w; ++i) {
+      const Lit nb = ~br[i];
+      trial[i] = gate_full_add(shifted[i], nb, carry, carry);
+    }
+    const Lit geq = carry;  // shifted >= b
+    quot[step] = geq;
+    for (std::size_t i = 0; i <= w; ++i) r[i] = gate_mux(geq, trial[i], shifted[i]);
+  }
+  rem.assign(w, const_lit(false));
+  for (std::size_t i = 0; i < w; ++i) rem[i] = r[i];
+  (void)neg_b;
+}
+
+BitBlaster::Bits BitBlaster::encode_mux_word(Lit sel, const Bits& t, const Bits& e) {
+  Bits out(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) out[i] = gate_mux(sel, t[i], e[i]);
+  return out;
+}
+
+BitBlaster::Bits BitBlaster::encode_shift(const Bits& a, const Bits& amount, Op op) {
+  const std::size_t w = a.size();
+  const Lit fill = op == Op::Ashr ? a[w - 1] : const_lit(false);
+
+  unsigned stages = 0;
+  while ((1ULL << stages) < w) ++stages;
+
+  Bits cur = a;
+  for (unsigned s = 0; s < stages && s < amount.size(); ++s) {
+    const std::size_t dist = 1ULL << s;
+    Bits shifted(w);
+    for (std::size_t i = 0; i < w; ++i) {
+      if (op == Op::Shl) {
+        shifted[i] = i >= dist ? cur[i - dist] : const_lit(false);
+      } else {
+        shifted[i] = i + dist < w ? cur[i + dist] : fill;
+      }
+    }
+    cur = encode_mux_word(amount[s], shifted, cur);
+  }
+
+  // Saturate when amount >= w (SMT-LIB semantics). Covers both high bits
+  // of the amount beyond the barrel stages and non-power-of-two widths.
+  Lit oversize = const_lit(false);
+  for (std::size_t i = stages; i < amount.size(); ++i) oversize = gate_or(oversize, amount[i]);
+  if ((w & (w - 1)) != 0) {
+    // amount[0..stages) >= w ?
+    Bits lowa(amount.begin(), amount.begin() + stages);
+    Bits wconst(stages);
+    for (unsigned i = 0; i < stages; ++i)
+      wconst[i] = const_lit((w >> i) & 1);
+    const Lit lt = encode_ult(lowa, wconst);
+    oversize = gate_or(oversize, ~lt);
+  }
+  Bits saturated(w, fill);
+  return encode_mux_word(oversize, saturated, cur);
+}
+
+Lit BitBlaster::encode_ult(const Bits& a, const Bits& b) {
+  // Borrow chain of a - b: borrow out means a < b.
+  Lit borrow = const_lit(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // borrow' = (~a & b) | ((~a | b) & borrow) = mux(a==b bitwise, borrow, b)
+    const Lit axb = gate_xor(a[i], b[i]);
+    borrow = gate_mux(axb, b[i], borrow);
+  }
+  return borrow;
+}
+
+Lit BitBlaster::encode_slt(const Bits& a, const Bits& b) {
+  const std::size_t w = a.size();
+  if (w == 1) return gate_and(a[0], ~b[0]);  // signed 1-bit: -1 < 0
+  const Lit sign_diff = gate_xor(a[w - 1], b[w - 1]);
+  const Lit u = encode_ult(a, b);
+  return gate_mux(sign_diff, a[w - 1], u);
+}
+
+Lit BitBlaster::encode_eq(const Bits& a, const Bits& b) {
+  Lit acc = const_lit(true);
+  for (std::size_t i = 0; i < a.size(); ++i) acc = gate_and(acc, ~gate_xor(a[i], b[i]));
+  return acc;
+}
+
+const std::vector<Lit>& BitBlaster::blast(TermRef t) {
+  if (auto it = cache_.find(t); it != cache_.end()) return it->second;
+  // Iterative post-order to avoid stack overflow on deep BMC unrollings.
+  std::vector<TermRef> stack{t};
+  while (!stack.empty()) {
+    const TermRef cur = stack.back();
+    if (cache_.count(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const TermNode& n = mgr_.node(cur);
+    bool ready = true;
+    for (TermRef o : n.operands) {
+      if (!cache_.count(o)) {
+        stack.push_back(o);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    cache_.emplace(cur, encode(cur));
+  }
+  return cache_.at(t);
+}
+
+Lit BitBlaster::blast_bit(TermRef t) {
+  assert(mgr_.width(t) == 1);
+  return blast(t)[0];
+}
+
+BitBlaster::Bits BitBlaster::encode(TermRef t) {
+  const TermNode& n = mgr_.node(t);
+  auto bits = [&](std::size_t i) -> const Bits& { return cache_.at(n.operands[i]); };
+  const unsigned w = n.width;
+
+  switch (n.op) {
+    case Op::Const: {
+      Bits out(w);
+      for (unsigned i = 0; i < w; ++i) out[i] = const_lit(n.value.bit(i));
+      return out;
+    }
+    case Op::Var: {
+      Bits out(w);
+      for (unsigned i = 0; i < w; ++i) out[i] = fresh();
+      return out;
+    }
+    case Op::Not: {
+      Bits out(w);
+      for (unsigned i = 0; i < w; ++i) out[i] = ~bits(0)[i];
+      return out;
+    }
+    case Op::And:
+    case Op::Or:
+    case Op::Xor: {
+      Bits out(w);
+      for (unsigned i = 0; i < w; ++i) {
+        const Lit a = bits(0)[i], b = bits(1)[i];
+        out[i] = n.op == Op::And ? gate_and(a, b)
+                 : n.op == Op::Or ? gate_or(a, b)
+                                  : gate_xor(a, b);
+      }
+      return out;
+    }
+    case Op::Neg: return negate(bits(0));
+    case Op::Add: return encode_add(bits(0), bits(1), const_lit(false));
+    case Op::Sub: {
+      Bits nb(w);
+      for (unsigned i = 0; i < w; ++i) nb[i] = ~bits(1)[i];
+      return encode_add(bits(0), nb, const_lit(true));
+    }
+    case Op::Mul: return encode_mul(bits(0), bits(1));
+    case Op::Udiv:
+    case Op::Urem: {
+      Bits quot, rem;
+      encode_udivrem(bits(0), bits(1), quot, rem);
+      // SMT-LIB/RISC-V: x udiv 0 = all-ones, x urem 0 = x.
+      Bits zero(w, const_lit(false));
+      const Lit bz = encode_eq(bits(1), zero);
+      if (n.op == Op::Udiv) {
+        Bits ones(w, const_lit(true));
+        return encode_mux_word(bz, ones, quot);
+      }
+      return encode_mux_word(bz, bits(0), rem);
+    }
+    case Op::Sdiv:
+    case Op::Srem: {
+      // Signed via magnitudes; RISC-V corner cases (div-by-zero, INT_MIN/-1)
+      // fall out of the construction plus an explicit zero-divisor mux,
+      // matching BitVec::sdiv/srem exactly.
+      const Bits &a = bits(0), &b = bits(1);
+      const Lit sa = a[w - 1], sb = b[w - 1];
+      const Bits abs_a = encode_mux_word(sa, negate(a), a);
+      const Bits abs_b = encode_mux_word(sb, negate(b), b);
+      Bits quot, rem;
+      encode_udivrem(abs_a, abs_b, quot, rem);
+      Bits zero(w, const_lit(false));
+      const Lit bz = encode_eq(b, zero);
+      if (n.op == Op::Sdiv) {
+        const Lit neg_out = gate_xor(sa, sb);
+        Bits signed_q = encode_mux_word(neg_out, negate(quot), quot);
+        Bits ones(w, const_lit(true));
+        return encode_mux_word(bz, ones, signed_q);
+      }
+      Bits signed_r = encode_mux_word(sa, negate(rem), rem);
+      return encode_mux_word(bz, a, signed_r);
+    }
+    case Op::Shl:
+    case Op::Lshr:
+    case Op::Ashr: return encode_shift(bits(0), bits(1), n.op);
+    case Op::Ult: return {encode_ult(bits(0), bits(1))};
+    case Op::Ule: return {~encode_ult(bits(1), bits(0))};
+    case Op::Slt: return {encode_slt(bits(0), bits(1))};
+    case Op::Sle: return {~encode_slt(bits(1), bits(0))};
+    case Op::Eq: return {encode_eq(bits(0), bits(1))};
+    case Op::Ne: return {~encode_eq(bits(0), bits(1))};
+    case Op::Ite: return encode_mux_word(bits(0)[0], bits(1), bits(2));
+    case Op::Concat: {
+      Bits out;
+      out.reserve(w);
+      const Bits &high = bits(0), &low = bits(1);
+      out.insert(out.end(), low.begin(), low.end());
+      out.insert(out.end(), high.begin(), high.end());
+      return out;
+    }
+    case Op::Extract: {
+      Bits out(w);
+      for (unsigned i = 0; i < w; ++i) out[i] = bits(0)[n.aux1 + i];
+      return out;
+    }
+    case Op::ZExt: {
+      Bits out = bits(0);
+      out.resize(w, const_lit(false));
+      return out;
+    }
+    case Op::SExt: {
+      Bits out = bits(0);
+      out.resize(w, out.back());
+      return out;
+    }
+  }
+  assert(false && "unreachable");
+  return {};
+}
+
+}  // namespace sepe::smt

@@ -1,0 +1,84 @@
+// bitblast.hpp — Tseitin bit-blasting of bit-vector terms to CNF.
+//
+// Lowers the term DAG onto the CDCL SAT core (src/sat). Each term maps to
+// one SAT literal per bit; the mapping is cached per node, so shared
+// subterms are encoded once. Word-level operators use standard circuits:
+// ripple-carry adders, shift-add multipliers, restoring dividers, barrel
+// shifters with SMT-LIB saturation, borrow-chain comparators.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "smt/term.hpp"
+
+namespace sepe::smt {
+
+/// Encodes terms into a sat::Solver. Owned by SmtSolver; exposed for the
+/// micro benchmarks, which measure circuit sizes directly.
+class BitBlaster {
+ public:
+  BitBlaster(const TermManager& mgr, sat::Solver& solver);
+
+  /// Bits of `t`, least-significant first. Encodes on first use.
+  const std::vector<sat::Lit>& blast(TermRef t);
+
+  /// Single literal for a 1-bit term.
+  sat::Lit blast_bit(TermRef t);
+
+  /// Literal fixed to true (for constants).
+  sat::Lit true_lit() const { return true_lit_; }
+
+ private:
+  using Bits = std::vector<sat::Lit>;
+
+  sat::Lit fresh() { return sat::Lit(solver_.new_var(), false); }
+  sat::Lit const_lit(bool b) const { return b ? true_lit_ : ~true_lit_; }
+
+  // Gate encoders; return the output literal, adding Tseitin clauses.
+  sat::Lit gate_and(sat::Lit a, sat::Lit b);
+  sat::Lit gate_or(sat::Lit a, sat::Lit b);
+  sat::Lit gate_xor(sat::Lit a, sat::Lit b);
+  sat::Lit gate_mux(sat::Lit sel, sat::Lit t, sat::Lit e);  // sel ? t : e
+  // Full adder: returns sum, sets carry_out.
+  sat::Lit gate_full_add(sat::Lit a, sat::Lit b, sat::Lit cin, sat::Lit& cout);
+
+  Bits encode(TermRef t);
+  Bits encode_add(const Bits& a, const Bits& b, sat::Lit carry_in);
+  Bits encode_mul(const Bits& a, const Bits& b);
+  void encode_udivrem(const Bits& a, const Bits& b, Bits& quot, Bits& rem);
+  Bits encode_shift(const Bits& a, const Bits& amount, Op op);
+  sat::Lit encode_ult(const Bits& a, const Bits& b);
+  sat::Lit encode_slt(const Bits& a, const Bits& b);
+  sat::Lit encode_eq(const Bits& a, const Bits& b);
+  Bits encode_mux_word(sat::Lit sel, const Bits& t, const Bits& e);
+  Bits negate(const Bits& a);  // two's complement
+
+  const TermManager& mgr_;
+  sat::Solver& solver_;
+  sat::Lit true_lit_;
+  std::unordered_map<TermRef, Bits> cache_;
+
+  // Structural gate cache: (op, a, b) -> output. Keeps shared subcircuits
+  // (mux trees over the register file) from being re-encoded.
+  struct GateKey {
+    int op;
+    int a, b, c;
+    bool operator==(const GateKey& o) const {
+      return op == o.op && a == o.a && b == o.b && c == o.c;
+    }
+  };
+  struct GateKeyHash {
+    std::size_t operator()(const GateKey& k) const {
+      std::size_t h = k.op;
+      h = h * 0x9e3779b97f4a7c15ULL + k.a;
+      h = h * 0x9e3779b97f4a7c15ULL + k.b;
+      h = h * 0x9e3779b97f4a7c15ULL + k.c;
+      return h;
+    }
+  };
+  std::unordered_map<GateKey, sat::Lit, GateKeyHash> gate_cache_;
+};
+
+}  // namespace sepe::smt

@@ -1,0 +1,76 @@
+#include "smt/eval.hpp"
+
+#include <cassert>
+
+namespace sepe::smt {
+
+BitVec Evaluator::eval(TermRef t, const Assignment& assignment) {
+  if (auto it = cache_.find(t); it != cache_.end()) return it->second;
+
+  // Iterative post-order walk: recursion would overflow on BMC-sized DAGs.
+  std::vector<TermRef> stack{t};
+  while (!stack.empty()) {
+    const TermRef cur = stack.back();
+    if (cache_.count(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const TermNode& n = mgr_.node(cur);
+    bool ready = true;
+    for (TermRef o : n.operands) {
+      if (!cache_.count(o)) {
+        stack.push_back(o);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+
+    auto opv = [&](std::size_t i) -> const BitVec& { return cache_.at(n.operands[i]); };
+    BitVec r;
+    switch (n.op) {
+      case Op::Const: r = n.value; break;
+      case Op::Var: {
+        auto it = assignment.find(cur);
+        r = it != assignment.end() ? it->second : BitVec::zeros(n.width);
+        break;
+      }
+      case Op::Not: r = ~opv(0); break;
+      case Op::And: r = opv(0) & opv(1); break;
+      case Op::Or: r = opv(0) | opv(1); break;
+      case Op::Xor: r = opv(0) ^ opv(1); break;
+      case Op::Neg: r = -opv(0); break;
+      case Op::Add: r = opv(0) + opv(1); break;
+      case Op::Sub: r = opv(0) - opv(1); break;
+      case Op::Mul: r = opv(0) * opv(1); break;
+      case Op::Udiv: r = opv(0).udiv(opv(1)); break;
+      case Op::Urem: r = opv(0).urem(opv(1)); break;
+      case Op::Sdiv: r = opv(0).sdiv(opv(1)); break;
+      case Op::Srem: r = opv(0).srem(opv(1)); break;
+      case Op::Shl: r = opv(0).shl(opv(1)); break;
+      case Op::Lshr: r = opv(0).lshr(opv(1)); break;
+      case Op::Ashr: r = opv(0).ashr(opv(1)); break;
+      case Op::Ult: r = opv(0).ult(opv(1)); break;
+      case Op::Ule: r = opv(0).ule(opv(1)); break;
+      case Op::Slt: r = opv(0).slt(opv(1)); break;
+      case Op::Sle: r = opv(0).sle(opv(1)); break;
+      case Op::Eq: r = opv(0).eq(opv(1)); break;
+      case Op::Ne: r = opv(0).ne(opv(1)); break;
+      case Op::Ite: r = opv(0).is_true() ? opv(1) : opv(2); break;
+      case Op::Concat: r = opv(0).concat(opv(1)); break;
+      case Op::Extract: r = opv(0).extract(n.aux0, n.aux1); break;
+      case Op::ZExt: r = opv(0).zext(n.aux0); break;
+      case Op::SExt: r = opv(0).sext(n.aux0); break;
+    }
+    assert(r.width() == n.width);
+    cache_.emplace(cur, r);
+  }
+  return cache_.at(t);
+}
+
+BitVec eval_term(const TermManager& mgr, TermRef t, const Assignment& assignment) {
+  Evaluator ev(mgr);
+  return ev.eval(t, assignment);
+}
+
+}  // namespace sepe::smt

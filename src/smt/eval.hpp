@@ -1,0 +1,41 @@
+// eval.hpp — concrete evaluation of term DAGs.
+//
+// Used by CEGIS to replay counterexamples against candidate programs, by
+// property tests to cross-check the symbolic semantics against the ISS,
+// and by the BMC witness printer.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "smt/term.hpp"
+#include "util/bitvec.hpp"
+
+namespace sepe::smt {
+
+/// Assignment of concrete values to Var terms.
+using Assignment = std::unordered_map<TermRef, BitVec>;
+
+/// Evaluate `t` under `assignment`. Unassigned variables evaluate to zero
+/// (SMT "don't care" completion). Memoizes across the DAG, so evaluating a
+/// large shared formula is linear in its node count.
+///
+/// An Evaluator instance is bound to one logical assignment: the memo cache
+/// is keyed on terms only, so reusing an instance with a *different*
+/// assignment would return stale values. Construct a fresh Evaluator (or
+/// call eval_term) per assignment.
+class Evaluator {
+ public:
+  explicit Evaluator(const TermManager& mgr) : mgr_(mgr) {}
+
+  BitVec eval(TermRef t, const Assignment& assignment);
+
+ private:
+  const TermManager& mgr_;
+  std::unordered_map<TermRef, BitVec> cache_;
+};
+
+/// One-shot convenience wrapper.
+BitVec eval_term(const TermManager& mgr, TermRef t, const Assignment& assignment);
+
+}  // namespace sepe::smt

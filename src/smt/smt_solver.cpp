@@ -1,0 +1,57 @@
+#include "smt/smt_solver.hpp"
+
+#include <cassert>
+
+namespace sepe::smt {
+
+void SmtSolver::assert_formula(TermRef t) {
+  assert(mgr_.width(t) == 1);
+  sat_.add_clause(blaster_.blast_bit(t));
+}
+
+Result SmtSolver::check(const std::vector<TermRef>& assumptions) {
+  std::vector<sat::Lit> lits;
+  lits.reserve(assumptions.size());
+  for (TermRef t : assumptions) {
+    assert(mgr_.width(t) == 1);
+    lits.push_back(blaster_.blast_bit(t));
+  }
+  last_assumptions_ = lits;
+  switch (sat_.solve(lits)) {
+    case sat::SolveResult::Sat:
+      last_sat_ = true;
+      vars_at_last_solve_ = sat_.num_vars();
+      return Result::Sat;
+    case sat::SolveResult::Unsat: last_sat_ = false; return Result::Unsat;
+    case sat::SolveResult::Unknown: last_sat_ = false; return Result::Unknown;
+  }
+  return Result::Unknown;
+}
+
+BitVec SmtSolver::value(TermRef t) {
+  assert(last_sat_ && "value() requires a Sat result");
+  const auto& bits = blaster_.blast(t);
+  if (sat_.num_vars() != vars_at_last_solve_) {
+    // Blasting `t` introduced gate variables the last model does not
+    // cover (and gate folding can alias result bits to *negations* of
+    // such variables, so an unassigned default would read back wrong).
+    // Re-solve under the same assumptions to extend the model; the
+    // incremental core makes this cheap.
+    const auto r = sat_.solve(last_assumptions_);
+    assert(r == sat::SolveResult::Sat && "model extension cannot fail");
+    (void)r;
+    vars_at_last_solve_ = sat_.num_vars();
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i)
+    if (sat_.model_value(bits[i])) v |= 1ULL << i;
+  return BitVec(static_cast<unsigned>(bits.size()), v);
+}
+
+Assignment SmtSolver::values(const std::vector<TermRef>& vars) {
+  Assignment a;
+  for (TermRef v : vars) a.emplace(v, value(v));
+  return a;
+}
+
+}  // namespace sepe::smt

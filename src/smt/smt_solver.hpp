@@ -1,0 +1,63 @@
+// smt_solver.hpp — quantifier-free bit-vector SMT solver facade.
+//
+// The "Boolector seat" of the reproduction: CEGIS synthesis queries,
+// CEGIS verification queries and BMC unrollings all go through this
+// class. Solving is eager bit-blasting onto the in-repo CDCL core.
+//
+// The interface is deliberately close to an incremental SMT-LIB session:
+// assert_formula() adds permanent constraints, check(assumptions) solves
+// under retractable 1-bit assumptions (used by CEGIS to switch candidate
+// programs without rebuilding the encoding), and value() reads back a
+// model.
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "smt/bitblast.hpp"
+#include "smt/eval.hpp"
+#include "smt/term.hpp"
+
+namespace sepe::smt {
+
+enum class Result { Sat, Unsat, Unknown };
+
+class SmtSolver {
+ public:
+  explicit SmtSolver(TermManager& mgr) : mgr_(mgr), blaster_(mgr, sat_) {}
+
+  TermManager& mgr() { return mgr_; }
+
+  /// Permanently assert a 1-bit term.
+  void assert_formula(TermRef t);
+
+  Result check() { return check({}); }
+  /// Solve under retractable assumptions (1-bit terms).
+  Result check(const std::vector<TermRef>& assumptions);
+
+  /// Model value of a term after Sat. Terms not mentioned in any asserted
+  /// formula get fresh unconstrained bits, which read back as zero.
+  BitVec value(TermRef t);
+
+  /// Model values for a set of variables, as an Assignment usable by the
+  /// Evaluator (CEGIS counterexample extraction).
+  Assignment values(const std::vector<TermRef>& vars);
+
+  /// Abort check() with Unknown after this many SAT conflicts (0 = off).
+  void set_conflict_budget(std::uint64_t budget) { sat_.set_conflict_budget(budget); }
+
+  /// Abort check() with Unknown after this many wall seconds (0 = off).
+  void set_time_budget(double seconds) { sat_.set_time_budget(seconds); }
+
+  const sat::Solver& sat_solver() const { return sat_; }
+
+ private:
+  TermManager& mgr_;
+  sat::Solver sat_;
+  BitBlaster blaster_;
+  bool last_sat_ = false;
+  int vars_at_last_solve_ = 0;
+  std::vector<sat::Lit> last_assumptions_;
+};
+
+}  // namespace sepe::smt

@@ -1,0 +1,83 @@
+#include "smt/subst.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace sepe::smt {
+
+TermRef substitute(TermManager& mgr, TermRef t, const SubstMap& map, SubstMap* cache) {
+  SubstMap local;
+  SubstMap& memo = cache ? *cache : local;
+
+  std::vector<TermRef> stack{t};
+  while (!stack.empty()) {
+    const TermRef cur = stack.back();
+    if (memo.count(cur)) {
+      stack.pop_back();
+      continue;
+    }
+    const TermNode& n = mgr.node(cur);
+    if (n.op == Op::Var) {
+      const auto it = map.find(cur);
+      memo.emplace(cur, it != map.end() ? it->second : cur);
+      stack.pop_back();
+      continue;
+    }
+    if (n.op == Op::Const) {
+      memo.emplace(cur, cur);
+      stack.pop_back();
+      continue;
+    }
+    bool ready = true;
+    for (TermRef o : n.operands) {
+      if (!memo.count(o)) {
+        stack.push_back(o);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+
+    auto sub = [&](std::size_t i) { return memo.at(n.operands[i]); };
+    TermRef r = cur;
+    bool changed = false;
+    for (TermRef o : n.operands)
+      if (memo.at(o) != o) changed = true;
+    if (changed) {
+      switch (n.op) {
+        case Op::Not: r = mgr.mk_not(sub(0)); break;
+        case Op::And: r = mgr.mk_and(sub(0), sub(1)); break;
+        case Op::Or: r = mgr.mk_or(sub(0), sub(1)); break;
+        case Op::Xor: r = mgr.mk_xor(sub(0), sub(1)); break;
+        case Op::Neg: r = mgr.mk_neg(sub(0)); break;
+        case Op::Add: r = mgr.mk_add(sub(0), sub(1)); break;
+        case Op::Sub: r = mgr.mk_sub(sub(0), sub(1)); break;
+        case Op::Mul: r = mgr.mk_mul(sub(0), sub(1)); break;
+        case Op::Udiv: r = mgr.mk_udiv(sub(0), sub(1)); break;
+        case Op::Urem: r = mgr.mk_urem(sub(0), sub(1)); break;
+        case Op::Sdiv: r = mgr.mk_sdiv(sub(0), sub(1)); break;
+        case Op::Srem: r = mgr.mk_srem(sub(0), sub(1)); break;
+        case Op::Shl: r = mgr.mk_shl(sub(0), sub(1)); break;
+        case Op::Lshr: r = mgr.mk_lshr(sub(0), sub(1)); break;
+        case Op::Ashr: r = mgr.mk_ashr(sub(0), sub(1)); break;
+        case Op::Ult: r = mgr.mk_ult(sub(0), sub(1)); break;
+        case Op::Ule: r = mgr.mk_ule(sub(0), sub(1)); break;
+        case Op::Slt: r = mgr.mk_slt(sub(0), sub(1)); break;
+        case Op::Sle: r = mgr.mk_sle(sub(0), sub(1)); break;
+        case Op::Eq: r = mgr.mk_eq(sub(0), sub(1)); break;
+        case Op::Ne: r = mgr.mk_ne(sub(0), sub(1)); break;
+        case Op::Ite: r = mgr.mk_ite(sub(0), sub(1), sub(2)); break;
+        case Op::Concat: r = mgr.mk_concat(sub(0), sub(1)); break;
+        case Op::Extract: r = mgr.mk_extract(sub(0), n.aux0, n.aux1); break;
+        case Op::ZExt: r = mgr.mk_zext(sub(0), n.aux0); break;
+        case Op::SExt: r = mgr.mk_sext(sub(0), n.aux0); break;
+        case Op::Const:
+        case Op::Var: break;  // handled above
+      }
+    }
+    memo.emplace(cur, r);
+  }
+  return memo.at(t);
+}
+
+}  // namespace sepe::smt

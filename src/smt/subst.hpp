@@ -1,0 +1,21 @@
+// subst.hpp — capture-free substitution over term DAGs.
+//
+// Replaces Var terms by arbitrary terms of the same width. The BMC
+// unroller uses it to instantiate a transition system's next-state
+// functions at each time step.
+#pragma once
+
+#include <unordered_map>
+
+#include "smt/term.hpp"
+
+namespace sepe::smt {
+
+using SubstMap = std::unordered_map<TermRef, TermRef>;
+
+/// Rebuild `t` with every variable v mapped through `map` (identity for
+/// unmapped variables). Memoized and iterative: safe for BMC-sized DAGs.
+/// `cache` persists memoization across calls with the same map.
+TermRef substitute(TermManager& mgr, TermRef t, const SubstMap& map, SubstMap* cache = nullptr);
+
+}  // namespace sepe::smt

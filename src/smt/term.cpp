@@ -1,0 +1,251 @@
+#include "smt/term.hpp"
+
+#include <cassert>
+#include <functional>
+
+namespace sepe::smt {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::Const: return "const";
+    case Op::Var: return "var";
+    case Op::Not: return "bvnot";
+    case Op::And: return "bvand";
+    case Op::Or: return "bvor";
+    case Op::Xor: return "bvxor";
+    case Op::Neg: return "bvneg";
+    case Op::Add: return "bvadd";
+    case Op::Sub: return "bvsub";
+    case Op::Mul: return "bvmul";
+    case Op::Udiv: return "bvudiv";
+    case Op::Urem: return "bvurem";
+    case Op::Sdiv: return "bvsdiv";
+    case Op::Srem: return "bvsrem";
+    case Op::Shl: return "bvshl";
+    case Op::Lshr: return "bvlshr";
+    case Op::Ashr: return "bvashr";
+    case Op::Ult: return "bvult";
+    case Op::Ule: return "bvule";
+    case Op::Slt: return "bvslt";
+    case Op::Sle: return "bvsle";
+    case Op::Eq: return "=";
+    case Op::Ne: return "distinct";
+    case Op::Ite: return "ite";
+    case Op::Concat: return "concat";
+    case Op::Extract: return "extract";
+    case Op::ZExt: return "zero_extend";
+    case Op::SExt: return "sign_extend";
+  }
+  return "?";
+}
+
+TermManager::TermManager() = default;
+
+TermRef TermManager::intern(Key key, TermNode node) {
+  auto it = table_.find(key);
+  if (it != table_.end()) return it->second;
+  const TermRef ref = static_cast<TermRef>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  table_.emplace(std::move(key), ref);
+  return ref;
+}
+
+TermRef TermManager::mk_const(const BitVec& v) {
+  Key key{Op::Const, v.width(), {}, v.uval(), 0, 0};
+  TermNode node{Op::Const, v.width(), {}, v, 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_var(const std::string& name, unsigned width) {
+  auto it = vars_.find(name);
+  if (it != vars_.end()) {
+    assert(nodes_[it->second].width == width && "variable re-declared at new width");
+    return it->second;
+  }
+  const TermRef ref = static_cast<TermRef>(nodes_.size());
+  nodes_.push_back(TermNode{Op::Var, width, {}, BitVec(), 0, 0, name});
+  vars_.emplace(name, ref);
+  return ref;
+}
+
+TermRef TermManager::mk_binop(Op op, TermRef a, TermRef b, unsigned result_width) {
+  assert(nodes_[a].width == nodes_[b].width && "operand width mismatch");
+  // Constant folding.
+  if (is_const(a) && is_const(b)) {
+    const BitVec &x = const_val(a), &y = const_val(b);
+    switch (op) {
+      case Op::And: return mk_const(x & y);
+      case Op::Or: return mk_const(x | y);
+      case Op::Xor: return mk_const(x ^ y);
+      case Op::Add: return mk_const(x + y);
+      case Op::Sub: return mk_const(x - y);
+      case Op::Mul: return mk_const(x * y);
+      case Op::Udiv: return mk_const(x.udiv(y));
+      case Op::Urem: return mk_const(x.urem(y));
+      case Op::Sdiv: return mk_const(x.sdiv(y));
+      case Op::Srem: return mk_const(x.srem(y));
+      case Op::Shl: return mk_const(x.shl(y));
+      case Op::Lshr: return mk_const(x.lshr(y));
+      case Op::Ashr: return mk_const(x.ashr(y));
+      case Op::Ult: return mk_const(x.ult(y));
+      case Op::Ule: return mk_const(x.ule(y));
+      case Op::Slt: return mk_const(x.slt(y));
+      case Op::Sle: return mk_const(x.sle(y));
+      case Op::Eq: return mk_const(x.eq(y));
+      case Op::Ne: return mk_const(x.ne(y));
+      default: break;
+    }
+  }
+  // Light algebraic simplification that keeps blasted circuits small.
+  if (op == Op::Eq && a == b) return mk_true();
+  if (op == Op::Ne && a == b) return mk_false();
+  if ((op == Op::Xor || op == Op::Sub) && a == b)
+    return mk_const(BitVec::zeros(nodes_[a].width));
+  if (op == Op::And && a == b) return a;
+  if (op == Op::Or && a == b) return a;
+  // Commutative ops: canonical operand order improves sharing.
+  if (op == Op::And || op == Op::Or || op == Op::Xor || op == Op::Add || op == Op::Mul ||
+      op == Op::Eq || op == Op::Ne) {
+    if (a > b) std::swap(a, b);
+  }
+  // Identity elements.
+  if (is_const(a)) {
+    const BitVec& x = const_val(a);
+    if (op == Op::Add && x.is_zero()) return b;
+    if (op == Op::Xor && x.is_zero()) return b;
+    if (op == Op::Or && x.is_zero()) return b;
+    if (op == Op::And && x == BitVec::ones(x.width())) return b;
+    if (op == Op::And && x.is_zero()) return a;
+    if (op == Op::Mul && x == BitVec(x.width(), 1)) return b;
+    if (op == Op::And && x.width() == 1 && x.is_true()) return b;
+  }
+  if (is_const(b)) {
+    const BitVec& y = const_val(b);
+    if ((op == Op::Add || op == Op::Sub || op == Op::Xor || op == Op::Or || op == Op::Shl ||
+         op == Op::Lshr || op == Op::Ashr) &&
+        y.is_zero())
+      return a;
+    if (op == Op::And && y == BitVec::ones(y.width())) return a;
+    if (op == Op::And && y.is_zero()) return b;
+    if (op == Op::Mul && y == BitVec(y.width(), 1)) return a;
+  }
+  Key key{op, result_width, {a, b}, 0, 0, 0};
+  TermNode node{op, result_width, {a, b}, BitVec(), 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_not(TermRef a) {
+  if (is_const(a)) return mk_const(~const_val(a));
+  if (nodes_[a].op == Op::Not) return nodes_[a].operands[0];  // double negation
+  Key key{Op::Not, nodes_[a].width, {a}, 0, 0, 0};
+  TermNode node{Op::Not, nodes_[a].width, {a}, BitVec(), 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_neg(TermRef a) {
+  if (is_const(a)) return mk_const(-const_val(a));
+  Key key{Op::Neg, nodes_[a].width, {a}, 0, 0, 0};
+  TermNode node{Op::Neg, nodes_[a].width, {a}, BitVec(), 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_and(TermRef a, TermRef b) { return mk_binop(Op::And, a, b, width(a)); }
+TermRef TermManager::mk_or(TermRef a, TermRef b) { return mk_binop(Op::Or, a, b, width(a)); }
+TermRef TermManager::mk_xor(TermRef a, TermRef b) { return mk_binop(Op::Xor, a, b, width(a)); }
+TermRef TermManager::mk_add(TermRef a, TermRef b) { return mk_binop(Op::Add, a, b, width(a)); }
+TermRef TermManager::mk_sub(TermRef a, TermRef b) { return mk_binop(Op::Sub, a, b, width(a)); }
+TermRef TermManager::mk_mul(TermRef a, TermRef b) { return mk_binop(Op::Mul, a, b, width(a)); }
+TermRef TermManager::mk_udiv(TermRef a, TermRef b) { return mk_binop(Op::Udiv, a, b, width(a)); }
+TermRef TermManager::mk_urem(TermRef a, TermRef b) { return mk_binop(Op::Urem, a, b, width(a)); }
+TermRef TermManager::mk_sdiv(TermRef a, TermRef b) { return mk_binop(Op::Sdiv, a, b, width(a)); }
+TermRef TermManager::mk_srem(TermRef a, TermRef b) { return mk_binop(Op::Srem, a, b, width(a)); }
+TermRef TermManager::mk_shl(TermRef a, TermRef b) { return mk_binop(Op::Shl, a, b, width(a)); }
+TermRef TermManager::mk_lshr(TermRef a, TermRef b) { return mk_binop(Op::Lshr, a, b, width(a)); }
+TermRef TermManager::mk_ashr(TermRef a, TermRef b) { return mk_binop(Op::Ashr, a, b, width(a)); }
+TermRef TermManager::mk_ult(TermRef a, TermRef b) { return mk_binop(Op::Ult, a, b, 1); }
+TermRef TermManager::mk_ule(TermRef a, TermRef b) { return mk_binop(Op::Ule, a, b, 1); }
+TermRef TermManager::mk_slt(TermRef a, TermRef b) { return mk_binop(Op::Slt, a, b, 1); }
+TermRef TermManager::mk_sle(TermRef a, TermRef b) { return mk_binop(Op::Sle, a, b, 1); }
+TermRef TermManager::mk_eq(TermRef a, TermRef b) { return mk_binop(Op::Eq, a, b, 1); }
+TermRef TermManager::mk_ne(TermRef a, TermRef b) { return mk_binop(Op::Ne, a, b, 1); }
+
+TermRef TermManager::mk_ite(TermRef cond, TermRef then_t, TermRef else_t) {
+  assert(nodes_[cond].width == 1);
+  assert(nodes_[then_t].width == nodes_[else_t].width);
+  if (is_const(cond)) return const_val(cond).is_true() ? then_t : else_t;
+  if (then_t == else_t) return then_t;
+  Key key{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t}, 0, 0, 0};
+  TermNode node{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t}, BitVec(), 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_concat(TermRef high, TermRef low) {
+  const unsigned w = nodes_[high].width + nodes_[low].width;
+  assert(w <= 64);
+  if (is_const(high) && is_const(low)) return mk_const(const_val(high).concat(const_val(low)));
+  Key key{Op::Concat, w, {high, low}, 0, 0, 0};
+  TermNode node{Op::Concat, w, {high, low}, BitVec(), 0, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_extract(TermRef a, unsigned hi, unsigned lo) {
+  assert(hi < nodes_[a].width && lo <= hi);
+  if (is_const(a)) return mk_const(const_val(a).extract(hi, lo));
+  if (lo == 0 && hi == nodes_[a].width - 1) return a;
+  Key key{Op::Extract, hi - lo + 1, {a}, 0, hi, lo};
+  TermNode node{Op::Extract, hi - lo + 1, {a}, BitVec(), hi, lo, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_zext(TermRef a, unsigned new_width) {
+  assert(new_width >= nodes_[a].width);
+  if (new_width == nodes_[a].width) return a;
+  if (is_const(a)) return mk_const(const_val(a).zext(new_width));
+  Key key{Op::ZExt, new_width, {a}, 0, new_width, 0};
+  TermNode node{Op::ZExt, new_width, {a}, BitVec(), new_width, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_sext(TermRef a, unsigned new_width) {
+  assert(new_width >= nodes_[a].width);
+  if (new_width == nodes_[a].width) return a;
+  if (is_const(a)) return mk_const(const_val(a).sext(new_width));
+  Key key{Op::SExt, new_width, {a}, 0, new_width, 0};
+  TermNode node{Op::SExt, new_width, {a}, BitVec(), new_width, 0, {}};
+  return intern(std::move(key), std::move(node));
+}
+
+TermRef TermManager::mk_and_many(const std::vector<TermRef>& ts) {
+  TermRef acc = mk_true();
+  for (TermRef t : ts) acc = mk_and(acc, t);
+  return acc;
+}
+
+TermRef TermManager::mk_or_many(const std::vector<TermRef>& ts) {
+  TermRef acc = mk_false();
+  for (TermRef t : ts) acc = mk_or(acc, t);
+  return acc;
+}
+
+std::string TermManager::to_string(TermRef t) const {
+  const TermNode& n = nodes_[t];
+  switch (n.op) {
+    case Op::Const: return n.value.to_hex();
+    case Op::Var: return n.name;
+    case Op::Extract:
+      return "((_ extract " + std::to_string(n.aux0) + " " + std::to_string(n.aux1) + ") " +
+             to_string(n.operands[0]) + ")";
+    case Op::ZExt:
+    case Op::SExt:
+      return std::string("((_ ") + op_name(n.op) + " " +
+             std::to_string(n.aux0 - nodes_[n.operands[0]].width) + ") " +
+             to_string(n.operands[0]) + ")";
+    default: {
+      std::string s = std::string("(") + op_name(n.op);
+      for (TermRef o : n.operands) s += " " + to_string(o);
+      return s + ")";
+    }
+  }
+}
+
+}  // namespace sepe::smt

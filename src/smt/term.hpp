@@ -1,0 +1,148 @@
+// term.hpp — hash-consed bit-vector term DAG.
+//
+// Every symbolic formula in the repository — instruction semantics
+// (src/isa), the synthesis encoding (src/synth), unrolled transition
+// systems (src/bmc) — is a node in one TermManager. Hash-consing gives
+// structural sharing: identical subterms are the same node, so side tables
+// indexed by TermRef are plain vectors and the bit-blaster caches per node.
+//
+// Booleans are width-1 bit-vectors; there is no separate Bool sort.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bitvec.hpp"
+
+namespace sepe::smt {
+
+/// Reference to a term node. Dense index into the manager's node table.
+using TermRef = std::uint32_t;
+constexpr TermRef kNullTerm = 0xffffffffu;
+
+enum class Op : std::uint8_t {
+  Const,    // literal value (in BitVec payload)
+  Var,      // free variable (named)
+  Not,      // bitwise not
+  And, Or, Xor,
+  Neg,      // two's-complement negation
+  Add, Sub, Mul,
+  Udiv, Urem, Sdiv, Srem,
+  Shl, Lshr, Ashr,
+  Ult, Ule, Slt, Sle,   // 1-bit results
+  Eq, Ne,               // 1-bit results
+  Ite,      // Ite(cond_1bit, then, else)
+  Concat,   // operand 0 = high bits
+  Extract,  // aux0 = hi, aux1 = lo
+  ZExt, SExt,  // aux0 = result width
+};
+
+const char* op_name(Op op);
+
+/// A single DAG node. Immutable after creation.
+struct TermNode {
+  Op op;
+  unsigned width;                 // result width in bits
+  std::vector<TermRef> operands;
+  BitVec value;                   // payload for Const
+  unsigned aux0 = 0, aux1 = 0;    // Extract hi/lo, ZExt/SExt target width
+  std::string name;               // payload for Var
+};
+
+/// Owns all term nodes; constructors hash-cons and constant-fold.
+///
+/// All mk_* functions assert width agreement and return an existing node
+/// when an identical one was already built.
+class TermManager {
+ public:
+  TermManager();
+
+  const TermNode& node(TermRef t) const { return nodes_[t]; }
+  unsigned width(TermRef t) const { return nodes_[t].width; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  TermRef mk_const(const BitVec& v);
+  TermRef mk_const(unsigned width, std::uint64_t v) { return mk_const(BitVec(width, v)); }
+  TermRef mk_true() { return mk_const(BitVec::boolean(true)); }
+  TermRef mk_false() { return mk_const(BitVec::boolean(false)); }
+  TermRef mk_bool(bool b) { return b ? mk_true() : mk_false(); }
+
+  /// Fresh or existing named variable. Same (name,width) returns the same
+  /// node; requesting an existing name at a different width asserts.
+  TermRef mk_var(const std::string& name, unsigned width);
+
+  TermRef mk_not(TermRef a);
+  TermRef mk_and(TermRef a, TermRef b);
+  TermRef mk_or(TermRef a, TermRef b);
+  TermRef mk_xor(TermRef a, TermRef b);
+  TermRef mk_neg(TermRef a);
+  TermRef mk_add(TermRef a, TermRef b);
+  TermRef mk_sub(TermRef a, TermRef b);
+  TermRef mk_mul(TermRef a, TermRef b);
+  TermRef mk_udiv(TermRef a, TermRef b);
+  TermRef mk_urem(TermRef a, TermRef b);
+  TermRef mk_sdiv(TermRef a, TermRef b);
+  TermRef mk_srem(TermRef a, TermRef b);
+  TermRef mk_shl(TermRef a, TermRef b);
+  TermRef mk_lshr(TermRef a, TermRef b);
+  TermRef mk_ashr(TermRef a, TermRef b);
+  TermRef mk_ult(TermRef a, TermRef b);
+  TermRef mk_ule(TermRef a, TermRef b);
+  TermRef mk_slt(TermRef a, TermRef b);
+  TermRef mk_sle(TermRef a, TermRef b);
+  TermRef mk_eq(TermRef a, TermRef b);
+  TermRef mk_ne(TermRef a, TermRef b);
+  TermRef mk_ite(TermRef cond, TermRef then_t, TermRef else_t);
+  TermRef mk_concat(TermRef high, TermRef low);
+  TermRef mk_extract(TermRef a, unsigned hi, unsigned lo);
+  TermRef mk_zext(TermRef a, unsigned new_width);
+  TermRef mk_sext(TermRef a, unsigned new_width);
+
+  // Boolean conveniences over width-1 terms.
+  TermRef mk_implies(TermRef a, TermRef b) { return mk_or(mk_not(a), b); }
+  TermRef mk_iff(TermRef a, TermRef b) { return mk_eq(a, b); }
+
+  /// Conjunction of a list (true for empty).
+  TermRef mk_and_many(const std::vector<TermRef>& ts);
+  /// Disjunction of a list (false for empty).
+  TermRef mk_or_many(const std::vector<TermRef>& ts);
+
+  /// S-expression rendering for debugging and BTOR2-ish dumps.
+  std::string to_string(TermRef t) const;
+
+ private:
+  struct Key {
+    Op op;
+    unsigned width;
+    std::vector<TermRef> operands;
+    std::uint64_t payload;  // const bits, or hash of name
+    unsigned aux0, aux1;
+    bool operator==(const Key& o) const {
+      return op == o.op && width == o.width && operands == o.operands &&
+             payload == o.payload && aux0 == o.aux0 && aux1 == o.aux1;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = static_cast<std::size_t>(k.op) * 0x9e3779b97f4a7c15ULL;
+      h ^= k.width + 0x9e3779b9 + (h << 6) + (h >> 2);
+      for (TermRef t : k.operands) h ^= t + 0x9e3779b9 + (h << 6) + (h >> 2);
+      h ^= k.payload + (h << 6) + (h >> 2);
+      h ^= k.aux0 * 131 + k.aux1 * 137;
+      return h;
+    }
+  };
+
+  TermRef intern(Key key, TermNode node);
+  TermRef mk_binop(Op op, TermRef a, TermRef b, unsigned result_width);
+  bool is_const(TermRef t) const { return nodes_[t].op == Op::Const; }
+  const BitVec& const_val(TermRef t) const { return nodes_[t].value; }
+
+  std::vector<TermNode> nodes_;
+  std::unordered_map<Key, TermRef, KeyHash> table_;
+  std::unordered_map<std::string, TermRef> vars_;
+};
+
+}  // namespace sepe::smt

@@ -1,0 +1,288 @@
+#include "synth/component.hpp"
+
+#include <cassert>
+
+namespace sepe::synth {
+
+using isa::Instruction;
+using isa::Opcode;
+using smt::TermManager;
+using smt::TermRef;
+
+const char* component_class_name(ComponentClass c) {
+  switch (c) {
+    case ComponentClass::NIC: return "NIC";
+    case ComponentClass::DIC: return "DIC";
+    case ComponentClass::CIC: return "CIC";
+  }
+  return "?";
+}
+
+unsigned attr_class_width(AttrClass c) {
+  switch (c) {
+    case AttrClass::Imm12: return 12;
+    case AttrClass::Imm20: return 20;
+    case AttrClass::Shamt5: return 5;
+  }
+  return 0;
+}
+
+isa::Program lower_expansion(const Expansion& expansion,
+                             const std::vector<std::uint8_t>& in_regs, std::uint8_t out_reg,
+                             const std::vector<std::int32_t>& attr_values,
+                             const std::vector<std::uint8_t>& temps) {
+  auto reg = [&](const RegOperand& r) -> std::uint8_t {
+    switch (r.kind) {
+      case RegOperand::Kind::Fixed: return static_cast<std::uint8_t>(r.index);
+      case RegOperand::Kind::Input: return in_regs[r.index];
+      case RegOperand::Kind::Output: return out_reg;
+      case RegOperand::Kind::Temp: return temps[r.index];
+    }
+    return 0;
+  };
+  auto imm = [&](const ImmOperand& i) -> std::int32_t {
+    return i.kind == ImmOperand::Kind::Fixed ? i.value : attr_values[i.attr_index];
+  };
+
+  isa::Program out;
+  for (const ExpansionInstr& e : expansion) {
+    switch (isa::opcode_format(e.op)) {
+      case isa::Format::R:
+        out.push_back(Instruction::rtype(e.op, reg(e.rd), reg(e.rs1), reg(e.rs2)));
+        break;
+      case isa::Format::I:
+        out.push_back(Instruction::itype(e.op, reg(e.rd), reg(e.rs1), imm(e.imm)));
+        break;
+      case isa::Format::Shift:
+        out.push_back(Instruction::itype(e.op, reg(e.rd), reg(e.rs1), imm(e.imm) & 31));
+        break;
+      case isa::Format::U:
+        out.push_back(Instruction::lui(reg(e.rd), imm(e.imm) & 0xfffff));
+        break;
+      case isa::Format::Load:
+        out.push_back(Instruction::lw(reg(e.rd), reg(e.rs1), imm(e.imm)));
+        break;
+      case isa::Format::Store:
+        out.push_back(Instruction::sw(reg(e.rs2), reg(e.rs1), imm(e.imm)));
+        break;
+      case isa::Format::None:
+        out.push_back(Instruction::nop());
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Sign-extend/truncate an attribute term onto the datapath.
+TermRef attr_to_xlen(TermManager& mgr, TermRef attr, unsigned xlen, bool sign_extend) {
+  const unsigned w = mgr.width(attr);
+  if (w == xlen) return attr;
+  if (w < xlen) return sign_extend ? mgr.mk_sext(attr, xlen) : mgr.mk_zext(attr, xlen);
+  return mgr.mk_extract(attr, xlen - 1, 0);
+}
+
+Component make_nic(Opcode op) {
+  Component c;
+  c.name = isa::opcode_name(op);
+  c.opcode = op;
+  c.cls = ComponentClass::NIC;
+  c.num_inputs = 2;
+  c.num_temps = 0;
+  c.cost = 1;
+  c.semantics = [op](TermManager& mgr, const std::vector<TermRef>& in,
+                     const std::vector<TermRef>&, unsigned) {
+    return isa::alu_symbolic(mgr, op, in[0], in[1]);
+  };
+  c.expansion = {
+      {op, RegOperand::output(), RegOperand::input(0), RegOperand::input(1), {}}};
+  return c;
+}
+
+Component make_dic(Opcode op) {
+  const bool is_shift = isa::opcode_format(op) == isa::Format::Shift;
+  Component c;
+  c.name = isa::opcode_name(op);
+  c.opcode = op;
+  c.cls = ComponentClass::DIC;
+  c.num_inputs = 1;
+  c.attrs = {is_shift ? AttrClass::Shamt5 : AttrClass::Imm12};
+  c.num_temps = 0;
+  c.cost = 1;
+  c.semantics = [op, is_shift](TermManager& mgr, const std::vector<TermRef>& in,
+                               const std::vector<TermRef>& attrs, unsigned xlen) {
+    const TermRef imm = attr_to_xlen(mgr, attrs[0], xlen, /*sign_extend=*/!is_shift);
+    return isa::alu_symbolic(mgr, op, in[0], imm);
+  };
+  c.expansion = {
+      {op, RegOperand::output(), RegOperand::input(0), {}, ImmOperand::attr(0)}};
+  return c;
+}
+
+Component make_lui_dic() {
+  Component c;
+  c.name = "LUI";
+  c.opcode = Opcode::LUI;
+  c.cls = ComponentClass::DIC;
+  c.num_inputs = 0;
+  c.attrs = {AttrClass::Imm20};
+  c.num_temps = 0;
+  c.cost = 1;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>&,
+                   const std::vector<TermRef>& attrs, unsigned xlen) {
+    // rd = imm20 << 12 on the architectural width, truncated to the
+    // datapath. Build at max(xlen, 32) then cut down.
+    const unsigned wide = xlen >= 32 ? xlen : 32;
+    const TermRef ext = mgr.mk_zext(attrs[0], wide);
+    const TermRef shifted = mgr.mk_shl(ext, mgr.mk_const(wide, 12));
+    return xlen == wide ? shifted : mgr.mk_extract(shifted, xlen - 1, 0);
+  };
+  c.expansion = {{Opcode::LUI, RegOperand::output(), {}, {}, ImmOperand::attr(0)}};
+  return c;
+}
+
+// --- CICs ---
+
+/// CIC: multiply by a solved 12-bit constant (the paper's own example:
+/// ADDI t,x0,A ; MUL o,i1,t).
+Component make_cic_mulc() {
+  Component c;
+  c.name = "MULC";
+  c.opcode = Opcode::MUL;
+  c.cls = ComponentClass::CIC;
+  c.num_inputs = 1;
+  c.attrs = {AttrClass::Imm12};
+  c.num_temps = 1;
+  c.cost = 2;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
+                   const std::vector<TermRef>& attrs, unsigned xlen) {
+    return mgr.mk_mul(in[0], attr_to_xlen(mgr, attrs[0], xlen, true));
+  };
+  c.expansion = {
+      {Opcode::ADDI, RegOperand::temp(0), RegOperand::fixed(0), {}, ImmOperand::attr(0)},
+      {Opcode::MUL, RegOperand::output(), RegOperand::input(0), RegOperand::temp(0), {}}};
+  return c;
+}
+
+/// CIC wrapping one hard M-extension instruction as a unit sequence, the
+/// mechanism the paper uses to "relax the conditions for solving".
+Component make_cic_mop(const char* name, Opcode op) {
+  Component c = make_nic(op);
+  c.name = name;
+  c.cls = ComponentClass::CIC;
+  return c;
+}
+
+/// CIC: sign mask-and-select — SRAI t,i1,31 ; AND o,t,i2
+/// (o = i1<0 ? i2 : 0, the key gadget of the signed/unsigned MULH bridge).
+/// The shift amount 31 is masked to xlen-1 on narrower datapaths, exactly
+/// as RISC-V masks register shift amounts.
+Component make_cic_signsel() {
+  Component c;
+  c.name = "SIGNSEL";
+  c.opcode = Opcode::SRAI;
+  c.cls = ComponentClass::CIC;
+  c.num_inputs = 2;
+  c.num_temps = 1;
+  c.cost = 2;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
+                   const std::vector<TermRef>&, unsigned xlen) {
+    const TermRef sign = mgr.mk_ashr(in[0], mgr.mk_const(xlen, xlen - 1));
+    return mgr.mk_and(sign, in[1]);
+  };
+  c.expansion = {
+      {Opcode::SRAI, RegOperand::temp(0), RegOperand::input(0), {}, ImmOperand::fixed(31)},
+      {Opcode::AND, RegOperand::output(), RegOperand::temp(0), RegOperand::input(1), {}}};
+  return c;
+}
+
+/// CIC: two's-complement negation — SUB o, x0, i1.
+Component make_cic_neg() {
+  Component c;
+  c.name = "NEG";
+  c.opcode = Opcode::SUB;
+  c.cls = ComponentClass::CIC;
+  c.num_inputs = 1;
+  c.num_temps = 0;
+  c.cost = 1;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
+                   const std::vector<TermRef>&, unsigned) { return mgr.mk_neg(in[0]); };
+  c.expansion = {
+      {Opcode::SUB, RegOperand::output(), RegOperand::fixed(0), RegOperand::input(0), {}}};
+  return c;
+}
+
+/// CIC: bitwise complement — XORI o, i1, -1.
+Component make_cic_not() {
+  Component c;
+  c.name = "NOT";
+  c.opcode = Opcode::XORI;
+  c.cls = ComponentClass::CIC;
+  c.num_inputs = 1;
+  c.num_temps = 0;
+  c.cost = 1;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
+                   const std::vector<TermRef>&, unsigned) { return mgr.mk_not(in[0]); };
+  c.expansion = {
+      {Opcode::XORI, RegOperand::output(), RegOperand::input(0), {}, ImmOperand::fixed(-1)}};
+  return c;
+}
+
+/// CIC: three-operand add — ADD t,i1,i2 ; ADD o,t,i3.
+Component make_cic_add3() {
+  Component c;
+  c.name = "ADD3";
+  c.opcode = Opcode::ADD;
+  c.cls = ComponentClass::CIC;
+  c.num_inputs = 3;
+  c.num_temps = 1;
+  c.cost = 2;
+  c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
+                   const std::vector<TermRef>&, unsigned) {
+    return mgr.mk_add(mgr.mk_add(in[0], in[1]), in[2]);
+  };
+  c.expansion = {
+      {Opcode::ADD, RegOperand::temp(0), RegOperand::input(0), RegOperand::input(1), {}},
+      {Opcode::ADD, RegOperand::output(), RegOperand::temp(0), RegOperand::input(2), {}}};
+  return c;
+}
+
+}  // namespace
+
+std::vector<Component> make_standard_library() {
+  std::vector<Component> lib;
+  // 10 NICs: the RV32I register-register ALU class.
+  for (Opcode op : {Opcode::ADD, Opcode::SUB, Opcode::SLL, Opcode::SLT, Opcode::SLTU,
+                    Opcode::XOR, Opcode::SRL, Opcode::SRA, Opcode::OR, Opcode::AND})
+    lib.push_back(make_nic(op));
+  // 10 DICs: immediate forms with the immediate as internal attribute.
+  for (Opcode op : {Opcode::ADDI, Opcode::SLTI, Opcode::SLTIU, Opcode::XORI, Opcode::ORI,
+                    Opcode::ANDI, Opcode::SLLI, Opcode::SRLI, Opcode::SRAI})
+    lib.push_back(make_dic(op));
+  lib.push_back(make_lui_dic());
+  // 9 CICs.
+  lib.push_back(make_cic_mulc());
+  lib.push_back(make_cic_mop("MUL_C", Opcode::MUL));
+  lib.push_back(make_cic_mop("MULH_C", Opcode::MULH));
+  lib.push_back(make_cic_mop("MULHU_C", Opcode::MULHU));
+  // MULHSU bridges the signed and unsigned high products:
+  // mulh(a,b) = mulhsu(a,b) - (b<0 ? a : 0) — with SIGNSEL and SUB this
+  // makes every MULH-family instruction synthesizable from 3 components.
+  lib.push_back(make_cic_mop("MULHSU_C", Opcode::MULHSU));
+  lib.push_back(make_cic_signsel());
+  lib.push_back(make_cic_neg());
+  lib.push_back(make_cic_not());
+  lib.push_back(make_cic_add3());
+  assert(lib.size() == 29);
+  return lib;
+}
+
+std::vector<Component> filter_by_class(const std::vector<Component>& lib, ComponentClass c) {
+  std::vector<Component> out;
+  for (const Component& comp : lib)
+    if (comp.cls == c) out.push_back(comp);
+  return out;
+}
+
+}  // namespace sepe::synth

@@ -1,0 +1,125 @@
+// component.hpp — the synthesis component library (paper §4.1).
+//
+// A component is a small semantic building block the CEGIS synthesizer
+// wires together to reconstruct an original instruction's behaviour.
+// Three classes, exactly as the paper defines them:
+//
+//   * NIC (Native Instruction Class)   — the component is one instruction
+//     whose register operands are all synthesis inputs (e.g. ADD).
+//   * DIC (Derived Instruction Class)  — an immediate-form instruction
+//     whose immediate is an *internal attribute*: a constant the
+//     synthesizer solves for (e.g. ADDI with a chosen 12-bit value).
+//   * CIC (Composite Instruction Class)— a fixed short instruction
+//     sequence exposed as one component, used to cover semantics that are
+//     hard for bit-vector solvers to synthesize from scratch (the paper's
+//     example: multiply by a constant = ADDI ; MUL).
+//
+// The standard library built by make_standard_library() has 29 components
+// (10 NIC + 10 DIC + 9 CIC), matching the paper's experimental setup, and
+// covers the RV32IM classes used in the evaluation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "isa/semantics.hpp"
+#include "smt/term.hpp"
+#include "util/bitvec.hpp"
+
+namespace sepe::synth {
+
+enum class ComponentClass : std::uint8_t { NIC, DIC, CIC };
+
+const char* component_class_name(ComponentClass c);
+
+/// Width class of an internal attribute (drives passthrough matching with
+/// the original instruction's own immediate operand).
+enum class AttrClass : std::uint8_t { Imm12, Imm20, Shamt5 };
+
+unsigned attr_class_width(AttrClass c);
+
+/// Where a register field of an expansion instruction comes from when the
+/// component is lowered to concrete (or circuit-level symbolic)
+/// instructions.
+struct RegOperand {
+  enum class Kind : std::uint8_t {
+    Fixed,   // a literal architectural register (e.g. x0)
+    Input,   // the component's index-th data input
+    Output,  // the component's result register
+    Temp,    // the index-th scratch register
+  };
+  Kind kind = Kind::Fixed;
+  unsigned index = 0;
+
+  static RegOperand fixed(unsigned r) { return {Kind::Fixed, r}; }
+  static RegOperand input(unsigned i) { return {Kind::Input, i}; }
+  static RegOperand output() { return {Kind::Output, 0}; }
+  static RegOperand temp(unsigned i) { return {Kind::Temp, i}; }
+};
+
+/// Where an immediate field of an expansion instruction comes from.
+struct ImmOperand {
+  enum class Kind : std::uint8_t {
+    Fixed,  // a literal immediate
+    Attr,   // the component's index-th internal attribute
+  };
+  Kind kind = Kind::Fixed;
+  std::int32_t value = 0;   // for Fixed
+  unsigned attr_index = 0;  // for Attr
+
+  static ImmOperand fixed(std::int32_t v) { return {Kind::Fixed, v, 0}; }
+  static ImmOperand attr(unsigned i) { return {Kind::Attr, 0, i}; }
+};
+
+/// One instruction of a component's expansion, with operand provenance.
+/// The declarative form lets both the concrete lowerer
+/// (SynthProgram::lower) and the EDSEP-V module's symbolic lowerer reuse
+/// the same structure.
+struct ExpansionInstr {
+  isa::Opcode op;
+  RegOperand rd;
+  RegOperand rs1;
+  RegOperand rs2;
+  ImmOperand imm;  // meaningful for I/Shift/U/Load/Store formats
+};
+
+using Expansion = std::vector<ExpansionInstr>;
+
+/// One synthesis component.
+///
+/// `semantics` builds the output term from input terms (all xlen wide) and
+/// attribute terms (attr-class widths). `expansion` is the instruction
+/// sequence the component lowers to; CICs may consume `num_temps` scratch
+/// registers inside it.
+struct Component {
+  std::string name;           // display + Name(...) matching for χ_j
+  isa::Opcode opcode;         // opcode used for Name(j) == Name(g) tests
+  ComponentClass cls;
+  unsigned num_inputs;        // register-value inputs
+  std::vector<AttrClass> attrs;
+  unsigned num_temps;         // scratch registers the expansion consumes
+  unsigned cost;              // instructions in the expansion (>=1)
+
+  std::function<smt::TermRef(smt::TermManager&, const std::vector<smt::TermRef>&,
+                             const std::vector<smt::TermRef>&, unsigned /*xlen*/)>
+      semantics;
+
+  Expansion expansion;
+};
+
+/// Lower a component expansion to concrete instructions.
+isa::Program lower_expansion(const Expansion& expansion,
+                             const std::vector<std::uint8_t>& in_regs, std::uint8_t out_reg,
+                             const std::vector<std::int32_t>& attr_values,
+                             const std::vector<std::uint8_t>& temps);
+
+/// The 29-component standard library (10 NIC, 10 DIC, 9 CIC).
+std::vector<Component> make_standard_library();
+
+/// Subset selection helper for ablation benches.
+std::vector<Component> filter_by_class(const std::vector<Component>& lib, ComponentClass c);
+
+}  // namespace sepe::synth

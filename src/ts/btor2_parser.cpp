@@ -1,0 +1,289 @@
+#include "ts/btor2_parser.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace sepe::ts {
+
+using smt::TermRef;
+
+namespace {
+
+/// One whitespace-token line, already stripped of comments.
+struct Line {
+  unsigned number = 0;  // 1-based source line for diagnostics
+  std::vector<std::string> tokens;
+  std::string label;  // text after " ; " on bad lines
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, TransitionSystem& out) : text_(text), out_(out) {}
+
+  Btor2ParseResult run() {
+    Btor2ParseResult result;
+    std::istringstream in(text_);
+    std::string raw;
+    unsigned line_no = 0;
+    while (std::getline(in, raw)) {
+      ++line_no;
+      Line line;
+      line.number = line_no;
+      // Split off a trailing comment; keep it as a label candidate.
+      const std::size_t semi = raw.find(';');
+      if (semi != std::string::npos) {
+        line.label = trim(raw.substr(semi + 1));
+        raw = raw.substr(0, semi);
+      }
+      std::istringstream ls(raw);
+      std::string tok;
+      while (ls >> tok) line.tokens.push_back(tok);
+      if (line.tokens.empty()) continue;
+      if (!handle(line)) {
+        result.error = "line " + std::to_string(line_no) + ": " + error_;
+        result.lines = line_no;
+        return result;
+      }
+    }
+    // Ensure every declared state got a next function: the standard
+    // allows next-less states (they stay free), our IR does not — give
+    // them a self-loop, which has the same semantics as "unconstrained
+    // at step 0, then frozen"... a truly free state would need an input;
+    // reject instead so silent semantic drift is impossible.
+    for (TermRef s : out_.states()) {
+      if (out_.next_of(s) == smt::kNullTerm) {
+        result.error = "state '" + out_.mgr().node(s).name + "' has no next line";
+        result.lines = line_no;
+        return result;
+      }
+    }
+    result.ok = true;
+    result.lines = line_no;
+    return result;
+  }
+
+ private:
+  static std::string trim(const std::string& s) {
+    const auto b = s.find_first_not_of(" \t\r");
+    const auto e = s.find_last_not_of(" \t\r");
+    return b == std::string::npos ? "" : s.substr(b, e - b + 1);
+  }
+
+  bool fail(const std::string& msg) {
+    error_ = msg;
+    return false;
+  }
+
+  bool parse_id(const std::string& tok, std::uint64_t& out) {
+    try {
+      std::size_t pos = 0;
+      out = std::stoull(tok, &pos);
+      return pos == tok.size();
+    } catch (...) {
+      return fail("malformed number '" + tok + "'");
+    }
+  }
+
+  bool sort_width(std::uint64_t sid, unsigned& width) {
+    const auto it = sorts_.find(sid);
+    if (it == sorts_.end()) return fail("unknown sort id " + std::to_string(sid));
+    width = it->second;
+    return true;
+  }
+
+  bool node(std::uint64_t id, TermRef& out) {
+    const auto it = nodes_.find(id);
+    if (it == nodes_.end()) return fail("unknown node id " + std::to_string(id));
+    out = it->second;
+    return true;
+  }
+
+  bool handle(const Line& line) {
+    const auto& t = line.tokens;
+    std::uint64_t id = 0;
+    if (!parse_id(t[0], id)) return false;
+    if (t.size() < 2) return fail("missing keyword");
+    const std::string& kw = t[1];
+    smt::TermManager& mgr = out_.mgr();
+
+    const auto arg_id = [&](unsigned i, std::uint64_t& v) {
+      if (i >= t.size()) return fail("missing operand");
+      return parse_id(t[i], v);
+    };
+    const auto arg_node = [&](unsigned i, TermRef& v) {
+      std::uint64_t nid = 0;
+      if (!arg_id(i, nid)) return false;
+      return node(nid, v);
+    };
+    const auto arg_width = [&](unsigned i, unsigned& w) {
+      std::uint64_t sid = 0;
+      if (!arg_id(i, sid)) return false;
+      return sort_width(sid, w);
+    };
+
+    if (kw == "sort") {
+      if (t.size() < 4 || t[2] != "bitvec")
+        return fail("only 'sort bitvec <w>' is supported");
+      std::uint64_t w = 0;
+      if (!parse_id(t[3], w)) return false;
+      if (w < 1 || w > 64) return fail("unsupported width " + t[3]);
+      sorts_[id] = static_cast<unsigned>(w);
+      return true;
+    }
+    if (kw == "state" || kw == "input") {
+      unsigned w = 0;
+      if (!arg_width(2, w)) return false;
+      const std::string name =
+          t.size() > 3 ? t[3] : (kw + std::to_string(id));
+      nodes_[id] = kw == "state" ? out_.add_state(name, w) : out_.add_input(name, w);
+      return true;
+    }
+    if (kw == "init" || kw == "next") {
+      TermRef state, value;
+      unsigned w = 0;
+      if (!arg_width(2, w)) return false;
+      if (!arg_node(3, state)) return false;
+      if (!arg_node(4, value)) return false;
+      if (!out_.is_state(state)) return fail(kw + " on a non-state node");
+      if (mgr.width(value) != w) return fail(kw + " width mismatch");
+      if (kw == "init") {
+        out_.set_init(state, value);
+      } else {
+        out_.set_next(state, value);
+      }
+      return true;
+    }
+    if (kw == "constraint" || kw == "bad") {
+      TermRef cond;
+      if (!arg_node(2, cond)) return false;
+      if (mgr.width(cond) != 1) return fail(kw + " needs a 1-bit condition");
+      if (kw == "constraint") {
+        out_.add_constraint(cond);
+      } else {
+        out_.add_bad(cond, line.label);
+      }
+      return true;
+    }
+
+    // --- constants ---
+    if (kw == "constd" || kw == "const" || kw == "consth" || kw == "zero" ||
+        kw == "one" || kw == "ones") {
+      unsigned w = 0;
+      if (!arg_width(2, w)) return false;
+      std::uint64_t value = 0;
+      if (kw == "zero") {
+        value = 0;
+      } else if (kw == "one") {
+        value = 1;
+      } else if (kw == "ones") {
+        value = BitVec::mask(w);
+      } else {
+        if (t.size() < 4) return fail("missing constant payload");
+        try {
+          if (kw == "constd") value = std::stoull(t[3]);
+          if (kw == "const") value = std::stoull(t[3], nullptr, 2);
+          if (kw == "consth") value = std::stoull(t[3], nullptr, 16);
+        } catch (...) {
+          return fail("malformed constant '" + t[3] + "'");
+        }
+      }
+      nodes_[id] = mgr.mk_const(BitVec(w, value));
+      return true;
+    }
+
+    // --- indexed operators ---
+    if (kw == "slice") {
+      unsigned w = 0;
+      TermRef a;
+      std::uint64_t hi = 0, lo = 0;
+      if (!arg_width(2, w) || !arg_node(3, a) || !arg_id(4, hi) || !arg_id(5, lo))
+        return false;
+      if (hi < lo || hi >= mgr.width(a)) return fail("slice bounds out of range");
+      const TermRef r = mgr.mk_extract(a, static_cast<unsigned>(hi),
+                                       static_cast<unsigned>(lo));
+      if (mgr.width(r) != w) return fail("slice sort mismatch");
+      nodes_[id] = r;
+      return true;
+    }
+    if (kw == "uext" || kw == "sext") {
+      unsigned w = 0;
+      TermRef a;
+      std::uint64_t by = 0;
+      if (!arg_width(2, w) || !arg_node(3, a) || !arg_id(4, by)) return false;
+      if (mgr.width(a) + by != w) return fail(kw + " width arithmetic mismatch");
+      nodes_[id] = kw == "uext" ? mgr.mk_zext(a, w) : mgr.mk_sext(a, w);
+      return true;
+    }
+
+    // --- regular operators: <id> <op> <sort> <args...> ---
+    struct UnOp {
+      const char* name;
+      TermRef (smt::TermManager::*fn)(TermRef);
+    };
+    static const UnOp kUnary[] = {
+        {"not", &smt::TermManager::mk_not},
+        {"neg", &smt::TermManager::mk_neg},
+    };
+    struct BinOp {
+      const char* name;
+      TermRef (smt::TermManager::*fn)(TermRef, TermRef);
+    };
+    static const BinOp kBinary[] = {
+        {"and", &smt::TermManager::mk_and},   {"or", &smt::TermManager::mk_or},
+        {"xor", &smt::TermManager::mk_xor},   {"add", &smt::TermManager::mk_add},
+        {"sub", &smt::TermManager::mk_sub},   {"mul", &smt::TermManager::mk_mul},
+        {"udiv", &smt::TermManager::mk_udiv}, {"urem", &smt::TermManager::mk_urem},
+        {"sdiv", &smt::TermManager::mk_sdiv}, {"srem", &smt::TermManager::mk_srem},
+        {"sll", &smt::TermManager::mk_shl},   {"srl", &smt::TermManager::mk_lshr},
+        {"sra", &smt::TermManager::mk_ashr},  {"ult", &smt::TermManager::mk_ult},
+        {"ulte", &smt::TermManager::mk_ule},  {"slt", &smt::TermManager::mk_slt},
+        {"slte", &smt::TermManager::mk_sle},  {"eq", &smt::TermManager::mk_eq},
+        {"neq", &smt::TermManager::mk_ne},    {"concat", &smt::TermManager::mk_concat},
+    };
+    for (const UnOp& u : kUnary) {
+      if (kw == u.name) {
+        unsigned w = 0;
+        TermRef a;
+        if (!arg_width(2, w) || !arg_node(3, a)) return false;
+        nodes_[id] = (mgr.*u.fn)(a);
+        return true;
+      }
+    }
+    for (const BinOp& b : kBinary) {
+      if (kw == b.name) {
+        unsigned w = 0;
+        TermRef a1, a2;
+        if (!arg_width(2, w) || !arg_node(3, a1) || !arg_node(4, a2)) return false;
+        const TermRef r = (mgr.*b.fn)(a1, a2);
+        if (mgr.width(r) != w) return fail(std::string(b.name) + " sort mismatch");
+        nodes_[id] = r;
+        return true;
+      }
+    }
+    if (kw == "ite") {
+      unsigned w = 0;
+      TermRef c, a, b;
+      if (!arg_width(2, w) || !arg_node(3, c) || !arg_node(4, a) || !arg_node(5, b))
+        return false;
+      nodes_[id] = mgr.mk_ite(c, a, b);
+      return true;
+    }
+    return fail("unsupported keyword '" + kw + "'");
+  }
+
+  const std::string& text_;
+  TransitionSystem& out_;
+  std::unordered_map<std::uint64_t, unsigned> sorts_;   // sort id -> width
+  std::unordered_map<std::uint64_t, TermRef> nodes_;    // node id -> term
+  std::string error_;
+};
+
+}  // namespace
+
+Btor2ParseResult parse_btor2(const std::string& text, TransitionSystem& out) {
+  return Parser(text, out).run();
+}
+
+}  // namespace sepe::ts

@@ -1,0 +1,32 @@
+// btor2_parser.hpp — parser for the BTOR2 word-level model-checking
+// format (Niemetz et al., CAV'18), the interchange point of the paper's
+// Yosys -> BTOR2 -> Pono toolchain (§6.2).
+//
+// Accepts the subset our serializer (to_btor2) emits plus the common
+// constant forms of the standard (`const`/`constd`/`consth`, `zero`,
+// `one`, `ones`), so models produced by this repository round-trip and
+// simple external dumps load. Array sorts and justice/fairness
+// properties are outside the supported fragment and are reported as
+// errors.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ts/transition_system.hpp"
+
+namespace sepe::ts {
+
+/// Result of a parse: the system plus diagnostics.
+struct Btor2ParseResult {
+  bool ok = false;
+  std::string error;     // first error, with line number
+  unsigned lines = 0;    // lines consumed
+};
+
+/// Parse BTOR2 text into `out` (which must be empty and own a fresh
+/// TermManager). On failure `out` may be partially populated; inspect
+/// the result's error.
+Btor2ParseResult parse_btor2(const std::string& text, TransitionSystem& out);
+
+}  // namespace sepe::ts

@@ -1,0 +1,233 @@
+#include "ts/transition_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace sepe::ts {
+
+using smt::kNullTerm;
+using smt::Op;
+using smt::TermRef;
+
+TermRef TransitionSystem::add_state(const std::string& name, unsigned width) {
+  const TermRef t = mgr_->mk_var(name, width);
+  assert(!is_state(t) && "state already declared");
+  states_.push_back(t);
+  inits_.push_back(kNullTerm);
+  nexts_.push_back(kNullTerm);
+  return t;
+}
+
+TermRef TransitionSystem::add_input(const std::string& name, unsigned width) {
+  const TermRef t = mgr_->mk_var(name, width);
+  assert(!is_input(t) && "input already declared");
+  inputs_.push_back(t);
+  return t;
+}
+
+std::size_t TransitionSystem::index_of_state(TermRef state) const {
+  const auto it = std::find(states_.begin(), states_.end(), state);
+  assert(it != states_.end() && "not a state variable");
+  return static_cast<std::size_t>(it - states_.begin());
+}
+
+void TransitionSystem::set_init(TermRef state, TermRef value) {
+  inits_[index_of_state(state)] = value;
+}
+
+void TransitionSystem::set_next(TermRef state, TermRef next) {
+  assert(mgr_->width(state) == mgr_->width(next));
+  nexts_[index_of_state(state)] = next;
+}
+
+void TransitionSystem::add_constraint(TermRef cond) {
+  assert(mgr_->width(cond) == 1);
+  constraints_.push_back(cond);
+}
+
+void TransitionSystem::add_init_constraint(TermRef cond) {
+  assert(mgr_->width(cond) == 1);
+  init_constraints_.push_back(cond);
+}
+
+void TransitionSystem::add_bad(TermRef cond, const std::string& label) {
+  assert(mgr_->width(cond) == 1);
+  bads_.push_back(cond);
+  bad_labels_.push_back(label);
+}
+
+bool TransitionSystem::is_state(TermRef t) const {
+  return std::find(states_.begin(), states_.end(), t) != states_.end();
+}
+
+bool TransitionSystem::is_input(TermRef t) const {
+  return std::find(inputs_.begin(), inputs_.end(), t) != inputs_.end();
+}
+
+TermRef TransitionSystem::init_of(TermRef state) const {
+  return inits_[index_of_state(state)];
+}
+
+TermRef TransitionSystem::next_of(TermRef state) const {
+  return nexts_[index_of_state(state)];
+}
+
+bool TransitionSystem::complete() const {
+  return std::none_of(nexts_.begin(), nexts_.end(),
+                      [](TermRef t) { return t == kNullTerm; });
+}
+
+namespace {
+
+/// BTOR2-style line emitter: assigns dense ids to sorts and nodes.
+class Btor2Writer {
+ public:
+  explicit Btor2Writer(const TransitionSystem& ts) : ts_(ts) {}
+
+  std::string run() {
+    // Declare sorts and top-level objects first, then definitions.
+    for (TermRef s : ts_.states()) {
+      const unsigned id = next_id_++;
+      os_ << id << " state " << sort_id(ts_.mgr().width(s)) << " "
+          << ts_.mgr().node(s).name << "\n";
+      node_ids_[s] = id;
+    }
+    for (TermRef i : ts_.inputs()) {
+      const unsigned id = next_id_++;
+      os_ << id << " input " << sort_id(ts_.mgr().width(i)) << " "
+          << ts_.mgr().node(i).name << "\n";
+      node_ids_[i] = id;
+    }
+    for (TermRef s : ts_.states()) {
+      if (ts_.init_of(s) != kNullTerm) {
+        const unsigned v = emit(ts_.init_of(s));
+        os_ << next_id_++ << " init " << sort_id(ts_.mgr().width(s)) << " " << node_ids_[s]
+            << " " << v << "\n";
+      }
+    }
+    for (TermRef s : ts_.states()) {
+      if (ts_.next_of(s) != kNullTerm) {
+        const unsigned v = emit(ts_.next_of(s));
+        os_ << next_id_++ << " next " << sort_id(ts_.mgr().width(s)) << " " << node_ids_[s]
+            << " " << v << "\n";
+      }
+    }
+    for (TermRef c : ts_.constraints()) {
+      const unsigned v = emit(c);
+      os_ << next_id_++ << " constraint " << v << "\n";
+    }
+    for (std::size_t i = 0; i < ts_.bads().size(); ++i) {
+      const unsigned v = emit(ts_.bads()[i]);
+      os_ << next_id_++ << " bad " << v;
+      if (!ts_.bad_labels()[i].empty()) os_ << " ; " << ts_.bad_labels()[i];
+      os_ << "\n";
+    }
+    return header() + os_.str();
+  }
+
+ private:
+  unsigned sort_id(unsigned width) {
+    auto [it, inserted] = sort_ids_.emplace(width, 0);
+    if (inserted) it->second = next_sort_id_++;
+    return it->second;
+  }
+
+  std::string header() {
+    std::ostringstream h;
+    h << "; btor2-style dump (sepe-sqed)\n";
+    for (const auto& [width, id] : sorted_sorts()) h << id << " sort bitvec " << width << "\n";
+    return h.str();
+  }
+
+  std::vector<std::pair<unsigned, unsigned>> sorted_sorts() const {
+    std::vector<std::pair<unsigned, unsigned>> v(sort_ids_.begin(), sort_ids_.end());
+    std::sort(v.begin(), v.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    return v;
+  }
+
+  const char* btor_op(Op op) {
+    switch (op) {
+      case Op::Not: return "not";
+      case Op::And: return "and";
+      case Op::Or: return "or";
+      case Op::Xor: return "xor";
+      case Op::Neg: return "neg";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Mul: return "mul";
+      case Op::Udiv: return "udiv";
+      case Op::Urem: return "urem";
+      case Op::Sdiv: return "sdiv";
+      case Op::Srem: return "srem";
+      case Op::Shl: return "sll";
+      case Op::Lshr: return "srl";
+      case Op::Ashr: return "sra";
+      case Op::Ult: return "ult";
+      case Op::Ule: return "ulte";
+      case Op::Slt: return "slt";
+      case Op::Sle: return "slte";
+      case Op::Eq: return "eq";
+      case Op::Ne: return "neq";
+      case Op::Ite: return "ite";
+      case Op::Concat: return "concat";
+      default: return "?";
+    }
+  }
+
+  unsigned emit(TermRef t) {
+    if (auto it = node_ids_.find(t); it != node_ids_.end()) return it->second;
+    const smt::TermNode& n = ts_.mgr().node(t);
+    // Iterative would be safer for pathological DAGs; dumps are debug-only
+    // and our models are shallow per next-function.
+    std::vector<unsigned> ops;
+    for (TermRef o : n.operands) ops.push_back(emit(o));
+    const unsigned sid = sort_id(n.width);
+    const unsigned id = next_id_++;
+    switch (n.op) {
+      case Op::Const:
+        os_ << id << " constd " << sid << " " << n.value.uval() << "\n";
+        break;
+      case Op::Var:
+        // Free variable not declared as state/input: treat as input.
+        os_ << id << " input " << sid << " " << n.name << "\n";
+        break;
+      case Op::Extract:
+        os_ << id << " slice " << sid << " " << ops[0] << " " << n.aux0 << " " << n.aux1
+            << "\n";
+        break;
+      case Op::ZExt:
+        os_ << id << " uext " << sid << " " << ops[0] << " "
+            << (n.aux0 - ts_.mgr().width(n.operands[0])) << "\n";
+        break;
+      case Op::SExt:
+        os_ << id << " sext " << sid << " " << ops[0] << " "
+            << (n.aux0 - ts_.mgr().width(n.operands[0])) << "\n";
+        break;
+      default: {
+        os_ << id << " " << btor_op(n.op) << " " << sid;
+        for (unsigned o : ops) os_ << " " << o;
+        os_ << "\n";
+        break;
+      }
+    }
+    node_ids_[t] = id;
+    return id;
+  }
+
+  const TransitionSystem& ts_;
+  std::ostringstream os_;
+  std::map<unsigned, unsigned> sort_ids_;  // width -> sort id
+  std::unordered_map<TermRef, unsigned> node_ids_;
+  unsigned next_sort_id_ = 1;
+  unsigned next_id_ = 100;  // leave room for sort ids
+};
+
+}  // namespace
+
+std::string to_btor2(const TransitionSystem& ts) { return Btor2Writer(ts).run(); }
+
+}  // namespace sepe::ts

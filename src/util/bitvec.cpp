@@ -1,0 +1,19 @@
+#include "util/bitvec.hpp"
+
+namespace sepe {
+
+std::string BitVec::to_hex() const {
+  static const char* digits = "0123456789abcdef";
+  const unsigned nibbles = (width_ + 3) / 4;
+  std::string s = "0x";
+  for (unsigned i = nibbles; i-- > 0;) s.push_back(digits[(bits_ >> (4 * i)) & 0xf]);
+  return s;
+}
+
+std::string BitVec::to_bin() const {
+  std::string s = "0b";
+  for (unsigned i = width_; i-- > 0;) s.push_back(bit(i) ? '1' : '0');
+  return s;
+}
+
+}  // namespace sepe

@@ -1,0 +1,53 @@
+// rng.hpp — deterministic pseudo-random number generation for workloads.
+//
+// All stochastic pieces of the repository (random test programs for the QED
+// harness, CEGIS multiset shuffling, property-test input sweeps, benchmark
+// workload generation) draw from this splitmix64 generator so that every
+// run is reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.hpp"
+
+namespace sepe {
+
+/// splitmix64: tiny, fast, statistically solid for workload generation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Random bit-vector of the given width.
+  BitVec bitvec(unsigned width) { return BitVec(width, next()); }
+
+  /// Biased bit-vector mixing corner values with uniform draws; corner
+  /// cases (0, 1, all-ones, sign bit) trigger far more bugs than uniform
+  /// random values, so workload generators prefer this.
+  BitVec interesting_bitvec(unsigned width) {
+    switch (below(8)) {
+      case 0: return BitVec::zeros(width);
+      case 1: return BitVec(width, 1);
+      case 2: return BitVec::ones(width);
+      case 3: return BitVec(width, 1ULL << (width - 1));            // INT_MIN
+      case 4: return BitVec(width, BitVec::mask(width) >> 1);       // INT_MAX
+      default: return bitvec(width);
+    }
+  }
+
+  bool flip() { return next() & 1; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sepe

@@ -1,0 +1,25 @@
+// stopwatch.hpp — wall-clock timing for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace sepe {
+
+/// Monotonic wall-clock stopwatch; starts at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sepe

@@ -1,0 +1,156 @@
+// Unit and property tests for the BitVec value library.
+#include <gtest/gtest.h>
+
+#include "util/bitvec.hpp"
+#include "util/rng.hpp"
+
+namespace sepe {
+namespace {
+
+TEST(BitVec, ConstructionMasksToWidth) {
+  EXPECT_EQ(BitVec(8, 0x1ff).uval(), 0xffu);
+  EXPECT_EQ(BitVec(1, 3).uval(), 1u);
+  EXPECT_EQ(BitVec(64, ~0ULL).uval(), ~0ULL);
+}
+
+TEST(BitVec, SignedInterpretation) {
+  EXPECT_EQ(BitVec(8, 0xff).sval(), -1);
+  EXPECT_EQ(BitVec(8, 0x80).sval(), -128);
+  EXPECT_EQ(BitVec(8, 0x7f).sval(), 127);
+  EXPECT_EQ(BitVec(32, 0xffffffff).sval(), -1);
+  EXPECT_EQ(BitVec(64, ~0ULL).sval(), -1);
+}
+
+TEST(BitVec, ArithmeticWraps) {
+  EXPECT_EQ((BitVec(8, 0xff) + BitVec(8, 1)).uval(), 0u);
+  EXPECT_EQ((BitVec(8, 0) - BitVec(8, 1)).uval(), 0xffu);
+  EXPECT_EQ((BitVec(8, 16) * BitVec(8, 16)).uval(), 0u);
+  EXPECT_EQ((-BitVec(8, 1)).uval(), 0xffu);
+}
+
+TEST(BitVec, MulhMatchesWideMultiply) {
+  // 32-bit MULH of -1 * -1 = 0 (high word of 1).
+  const BitVec m1 = BitVec::ones(32);
+  EXPECT_EQ(m1.mulh_ss(m1).uval(), 0u);
+  // MULHU of all-ones: (2^32-1)^2 >> 32 = 2^32 - 2.
+  EXPECT_EQ(m1.mulh_uu(m1).uval(), 0xfffffffeu);
+  // MULHSU: -1 * (2^32-1) = -(2^32-1), high word = all-ones.
+  EXPECT_EQ(m1.mulh_su(m1).uval(), 0xffffffffu);
+}
+
+TEST(BitVec, DivisionCornersFollowRiscV) {
+  const BitVec zero = BitVec::zeros(32);
+  const BitVec x(32, 1234);
+  EXPECT_EQ(x.udiv(zero), BitVec::ones(32));
+  EXPECT_EQ(x.urem(zero), x);
+  EXPECT_EQ(x.sdiv(zero), BitVec::ones(32));  // -1
+  EXPECT_EQ(x.srem(zero), x);
+  const BitVec int_min(32, 0x80000000u);
+  const BitVec neg1 = BitVec::ones(32);
+  EXPECT_EQ(int_min.sdiv(neg1), int_min);  // overflow
+  EXPECT_EQ(int_min.srem(neg1), zero);
+}
+
+TEST(BitVec, ShiftsSaturatePerSmtLib) {
+  const BitVec x(8, 0x81);
+  EXPECT_EQ(x.shl(BitVec(8, 9)).uval(), 0u);
+  EXPECT_EQ(x.lshr(BitVec(8, 9)).uval(), 0u);
+  EXPECT_EQ(x.ashr(BitVec(8, 9)).uval(), 0xffu);  // sign fill
+  EXPECT_EQ(x.ashr(BitVec(8, 1)).uval(), 0xc0u);
+}
+
+TEST(BitVec, MaskedShiftsFollowRiscV) {
+  // RISC-V register shifts use the low log2(XLEN) bits of the amount.
+  const BitVec x(32, 1);
+  EXPECT_EQ(x.shl_masked(BitVec(32, 33)).uval(), 2u);  // 33 & 31 == 1
+  EXPECT_EQ(BitVec(32, 4).lshr_masked(BitVec(32, 34)).uval(), 1u);
+}
+
+TEST(BitVec, Comparisons) {
+  const BitVec a(8, 0x80), b(8, 0x01);
+  EXPECT_TRUE(b.ult(a).is_true());   // unsigned: 1 < 128
+  EXPECT_TRUE(a.slt(b).is_true());   // signed: -128 < 1
+  EXPECT_TRUE(a.eq(a).is_true());
+  EXPECT_TRUE(a.ne(b).is_true());
+  EXPECT_TRUE(a.ule(a).is_true());
+  EXPECT_TRUE(a.sle(a).is_true());
+}
+
+TEST(BitVec, StructuralOps) {
+  const BitVec x(8, 0xa5);
+  EXPECT_EQ(x.zext(16).uval(), 0xa5u);
+  EXPECT_EQ(x.sext(16).uval(), 0xffa5u);
+  EXPECT_EQ(x.extract(7, 4).uval(), 0xau);
+  EXPECT_EQ(x.extract(3, 0).uval(), 0x5u);
+  EXPECT_EQ(BitVec(4, 0xa).concat(BitVec(4, 0x5)).uval(), 0xa5u);
+  EXPECT_EQ(BitVec(4, 0xa).concat(BitVec(4, 0x5)).width(), 8u);
+}
+
+TEST(BitVec, Formatting) {
+  EXPECT_EQ(BitVec(16, 0xff).to_hex(), "0x00ff");
+  EXPECT_EQ(BitVec(4, 0x5).to_bin(), "0b0101");
+}
+
+// --- property sweeps over widths ---
+
+class BitVecWidthTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BitVecWidthTest, TwosComplementIdentity) {
+  // -x == ~x + 1 at every width (the identity SEPE-SQED's SUB equivalence
+  // program relies on).
+  const unsigned w = GetParam();
+  Rng rng(0xc0ffee ^ w);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec x = rng.interesting_bitvec(w);
+    EXPECT_EQ(-x, ~x + BitVec(w, 1));
+  }
+}
+
+TEST_P(BitVecWidthTest, SubViaXoriAddXori) {
+  // a - b == ~(~a + b): the Listing-1 equivalence from the paper.
+  const unsigned w = GetParam();
+  Rng rng(0xdead ^ w);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec a = rng.interesting_bitvec(w), b = rng.interesting_bitvec(w);
+    EXPECT_EQ(a - b, ~(~a + b));
+  }
+}
+
+TEST_P(BitVecWidthTest, DeMorgan) {
+  const unsigned w = GetParam();
+  Rng rng(0xbeef ^ w);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec a = rng.interesting_bitvec(w), b = rng.interesting_bitvec(w);
+    EXPECT_EQ(~(a & b), ~a | ~b);
+    EXPECT_EQ(~(a | b), ~a & ~b);
+  }
+}
+
+TEST_P(BitVecWidthTest, DivRemReconstruction) {
+  // a == udiv(a,b)*b + urem(a,b) whenever b != 0.
+  const unsigned w = GetParam();
+  Rng rng(0xfeed ^ w);
+  for (int i = 0; i < 200; ++i) {
+    const BitVec a = rng.interesting_bitvec(w), b = rng.interesting_bitvec(w);
+    if (b.is_zero()) continue;
+    EXPECT_EQ(a, a.udiv(b) * b + a.urem(b));
+    EXPECT_EQ(a, a.sdiv(b) * b + a.srem(b));
+  }
+}
+
+TEST_P(BitVecWidthTest, ExtractConcatRoundTrip) {
+  const unsigned w = GetParam();
+  if (w < 2 || w > 32) return;
+  Rng rng(0x1234 ^ w);
+  for (int i = 0; i < 100; ++i) {
+    const BitVec x = rng.bitvec(w);
+    const unsigned cut = 1 + static_cast<unsigned>(rng.below(w - 1));
+    EXPECT_EQ(x.extract(w - 1, cut).concat(x.extract(cut - 1, 0)), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitVecWidthTest,
+                         ::testing::Values(1u, 4u, 8u, 12u, 16u, 31u, 32u, 33u, 64u));
+
+}  // namespace
+}  // namespace sepe

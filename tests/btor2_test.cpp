@@ -1,0 +1,203 @@
+// Tests for the BTOR2 parser: hand-written standard-format snippets,
+// error diagnostics, and the serializer round-trip — a system dumped by
+// to_btor2 parses back into a behaviourally identical system (checked by
+// BMC witness depth and by a second dump being textually stable).
+#include <gtest/gtest.h>
+
+#include "bmc/bmc.hpp"
+#include "ts/btor2_parser.hpp"
+
+namespace sepe::ts {
+namespace {
+
+using smt::TermManager;
+using smt::TermRef;
+
+TEST(Btor2Parser, ParsesAMinimalCounter) {
+  const std::string text = R"(
+; a 4-bit counter reaching 5
+1 sort bitvec 4
+2 sort bitvec 1
+10 state 1 cnt
+11 constd 1 0
+12 init 1 10 11
+13 constd 1 1
+14 add 1 10 13
+15 next 1 10 14
+16 constd 1 5
+17 eq 2 10 16
+18 bad 17 ; reaches-five
+)";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(ts.states().size(), 1u);
+  EXPECT_EQ(mgr.node(ts.states()[0]).name, "cnt");
+  ASSERT_EQ(ts.bads().size(), 1u);
+  EXPECT_EQ(ts.bad_labels()[0], "reaches-five");
+
+  bmc::Bmc checker(ts);
+  bmc::BmcOptions o;
+  o.max_bound = 8;
+  const auto w = checker.check(o);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->length, 5u);
+}
+
+TEST(Btor2Parser, SupportsStandardConstantForms) {
+  const std::string text = R"(
+1 sort bitvec 8
+10 zero 1
+11 one 1
+12 ones 1
+13 const 1 1010
+14 consth 1 ff
+15 constd 1 77
+20 state 1 s
+21 next 1 20 20
+22 init 1 20 13
+)";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(ts.init_of(ts.states()[0]), mgr.mk_const(8, 0b1010));
+}
+
+TEST(Btor2Parser, ParsesIndexedOperators) {
+  const std::string text = R"(
+1 sort bitvec 8
+2 sort bitvec 4
+3 sort bitvec 12
+10 input 1 in
+11 slice 2 10 7 4
+12 uext 3 10 4
+13 sext 3 10 4
+20 state 3 s
+21 next 3 20 12
+)";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  ASSERT_TRUE(r.ok) << r.error;
+}
+
+TEST(Btor2Parser, RejectsUnknownNodesWithLineNumbers) {
+  const std::string text = "1 sort bitvec 4\n10 add 1 98 99\n";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("line 2"), std::string::npos);
+  EXPECT_NE(r.error.find("unknown node"), std::string::npos);
+}
+
+TEST(Btor2Parser, RejectsNextlessStates) {
+  const std::string text = "1 sort bitvec 4\n10 state 1 s\n";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("no next"), std::string::npos);
+}
+
+TEST(Btor2Parser, RejectsUnsupportedKeywords) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2("1 sort array 4 4\n", ts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(Btor2Parser, RejectsWidthMismatches) {
+  const std::string text = R"(
+1 sort bitvec 4
+2 sort bitvec 8
+10 state 1 s
+11 input 2 in
+12 next 1 10 11
+)";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  EXPECT_FALSE(r.ok);
+}
+
+/// Round-trip helper: dump, parse, and compare behaviour via BMC.
+void expect_roundtrip_preserves_depth(const TransitionSystem& ts, unsigned expect_depth) {
+  const std::string dump = to_btor2(ts);
+
+  TermManager mgr2;
+  TransitionSystem parsed(mgr2);
+  const Btor2ParseResult r = parse_btor2(dump, parsed);
+  ASSERT_TRUE(r.ok) << r.error << "\n--- dump ---\n" << dump;
+
+  bmc::Bmc checker(parsed);
+  bmc::BmcOptions o;
+  o.max_bound = expect_depth + 3;
+  const auto w = checker.check(o);
+  ASSERT_TRUE(w.has_value()) << "round-tripped system lost its violation";
+  EXPECT_EQ(w->length, expect_depth);
+
+  // Second-generation dump is textually identical (canonical form).
+  EXPECT_EQ(to_btor2(parsed), to_btor2(parsed));
+}
+
+TEST(Btor2RoundTrip, CounterSystem) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef cnt = ts.add_state("cnt", 8);
+  const TermRef inc = ts.add_input("inc", 1);
+  ts.set_init(cnt, mgr.mk_const(8, 0));
+  ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(8, 1)), cnt));
+  ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(8, 4)), "cnt-4");
+  expect_roundtrip_preserves_depth(ts, 4);
+}
+
+TEST(Btor2RoundTrip, SystemWithConstraintsAndRichOperators) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef a = ts.add_state("a", 8);
+  const TermRef b = ts.add_state("b", 8);
+  const TermRef in = ts.add_input("in", 8);
+  ts.set_init(a, mgr.mk_const(8, 1));
+  ts.set_init(b, mgr.mk_const(8, 0));
+  // a' = (a * 2) xor (in srl 1); b' = b + slice(a); constraint in < 16.
+  ts.set_next(a, mgr.mk_xor(mgr.mk_mul(a, mgr.mk_const(8, 2)),
+                            mgr.mk_lshr(in, mgr.mk_const(8, 1))));
+  ts.set_next(b, mgr.mk_add(b, mgr.mk_zext(mgr.mk_extract(a, 3, 0), 8)));
+  ts.add_constraint(mgr.mk_ult(in, mgr.mk_const(8, 16)));
+  ts.add_bad(mgr.mk_eq(b, mgr.mk_const(8, 2)), "b-2");
+
+  const std::string dump = to_btor2(ts);
+  TermManager mgr2;
+  TransitionSystem parsed(mgr2);
+  const Btor2ParseResult r = parse_btor2(dump, parsed);
+  ASSERT_TRUE(r.ok) << r.error << "\n--- dump ---\n" << dump;
+  EXPECT_EQ(parsed.states().size(), 2u);
+  EXPECT_EQ(parsed.inputs().size(), 1u);
+  EXPECT_EQ(parsed.constraints().size(), 1u);
+
+  // Same violation depth on both sides.
+  bmc::Bmc c1(ts), c2(parsed);
+  bmc::BmcOptions o;
+  o.max_bound = 8;
+  const auto w1 = c1.check(o);
+  const auto w2 = c2.check(o);
+  ASSERT_EQ(w1.has_value(), w2.has_value());
+  if (w1) EXPECT_EQ(w1->length, w2->length);
+}
+
+TEST(Btor2RoundTrip, SignedOperatorsSurvive) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef x = ts.add_state("x", 8);
+  ts.set_init(x, mgr.mk_const(8, 0x80));  // INT_MIN
+  ts.set_next(x, mgr.mk_ashr(x, mgr.mk_const(8, 1)));
+  ts.add_bad(mgr.mk_slt(x, mgr.mk_const(8, 0xF0)), "below-minus-16");
+  // x: 0x80(-128) -> 0xC0(-64) -> 0xE0(-32) ... slt(x, -16) true at step 0.
+  expect_roundtrip_preserves_depth(ts, 0);
+}
+
+}  // namespace
+}  // namespace sepe::ts

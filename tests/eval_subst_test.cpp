@@ -1,0 +1,191 @@
+// Tests for the concrete evaluator and the substitution engine — the two
+// term-DAG services under the BMC unroller, CEGIS counterexample replay
+// and the TsSim harness.
+#include <gtest/gtest.h>
+
+#include "smt/eval.hpp"
+#include "smt/subst.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::smt {
+namespace {
+
+TEST(Evaluator, ConstantsEvaluateToThemselves) {
+  TermManager mgr;
+  EXPECT_EQ(eval_term(mgr, mgr.mk_const(8, 42), {}), BitVec(8, 42));
+  EXPECT_EQ(eval_term(mgr, mgr.mk_true(), {}), BitVec::boolean(true));
+}
+
+TEST(Evaluator, UnassignedVariablesReadZero) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 16);
+  EXPECT_EQ(eval_term(mgr, x, {}), BitVec::zeros(16));
+  EXPECT_EQ(eval_term(mgr, mgr.mk_add(x, mgr.mk_const(16, 5)), {}), BitVec(16, 5));
+}
+
+TEST(Evaluator, AssignmentDrivesVariables) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8), y = mgr.mk_var("y", 8);
+  const Assignment a{{x, BitVec(8, 200)}, {y, BitVec(8, 100)}};
+  EXPECT_EQ(eval_term(mgr, mgr.mk_add(x, y), a), BitVec(8, 44));  // wraps
+  EXPECT_EQ(eval_term(mgr, mgr.mk_ult(y, x), a), BitVec::boolean(true));
+}
+
+TEST(Evaluator, CoversEveryOperator) {
+  // One term per Op; each checked against the BitVec reference.
+  TermManager mgr;
+  const BitVec va(8, 0xb6), vb(8, 0x2f);
+  const TermRef a = mgr.mk_var("a", 8), b = mgr.mk_var("b", 8);
+  const Assignment assign{{a, va}, {b, vb}};
+  const auto chk = [&](TermRef t, const BitVec& expect) {
+    EXPECT_EQ(eval_term(mgr, t, assign), expect) << mgr.to_string(t);
+  };
+  chk(mgr.mk_not(a), ~va);
+  chk(mgr.mk_and(a, b), va & vb);
+  chk(mgr.mk_or(a, b), va | vb);
+  chk(mgr.mk_xor(a, b), va ^ vb);
+  chk(mgr.mk_neg(a), -va);
+  chk(mgr.mk_add(a, b), va + vb);
+  chk(mgr.mk_sub(a, b), va - vb);
+  chk(mgr.mk_mul(a, b), va * vb);
+  chk(mgr.mk_udiv(a, b), va.udiv(vb));
+  chk(mgr.mk_urem(a, b), va.urem(vb));
+  chk(mgr.mk_sdiv(a, b), va.sdiv(vb));
+  chk(mgr.mk_srem(a, b), va.srem(vb));
+  chk(mgr.mk_shl(a, b), va.shl(vb));
+  chk(mgr.mk_lshr(a, b), va.lshr(vb));
+  chk(mgr.mk_ashr(a, b), va.ashr(vb));
+  chk(mgr.mk_ult(a, b), va.ult(vb));
+  chk(mgr.mk_ule(a, b), va.ule(vb));
+  chk(mgr.mk_slt(a, b), va.slt(vb));
+  chk(mgr.mk_sle(a, b), va.sle(vb));
+  chk(mgr.mk_eq(a, b), va.eq(vb));
+  chk(mgr.mk_ne(a, b), va.ne(vb));
+  chk(mgr.mk_ite(mgr.mk_ult(a, b), a, b), va.ult(vb).is_true() ? va : vb);
+  chk(mgr.mk_concat(a, b), va.concat(vb));
+  chk(mgr.mk_extract(a, 6, 2), va.extract(6, 2));
+  chk(mgr.mk_zext(a, 12), va.zext(12));
+  chk(mgr.mk_sext(a, 12), va.sext(12));
+}
+
+TEST(Evaluator, MemoizesAcrossSharedSubterms) {
+  // A DAG whose tree expansion is exponential: evaluation must finish
+  // instantly because shared nodes are computed once.
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 32);
+  TermRef t = x;
+  for (int i = 0; i < 60; ++i) t = mgr.mk_add(t, t);  // t = x * 2^60
+  const Assignment a{{x, BitVec(32, 3)}};
+  // 3 * 2^60 mod 2^32 = 0 (2^60 ≡ 0 mod 2^32).
+  EXPECT_EQ(eval_term(mgr, t, a), BitVec::zeros(32));
+}
+
+TEST(Evaluator, InstanceIsBoundToOneAssignment) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8);
+  const TermRef t = mgr.mk_add(x, mgr.mk_const(8, 1));
+  Evaluator ev(mgr);
+  EXPECT_EQ(ev.eval(t, {{x, BitVec(8, 1)}}), BitVec(8, 2));
+  // Same instance + same assignment: cached result is consistent.
+  EXPECT_EQ(ev.eval(t, {{x, BitVec(8, 1)}}), BitVec(8, 2));
+}
+
+// --- substitution ---
+
+TEST(Substitute, ReplacesVariables) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8), y = mgr.mk_var("y", 8);
+  const TermRef t = mgr.mk_add(x, y);
+  const SubstMap map{{x, mgr.mk_const(8, 3)}};
+  const TermRef out = substitute(mgr, t, map);
+  EXPECT_EQ(out, mgr.mk_add(mgr.mk_const(8, 3), y));
+}
+
+TEST(Substitute, IdentityWhenNoVariableMatches) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8);
+  const TermRef t = mgr.mk_mul(x, x);
+  EXPECT_EQ(substitute(mgr, t, {}), t);  // hash-consing: same node back
+}
+
+TEST(Substitute, MapsVariablesToArbitraryTerms) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8), y = mgr.mk_var("y", 8);
+  const TermRef t = mgr.mk_sub(x, mgr.mk_const(8, 1));
+  const SubstMap map{{x, mgr.mk_add(y, y)}};
+  const TermRef out = substitute(mgr, t, map);
+  const Assignment a{{y, BitVec(8, 5)}};
+  EXPECT_EQ(eval_term(mgr, out, a), BitVec(8, 9));  // (5+5)-1
+}
+
+TEST(Substitute, ComposesLikeTheBmcUnroller) {
+  // next(s) = s + in; two unrolling steps by repeated substitution must
+  // equal s0 + in0 + in1.
+  TermManager mgr;
+  const TermRef s = mgr.mk_var("s", 8), in = mgr.mk_var("in", 8);
+  const TermRef next = mgr.mk_add(s, in);
+
+  const TermRef s0 = mgr.mk_var("s@0", 8), in0 = mgr.mk_var("in@0", 8),
+                in1 = mgr.mk_var("in@1", 8);
+  const TermRef s1 = substitute(mgr, next, SubstMap{{s, s0}, {in, in0}});
+  const TermRef s2 = substitute(mgr, next, SubstMap{{s, s1}, {in, in1}});
+  const Assignment a{{s0, BitVec(8, 1)}, {in0, BitVec(8, 2)}, {in1, BitVec(8, 4)}};
+  EXPECT_EQ(eval_term(mgr, s2, a), BitVec(8, 7));
+}
+
+TEST(Substitute, SharedCacheIsStablePerMap) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8);
+  TermRef t = x;
+  for (int i = 0; i < 100; ++i) t = mgr.mk_add(t, mgr.mk_const(8, 1));
+  SubstMap map{{x, mgr.mk_const(8, 0)}};
+  SubstMap cache;
+  const TermRef a = substitute(mgr, t, map, &cache);
+  const TermRef b = substitute(mgr, t, map, &cache);  // fully cached
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(eval_term(mgr, a, {}), BitVec(8, 100));
+}
+
+TEST(Substitute, DeepDagDoesNotOverflowTheStack) {
+  TermManager mgr;
+  const TermRef x = mgr.mk_var("x", 8);
+  TermRef t = x;
+  for (int i = 0; i < 200000; ++i) t = mgr.mk_add(t, mgr.mk_const(8, 1));
+  const TermRef out = substitute(mgr, t, SubstMap{{x, mgr.mk_const(8, 1)}});
+  EXPECT_EQ(eval_term(mgr, out, {}), BitVec(8, (1 + 200000) & 0xff));
+}
+
+// Random differential property: substitute-then-evaluate equals
+// evaluate-with-extended-assignment.
+TEST(SubstituteProperty, CommutesWithEvaluation) {
+  Rng rng(77);
+  for (int round = 0; round < 50; ++round) {
+    TermManager mgr;
+    const TermRef x = mgr.mk_var("x", 8), y = mgr.mk_var("y", 8), z = mgr.mk_var("z", 8);
+    // Build a random little expression over x, y, z.
+    std::vector<TermRef> pool{x, y, z, mgr.mk_const(8, rng.below(256))};
+    for (int i = 0; i < 12; ++i) {
+      const TermRef a = pool[rng.below(pool.size())];
+      const TermRef b = pool[rng.below(pool.size())];
+      switch (rng.below(5)) {
+        case 0: pool.push_back(mgr.mk_add(a, b)); break;
+        case 1: pool.push_back(mgr.mk_xor(a, b)); break;
+        case 2: pool.push_back(mgr.mk_mul(a, b)); break;
+        case 3: pool.push_back(mgr.mk_ite(mgr.mk_ult(a, b), a, b)); break;
+        default: pool.push_back(mgr.mk_sub(a, b)); break;
+      }
+    }
+    const TermRef t = pool.back();
+    const BitVec vy = rng.bitvec(8), vz = rng.bitvec(8), vx = rng.bitvec(8);
+    // Path 1: substitute x := y ^ z, then evaluate with {y, z}.
+    const TermRef sub = substitute(mgr, t, SubstMap{{x, mgr.mk_xor(y, z)}});
+    const BitVec r1 = eval_term(mgr, sub, {{y, vy}, {z, vz}});
+    // Path 2: evaluate the original with x bound to vy ^ vz.
+    const BitVec r2 = eval_term(mgr, t, {{x, vy ^ vz}, {y, vy}, {z, vz}});
+    ASSERT_EQ(r1, r2) << "round " << round;
+    (void)vx;
+  }
+}
+
+}  // namespace
+}  // namespace sepe::smt

@@ -1,0 +1,261 @@
+// Tests for the RV32IM instruction layer: name tables, format
+// classification, constructor invariants, encode/decode round trips
+// against the standard RV32 bit layouts, and the assembly parser.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::isa {
+namespace {
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> out;
+  for (int i = 0; i < kNumOpcodes; ++i) out.push_back(static_cast<Opcode>(i));
+  return out;
+}
+
+TEST(IsaNames, RoundTripThroughNameTable) {
+  for (Opcode op : all_opcodes()) {
+    const auto back = opcode_from_name(opcode_name(op));
+    ASSERT_TRUE(back.has_value()) << opcode_name(op);
+    EXPECT_EQ(*back, op);
+  }
+}
+
+TEST(IsaNames, LookupIsCaseInsensitive) {
+  EXPECT_EQ(opcode_from_name("add"), Opcode::ADD);
+  EXPECT_EQ(opcode_from_name("Add"), Opcode::ADD);
+  EXPECT_EQ(opcode_from_name("mulhsu"), Opcode::MULHSU);
+}
+
+TEST(IsaNames, UnknownNameIsRejected) {
+  EXPECT_FALSE(opcode_from_name("BLT").has_value());
+  EXPECT_FALSE(opcode_from_name("").has_value());
+  EXPECT_FALSE(opcode_from_name("ADDX").has_value());
+}
+
+TEST(IsaFormats, EveryOpcodeHasConsistentPredicates) {
+  for (Opcode op : all_opcodes()) {
+    // R-type and I-type are mutually exclusive; loads/stores are neither.
+    EXPECT_FALSE(is_rtype(op) && is_itype(op)) << opcode_name(op);
+    if (is_load(op) || is_store(op)) {
+      EXPECT_FALSE(is_rtype(op)) << opcode_name(op);
+      EXPECT_FALSE(is_itype(op)) << opcode_name(op);
+    }
+    if (is_mul_family(op) || is_div_family(op)) {
+      EXPECT_TRUE(is_rtype(op)) << opcode_name(op);
+    }
+  }
+}
+
+TEST(IsaFormats, WritesRegisterMatchesFormat) {
+  for (Opcode op : all_opcodes()) {
+    const bool expected = op != Opcode::SW && op != Opcode::NOP;
+    EXPECT_EQ(writes_register(op), expected) << opcode_name(op);
+  }
+}
+
+TEST(IsaInstruction, ConstructorsPopulateFields) {
+  const Instruction r = Instruction::rtype(Opcode::SUB, 1, 2, 3);
+  EXPECT_EQ(r.op, Opcode::SUB);
+  EXPECT_EQ(r.rd, 1);
+  EXPECT_EQ(r.rs1, 2);
+  EXPECT_EQ(r.rs2, 3);
+
+  const Instruction i = Instruction::itype(Opcode::ADDI, 4, 5, -17);
+  EXPECT_EQ(i.imm, -17);
+
+  const Instruction lw = Instruction::lw(6, 7, 8);
+  EXPECT_EQ(lw.rd, 6);
+  EXPECT_EQ(lw.rs1, 7);
+  EXPECT_EQ(lw.imm, 8);
+
+  const Instruction sw = Instruction::sw(9, 10, -4);
+  EXPECT_EQ(sw.rs2, 9);
+  EXPECT_EQ(sw.rs1, 10);
+  EXPECT_EQ(sw.imm, -4);
+}
+
+TEST(IsaInstruction, ToStringUsesArchitecturalSyntax) {
+  EXPECT_EQ(Instruction::rtype(Opcode::ADD, 1, 2, 3).to_string(), "ADD x1, x2, x3");
+  EXPECT_EQ(Instruction::itype(Opcode::XORI, 1, 2, -1).to_string(), "XORI x1, x2, -1");
+  EXPECT_EQ(Instruction::lw(5, 2, 8).to_string(), "LW x5, 8(x2)");
+  EXPECT_EQ(Instruction::sw(5, 2, 12).to_string(), "SW x5, 12(x2)");
+  EXPECT_EQ(Instruction::nop().to_string(), "NOP");
+}
+
+// --- encode/decode ---
+
+class EncodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(EncodeRoundTrip, DecodeInvertsEncode) {
+  const Opcode op = GetParam();
+  Rng rng(7 + static_cast<int>(op));
+  for (int trial = 0; trial < 50; ++trial) {
+    Instruction inst;
+    const unsigned rd = 1 + rng.below(31);
+    const unsigned rs1 = rng.below(32);
+    const unsigned rs2 = rng.below(32);
+    switch (opcode_format(op)) {
+      case Format::R: inst = Instruction::rtype(op, rd, rs1, rs2); break;
+      case Format::I:
+        inst = Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::Shift:
+        inst = Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(32)));
+        break;
+      case Format::U:
+        inst = Instruction::lui(rd, static_cast<std::int32_t>(rng.below(1 << 20)));
+        break;
+      case Format::Load:
+        inst = Instruction::lw(rd, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::Store:
+        inst = Instruction::sw(rs2, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::None: inst = Instruction::nop(); break;
+    }
+    const std::uint32_t word = encode(inst);
+    const auto back = decode(word);
+    ASSERT_TRUE(back.has_value()) << inst.to_string();
+    if (op == Opcode::NOP) {
+      // NOP encodes as the canonical ADDI x0,x0,0.
+      EXPECT_EQ(back->op, Opcode::ADDI);
+      EXPECT_EQ(back->rd, 0);
+    } else {
+      EXPECT_EQ(*back, inst) << inst.to_string();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, EncodeRoundTrip,
+                         ::testing::ValuesIn(all_opcodes()),
+                         [](const ::testing::TestParamInfo<Opcode>& info) {
+                           return opcode_name(info.param);
+                         });
+
+TEST(IsaEncode, KnownGoldenWords) {
+  // Cross-checked against the RISC-V spec (and any external assembler).
+  // add x1, x2, x3  -> 0x003100b3
+  EXPECT_EQ(encode(Instruction::rtype(Opcode::ADD, 1, 2, 3)), 0x003100b3u);
+  // sub x1, x2, x3  -> 0x403100b3
+  EXPECT_EQ(encode(Instruction::rtype(Opcode::SUB, 1, 2, 3)), 0x403100b3u);
+  // addi x1, x2, -1 -> 0xfff10093
+  EXPECT_EQ(encode(Instruction::itype(Opcode::ADDI, 1, 2, -1)), 0xfff10093u);
+  // srai x1, x2, 4  -> 0x40415093
+  EXPECT_EQ(encode(Instruction::itype(Opcode::SRAI, 1, 2, 4)), 0x40415093u);
+  // lui x1, 0xfffff -> 0xfffff0b7
+  EXPECT_EQ(encode(Instruction::lui(1, 0xfffff)), 0xfffff0b7u);
+  // lw x1, 8(x2)    -> 0x00812083
+  EXPECT_EQ(encode(Instruction::lw(1, 2, 8)), 0x00812083u);
+  // sw x3, 12(x2)   -> 0x00312623
+  EXPECT_EQ(encode(Instruction::sw(3, 2, 12)), 0x00312623u);
+  // mul x1, x2, x3  -> 0x023100b3
+  EXPECT_EQ(encode(Instruction::rtype(Opcode::MUL, 1, 2, 3)), 0x023100b3u);
+}
+
+TEST(IsaDecode, RejectsUnsupportedEncodings) {
+  EXPECT_FALSE(decode(0x00000000u).has_value());  // all zeros: illegal
+  EXPECT_FALSE(decode(0xffffffffu).has_value());  // all ones: illegal
+  EXPECT_FALSE(decode(0x00000063u).has_value());  // BEQ: outside the subset
+  EXPECT_FALSE(decode(0x0000006fu).has_value());  // JAL: outside the subset
+}
+
+TEST(IsaDecode, RejectsCorruptedFunct7) {
+  // ADD with funct7 = 0x15 is not a defined instruction.
+  const std::uint32_t add = encode(Instruction::rtype(Opcode::ADD, 1, 2, 3));
+  EXPECT_FALSE(decode(add | (0x15u << 25)).has_value());
+}
+
+// --- assembly parser ---
+
+TEST(IsaAsm, ParsesRType) {
+  const auto inst = parse_asm("sub x1, x2, x3");
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(*inst, Instruction::rtype(Opcode::SUB, 1, 2, 3));
+}
+
+TEST(IsaAsm, ParsesIType) {
+  const auto inst = parse_asm("addi x1, x0, -5");
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(*inst, Instruction::itype(Opcode::ADDI, 1, 0, -5));
+}
+
+TEST(IsaAsm, ParsesShiftAndHex) {
+  const auto inst = parse_asm("slli x4, x5, 7");
+  ASSERT_TRUE(inst.has_value());
+  EXPECT_EQ(*inst, Instruction::itype(Opcode::SLLI, 4, 5, 7));
+  const auto xori = parse_asm("xori x1, x2, 0x7ff");
+  ASSERT_TRUE(xori.has_value());
+  EXPECT_EQ(xori->imm, 0x7ff);
+}
+
+TEST(IsaAsm, ParsesMemoryOperands) {
+  const auto lw = parse_asm("lw x5, 8(x2)");
+  ASSERT_TRUE(lw.has_value());
+  EXPECT_EQ(*lw, Instruction::lw(5, 2, 8));
+  const auto sw = parse_asm("sw x5, -4(x2)");
+  ASSERT_TRUE(sw.has_value());
+  EXPECT_EQ(*sw, Instruction::sw(5, 2, -4));
+}
+
+TEST(IsaAsm, RejectsSyntaxErrors) {
+  EXPECT_FALSE(parse_asm("").has_value());
+  EXPECT_FALSE(parse_asm("bogus x1, x2, x3").has_value());
+  EXPECT_FALSE(parse_asm("add x1, x2").has_value());        // missing operand
+  EXPECT_FALSE(parse_asm("add x1, x2, 5").has_value());     // imm for R-type
+  EXPECT_FALSE(parse_asm("addi x1, x2, x3").has_value());   // reg for I-type
+  EXPECT_FALSE(parse_asm("add x32, x2, x3").has_value());   // register range
+}
+
+TEST(IsaAsm, RoundTripsThroughToString) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Opcode op = static_cast<Opcode>(rng.below(kNumOpcodes));
+    if (op == Opcode::NOP) continue;
+    Instruction inst;
+    const unsigned rd = 1 + rng.below(31);
+    switch (opcode_format(op)) {
+      case Format::R:
+        inst = Instruction::rtype(op, rd, rng.below(32), rng.below(32));
+        break;
+      case Format::I:
+        inst = Instruction::itype(op, rd, rng.below(32),
+                                  static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::Shift:
+        inst = Instruction::itype(op, rd, rng.below(32),
+                                  static_cast<std::int32_t>(rng.below(32)));
+        break;
+      case Format::U:
+        inst = Instruction::lui(rd, static_cast<std::int32_t>(rng.below(1 << 20)));
+        break;
+      case Format::Load:
+        inst = Instruction::lw(rd, rng.below(32),
+                               static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::Store:
+        inst = Instruction::sw(rng.below(32), rng.below(32),
+                               static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        break;
+      case Format::None: continue;
+    }
+    const auto back = parse_asm(inst.to_string());
+    ASSERT_TRUE(back.has_value()) << inst.to_string();
+    EXPECT_EQ(*back, inst) << inst.to_string();
+  }
+}
+
+TEST(IsaProgram, ProgramToStringJoinsLines) {
+  Program p{Instruction::rtype(Opcode::ADD, 1, 2, 3),
+            Instruction::itype(Opcode::XORI, 1, 1, -1)};
+  const std::string s = program_to_string(p);
+  EXPECT_NE(s.find("ADD x1, x2, x3"), std::string::npos);
+  EXPECT_NE(s.find("XORI x1, x1, -1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sepe::isa

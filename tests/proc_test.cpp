@@ -1,0 +1,344 @@
+// Tests for the pipelined processor model (the DUV) and the mutation
+// catalogs. The core property: the pipeline, simulated concretely cycle
+// by cycle, computes exactly what the golden ISS computes — for random
+// programs including back-to-back dependent instructions (forwarding) and
+// memory traffic. Mutations must break the targeted behaviour and only
+// that behaviour.
+#include <gtest/gtest.h>
+
+#include "proc/mutations.hpp"
+#include "proc/processor.hpp"
+#include "sim/iss.hpp"
+#include "ts_sim.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::proc {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using testing::TsSim;
+using testing::proc_bubble;
+using testing::proc_drive;
+using testing::proc_run_program;
+
+/// Initialize pipeline sim + ISS with identical random register values.
+void seed_registers(TsSim& sim, const ProcModel& m, sim::Iss& iss, Rng& rng) {
+  for (unsigned r = 1; r < 32; ++r) {
+    const BitVec v = rng.interesting_bitvec(m.config.xlen);
+    sim.set_state(m.regs[r], v);
+    iss.state().set_reg(r, v);
+  }
+}
+
+void expect_registers_match(const TsSim& sim, const ProcModel& m, const sim::Iss& iss,
+                            const std::string& context) {
+  for (unsigned r = 0; r < 32; ++r)
+    ASSERT_EQ(sim.state(m.regs[r]), iss.state().reg(r))
+        << context << ": x" << r << " differs";
+}
+
+isa::Program random_alu_program(Rng& rng, const ProcConfig& config, unsigned length) {
+  isa::Program prog;
+  std::vector<Opcode> ops;
+  for (Opcode op : config.opcodes)
+    if (!isa::is_load(op) && !isa::is_store(op)) ops.push_back(op);
+  for (unsigned i = 0; i < length; ++i) {
+    const Opcode op = ops[rng.below(ops.size())];
+    const unsigned rd = 1 + rng.below(31);
+    if (isa::is_rtype(op)) {
+      prog.push_back(Instruction::rtype(op, rd, rng.below(32), rng.below(32)));
+    } else if (isa::opcode_format(op) == isa::Format::Shift) {
+      prog.push_back(Instruction::itype(op, rd, rng.below(32),
+                                        static_cast<std::int32_t>(rng.below(32))));
+    } else {
+      prog.push_back(Instruction::itype(op, rd, rng.below(32),
+                                        static_cast<std::int32_t>(rng.below(4096)) - 2048));
+    }
+  }
+  return prog;
+}
+
+class PipelineCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PipelineCrossCheck, RandomAluProgramsMatchIss) {
+  const unsigned xlen = GetParam();
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcConfig config = ProcConfig::alu_subset(xlen);
+  const ProcModel m = build_processor(ts, config);
+
+  Rng rng(xlen * 7 + 1);
+  for (int round = 0; round < 6; ++round) {
+    TsSim sim(ts);
+    sim::Iss iss(xlen, config.mem_words);
+    seed_registers(sim, m, iss, rng);
+    const isa::Program prog = random_alu_program(rng, config, 25);
+    proc_run_program(sim, m, prog);
+    iss.run(prog);
+    expect_registers_match(sim, m, iss, "round " + std::to_string(round));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PipelineCrossCheck, ::testing::Values(8u, 16u, 32u));
+
+TEST(Pipeline, ForwardingCoversBackToBackDependencies) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcConfig config = ProcConfig::alu_subset(16);
+  const ProcModel m = build_processor(ts, config);
+  TsSim sim(ts);
+  // x1 = 5; x2 = x1 + x1 (depends on the in-flight result); x3 = x2 - x1.
+  proc_run_program(sim, m,
+                   {Instruction::itype(Opcode::ADDI, 1, 0, 5),
+                    Instruction::rtype(Opcode::ADD, 2, 1, 1),
+                    Instruction::rtype(Opcode::SUB, 3, 2, 1)});
+  EXPECT_EQ(sim.state(m.regs[1]), BitVec(16, 5));
+  EXPECT_EQ(sim.state(m.regs[2]), BitVec(16, 10));
+  EXPECT_EQ(sim.state(m.regs[3]), BitVec(16, 5));
+}
+
+TEST(Pipeline, MemoryProgramsMatchIss) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  ProcConfig config = ProcConfig::with_memory(16);
+  const ProcModel m = build_processor(ts, config);
+
+  Rng rng(99);
+  for (int round = 0; round < 6; ++round) {
+    TsSim sim(ts);
+    sim::Iss iss(16, config.mem_words);
+    seed_registers(sim, m, iss, rng);
+    // Mixed ALU + memory program; addresses are arbitrary (both sides wrap
+    // identically modulo the memory size).
+    isa::Program prog;
+    for (int i = 0; i < 25; ++i) {
+      switch (rng.below(3)) {
+        case 0:
+          prog.push_back(Instruction::sw(rng.below(32), rng.below(32),
+                                         static_cast<std::int32_t>(rng.below(64)) - 32));
+          break;
+        case 1:
+          prog.push_back(Instruction::lw(1 + rng.below(31), rng.below(32),
+                                         static_cast<std::int32_t>(rng.below(64)) - 32));
+          break;
+        default:
+          prog.push_back(Instruction::rtype(Opcode::ADD, 1 + rng.below(31), rng.below(32),
+                                            rng.below(32)));
+      }
+    }
+    proc_run_program(sim, m, prog);
+    iss.run(prog);
+    expect_registers_match(sim, m, iss, "round " + std::to_string(round));
+    for (unsigned w = 0; w < config.mem_words; ++w)
+      ASSERT_EQ(sim.state(m.mem[w]), iss.state().load_word(BitVec(16, w * 4)))
+          << "mem word " << w;
+  }
+}
+
+TEST(Pipeline, X0StaysZeroEvenAsDestination) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcModel m = build_processor(ts, ProcConfig::alu_subset(16));
+  TsSim sim(ts);
+  proc_run_program(sim, m, {Instruction::itype(Opcode::ADDI, 0, 0, 123)});
+  EXPECT_TRUE(sim.state(m.regs[0]).is_zero());
+}
+
+TEST(Pipeline, DrainedAfterBubbles) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcModel m = build_processor(ts, ProcConfig::alu_subset(8));
+  TsSim sim(ts);
+  EXPECT_TRUE(sim.eval(m.drained()).is_true());  // empty at reset
+  sim.step(proc_drive(m, Instruction::itype(Opcode::ADDI, 1, 0, 1)));
+  EXPECT_FALSE(sim.eval(m.drained()).is_true());  // D stage occupied
+  sim.step(proc_bubble(m));
+  EXPECT_FALSE(sim.eval(m.drained()).is_true());  // W stage occupied
+  sim.step(proc_bubble(m));
+  EXPECT_TRUE(sim.eval(m.drained()).is_true());
+}
+
+// --- mutation catalogs ---
+
+TEST(Mutations, Table1HasThePapersThirteenRows) {
+  const auto bugs = table1_single_instruction_bugs();
+  ASSERT_EQ(bugs.size(), 13u);
+  const Opcode expected[] = {Opcode::ADD,  Opcode::SUB,  Opcode::XOR,  Opcode::OR,
+                             Opcode::AND,  Opcode::SLT,  Opcode::SLTU, Opcode::SRA,
+                             Opcode::MULH, Opcode::XORI, Opcode::SLLI, Opcode::SRAI,
+                             Opcode::SW};
+  for (std::size_t i = 0; i < bugs.size(); ++i) {
+    EXPECT_EQ(bugs[i].target, expected[i]) << bugs[i].name;
+    EXPECT_TRUE(bugs[i].single_instruction) << bugs[i].name;
+    EXPECT_FALSE(bugs[i].name.empty());
+    EXPECT_FALSE(bugs[i].description.empty());
+  }
+}
+
+TEST(Mutations, Figure4HasTwentyMultiInstructionBugs) {
+  for (bool with_memory : {false, true}) {
+    const auto bugs = figure4_multi_instruction_bugs(with_memory);
+    EXPECT_EQ(bugs.size(), 20u);
+    for (const Mutation& b : bugs) EXPECT_FALSE(b.single_instruction) << b.name;
+  }
+}
+
+/// A directed single-instruction test for each Table-1 target: operand
+/// values chosen so the documented wrong function differs from the
+/// correct one.
+isa::Program directed_program_for(Opcode target) {
+  switch (target) {
+    case Opcode::ADD: return {Instruction::rtype(Opcode::ADD, 3, 1, 2)};
+    case Opcode::SUB: return {Instruction::rtype(Opcode::SUB, 3, 1, 2)};
+    case Opcode::XOR: return {Instruction::rtype(Opcode::XOR, 3, 1, 2)};
+    case Opcode::OR: return {Instruction::rtype(Opcode::OR, 3, 1, 2)};
+    case Opcode::AND: return {Instruction::rtype(Opcode::AND, 3, 1, 1)};
+    case Opcode::SLT: return {Instruction::rtype(Opcode::SLT, 3, 4, 0)};   // x4 negative
+    case Opcode::SLTU: return {Instruction::rtype(Opcode::SLTU, 3, 4, 0)};
+    case Opcode::SRA: return {Instruction::rtype(Opcode::SRA, 3, 4, 5)};   // x5 = 4
+    case Opcode::MULH: return {Instruction::rtype(Opcode::MULH, 3, 4, 5)};
+    case Opcode::XORI: return {Instruction::itype(Opcode::XORI, 3, 1, 3)};
+    case Opcode::SLLI: return {Instruction::itype(Opcode::SLLI, 3, 1, 1)};
+    case Opcode::SRAI: return {Instruction::itype(Opcode::SRAI, 3, 4, 4)};
+    case Opcode::SW: return {Instruction::sw(2, 6, 0)};  // data x2, base x6
+    default: return {};
+  }
+}
+
+void seed_directed(TsSim& sim, const ProcModel& m, sim::Iss& iss) {
+  const unsigned xlen = m.config.xlen;
+  const auto set = [&](unsigned r, std::uint64_t v) {
+    sim.set_state(m.regs[r], BitVec(xlen, v));
+    iss.state().set_reg(r, BitVec(xlen, v));
+  };
+  set(1, 3);
+  set(2, 1);
+  set(4, 1ULL << (xlen - 1));  // negative / sign-bit operand
+  set(5, 4);                   // shift amount
+  set(6, 8);                   // store base
+}
+
+class Table1Mutations : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Table1Mutations, BugBreaksTheTargetInstructionUniformly) {
+  const Mutation bug = table1_single_instruction_bugs()[GetParam()];
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcConfig config = ProcConfig::with_memory(16);
+  const ProcModel m = build_processor(ts, config, &bug);
+
+  TsSim sim(ts);
+  sim::Iss iss(16, config.mem_words);
+  seed_directed(sim, m, iss);
+  const isa::Program prog = directed_program_for(bug.target);
+  ASSERT_FALSE(prog.empty());
+  proc_run_program(sim, m, prog);
+  iss.run(prog);
+
+  if (bug.target == Opcode::SW) {
+    bool mem_differs = false;
+    for (unsigned w = 0; w < config.mem_words; ++w)
+      if (!(sim.state(m.mem[w]) == iss.state().load_word(BitVec(16, w * 4))))
+        mem_differs = true;
+    EXPECT_TRUE(mem_differs) << bug.name << " should corrupt memory";
+  } else {
+    EXPECT_FALSE(sim.state(m.regs[3]) == iss.state().reg(3))
+        << bug.name << " should corrupt x3";
+  }
+}
+
+TEST_P(Table1Mutations, BugLeavesOtherInstructionsHealthy) {
+  // A mutated pipeline must still agree with the ISS on programs that
+  // avoid the target instruction (otherwise it is not a single-
+  // instruction bug of that instruction).
+  const Mutation bug = table1_single_instruction_bugs()[GetParam()];
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  ProcConfig config = ProcConfig::alu_subset(16);
+  // Remove the target opcode from the random mix.
+  std::vector<Opcode> kept;
+  for (Opcode op : config.opcodes)
+    if (op != bug.target) kept.push_back(op);
+  config.opcodes = kept;
+  const ProcModel m = build_processor(ts, config, &bug);
+
+  Rng rng(GetParam() * 17 + 3);
+  TsSim sim(ts);
+  sim::Iss iss(16, config.mem_words);
+  seed_registers(sim, m, iss, rng);
+  const isa::Program prog = random_alu_program(rng, config, 30);
+  proc_run_program(sim, m, prog);
+  iss.run(prog);
+  expect_registers_match(sim, m, iss, bug.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1Mutations, ::testing::Range<std::size_t>(0, 13),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return table1_single_instruction_bugs()[info.param].name;
+                         });
+
+TEST(MultiInstructionMutations, ForwardingBugNeedsBackToBackPair) {
+  // fwd_a_dead_ADD: an ADD consuming its producer's result back-to-back
+  // reads stale data; the same pair separated by a bubble is healthy.
+  const auto bugs = figure4_multi_instruction_bugs(false);
+  const Mutation* bug = nullptr;
+  for (const Mutation& b : bugs)
+    if (b.name == "fwd_a_dead_ADD") bug = &b;
+  ASSERT_NE(bug, nullptr);
+
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const ProcConfig config = ProcConfig::alu_subset(16);
+  const ProcModel m = build_processor(ts, config, bug);
+
+  // Back-to-back: x2 = (x1=7) + 1 must see x1's fresh value.
+  {
+    TsSim sim(ts);
+    sim.step(proc_drive(m, Instruction::itype(Opcode::ADDI, 1, 0, 7)));
+    sim.step(proc_drive(m, Instruction::rtype(Opcode::ADD, 2, 1, 0)));
+    sim.step(proc_bubble(m));
+    sim.step(proc_bubble(m));
+    sim.step(proc_bubble(m));
+    EXPECT_EQ(sim.state(m.regs[2]), BitVec(16, 0)) << "stale read expected under the bug";
+  }
+  // With a bubble between producer and consumer the regfile is up to date.
+  {
+    TsSim sim(ts);
+    sim.step(proc_drive(m, Instruction::itype(Opcode::ADDI, 1, 0, 7)));
+    sim.step(proc_bubble(m));
+    sim.step(proc_bubble(m));
+    sim.step(proc_drive(m, Instruction::rtype(Opcode::ADD, 2, 1, 0)));
+    sim.step(proc_bubble(m));
+    sim.step(proc_bubble(m));
+    EXPECT_EQ(sim.state(m.regs[2]), BitVec(16, 7));
+  }
+}
+
+TEST(MultiInstructionMutations, SingleInstructionsWithBubblesStayHealthy) {
+  // Definitionally multi-instruction: executing any single instruction in
+  // isolation (bubbles around it) matches the ISS for every Figure-4 bug.
+  const auto bugs = figure4_multi_instruction_bugs(true);
+  Rng rng(5150);
+  for (const Mutation& bug : bugs) {
+    smt::TermManager mgr;
+    ts::TransitionSystem ts(mgr);
+    const ProcConfig config = ProcConfig::with_memory(16);
+    const ProcModel m = build_processor(ts, config, &bug);
+
+    TsSim sim(ts);
+    sim::Iss iss(16, config.mem_words);
+    seed_registers(sim, m, iss, rng);
+    const isa::Program prog = random_alu_program(rng, config, 8);
+    for (const Instruction& inst : prog) {
+      sim.step(proc_drive(m, inst));
+      sim.step(proc_bubble(m));
+      sim.step(proc_bubble(m));
+      iss.step(inst);
+    }
+    expect_registers_match(sim, m, iss, bug.name);
+  }
+}
+
+}  // namespace
+}  // namespace sepe::proc

@@ -1,0 +1,252 @@
+// Tests for concrete QED testing (Lin et al., §2.1 background): the
+// EDDI-V and EDSEP-V program transformations executed on the ISS, with
+// consistency checking and injected execution bugs.
+#include <gtest/gtest.h>
+
+#include "qed/qed_test.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::qed {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::Program;
+
+TEST(RegisterSplitTest, MatchesThePaper) {
+  const RegisterSplit eddi = register_split(QedMode::EddiV);
+  EXPECT_EQ(eddi.original_count, 16u);   // regs[i] <-> regs[i+16]
+  EXPECT_EQ(eddi.shadow_offset, 16u);
+  EXPECT_EQ(eddi.temp_count, 0u);
+
+  const RegisterSplit edsep = register_split(QedMode::EdsepV);
+  EXPECT_EQ(edsep.original_count, 13u);  // O = regs[0..12]
+  EXPECT_EQ(edsep.shadow_offset, 13u);   // E = regs[13..25]
+  EXPECT_EQ(edsep.temp_base, 26u);       // T = regs[26..31]
+  EXPECT_EQ(edsep.temp_count, 6u);
+  EXPECT_EQ(edsep.original_count + edsep.shadow_offset + edsep.temp_count, 32u);
+}
+
+TEST(QedModeNames, Render) {
+  EXPECT_NE(std::string(qed_mode_name(QedMode::EddiV)).find("SQED"), std::string::npos);
+  EXPECT_NE(std::string(qed_mode_name(QedMode::EdsepV)).find("SEPE"), std::string::npos);
+}
+
+// --- EDDI-V transformation ---
+
+TEST(EddiVTransform, DuplicatesWithShadowRegisters) {
+  const Program original = {Instruction::rtype(Opcode::SUB, 1, 2, 3)};
+  const Program t = eddi_v_transform(original, 64);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0], original[0]);
+  EXPECT_EQ(t[1], Instruction::rtype(Opcode::SUB, 17, 18, 19));
+}
+
+TEST(EddiVTransform, X0MapsToX0) {
+  const Program t = eddi_v_transform({Instruction::rtype(Opcode::ADD, 1, 0, 2)}, 64);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].rs1, 0);  // x0 has no shadow — hard-wired zero on both halves
+  EXPECT_EQ(t[1].rd, 17);
+}
+
+TEST(EddiVTransform, MemoryAccessesShiftIntoShadowHalf) {
+  const Program t = eddi_v_transform({Instruction::lw(1, 0, 8), Instruction::sw(2, 0, 4)}, 64);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[1], Instruction::lw(17, 0, 8 + 64));
+  EXPECT_EQ(t[3], Instruction::sw(18, 0, 4 + 64));
+}
+
+TEST(EddiVTransform, HealthyExecutionIsConsistent) {
+  Rng rng(7);
+  for (int round = 0; round < 10; ++round) {
+    const Program original =
+        random_original_program(rng, 20, QedMode::EddiV, /*with_memory=*/true, 64);
+    const Program t = eddi_v_transform(original, 64);
+    const QedTestResult r = run_qed_test(t, QedMode::EddiV, 32, 32);
+    EXPECT_TRUE(r.consistent) << "round " << round;
+  }
+}
+
+TEST(EddiVTransform, DetectsMultiInstructionStyleBug) {
+  // Injected ISS bug: ADD result off by one, but only when rd == x1 —
+  // asymmetric between the halves, so the duplicate (rd = x17) is healthy.
+  const Program original = {Instruction::rtype(Opcode::ADD, 1, 2, 3)};
+  const Program t = eddi_v_transform(original, 64);
+  const auto buggy = [](const Instruction& inst, const BitVec& correct) {
+    return inst.rd == 1 ? correct + BitVec(correct.width(), 1) : correct;
+  };
+  const QedTestResult r = run_qed_test(t, QedMode::EddiV, 32, 32, buggy);
+  EXPECT_FALSE(r.consistent);
+  ASSERT_TRUE(r.mismatched_reg.has_value());
+  EXPECT_EQ(*r.mismatched_reg, 1u);
+}
+
+TEST(EddiVTransform, MissesSingleInstructionBug) {
+  // The paper's central negative result (§2.1): a bug corrupting SUB
+  // *uniformly* hits original and duplicate identically — QED consistency
+  // holds and the bug escapes.
+  Rng rng(8);
+  const auto buggy = [](const Instruction& inst, const BitVec& correct) {
+    if (inst.op != Opcode::SUB) return correct;
+    return correct ^ BitVec(correct.width(), 4);  // uniform corruption
+  };
+  for (int round = 0; round < 10; ++round) {
+    const Program original =
+        random_original_program(rng, 20, QedMode::EddiV, /*with_memory=*/false, 64);
+    const Program t = eddi_v_transform(original, 64);
+    const QedTestResult r = run_qed_test(t, QedMode::EddiV, 32, 32, buggy);
+    EXPECT_TRUE(r.consistent) << "single-instruction bug must be invisible to EDDI-V";
+  }
+}
+
+// --- EDSEP-V transformation ---
+
+/// A small deterministic equivalence table for the instructions the
+/// directed tests use. Built from hand-picked multisets so tests do not
+/// depend on search order.
+class EdsepTable : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    lib_ = new std::vector<synth::Component>(synth::make_standard_library());
+    specs_ = new std::vector<synth::SynthSpec>();
+    specs_->reserve(16);  // programs hold SynthSpec pointers: no reallocation
+    table_ = new synth::EquivalenceTable();
+    auto comp = [&](const char* name) -> const synth::Component* {
+      for (const auto& c : *lib_)
+        if (c.name == name) return &c;
+      return nullptr;
+    };
+    synth::CegisOptions o;
+    o.xlen = 8;
+    const auto add_entry = [&](const char* key, synth::SynthSpec spec,
+                               std::vector<const synth::Component*> multiset) {
+      specs_->push_back(std::move(spec));
+      auto p = synth::cegis_multiset(specs_->back(), multiset, o);
+      ASSERT_TRUE(p.has_value()) << key;
+      table_->add(key, std::move(*p));
+    };
+    add_entry("SUB", synth::make_spec(Opcode::SUB),
+              {comp("NOT"), comp("ADD"), comp("NOT")});
+    add_entry("XOR", synth::make_spec(Opcode::XOR),
+              {comp("OR"), comp("AND"), comp("SUB")});
+    add_entry("ADD", synth::make_spec(Opcode::ADD),
+              {comp("NOT"), comp("SUB"), comp("NOT")});
+    add_entry("ADDI", synth::make_spec(Opcode::ADDI),
+              {comp("NOT"), comp("NOT"), comp("ADDI")});
+    add_entry("LW_ADDR", synth::make_address_spec(Opcode::LW),
+              {comp("NOT"), comp("NOT"), comp("ADDI")});
+    add_entry("SW_ADDR", synth::make_address_spec(Opcode::SW),
+              {comp("NOT"), comp("NOT"), comp("ADDI")});
+  }
+  static void TearDownTestSuite() {
+    delete table_;
+    delete specs_;
+    delete lib_;
+    table_ = nullptr;
+    specs_ = nullptr;
+    lib_ = nullptr;
+  }
+  static std::vector<synth::Component>* lib_;
+  static std::vector<synth::SynthSpec>* specs_;
+  static synth::EquivalenceTable* table_;
+};
+
+std::vector<synth::Component>* EdsepTable::lib_ = nullptr;
+std::vector<synth::SynthSpec>* EdsepTable::specs_ = nullptr;
+synth::EquivalenceTable* EdsepTable::table_ = nullptr;
+
+TEST_F(EdsepTable, TransformEmitsOriginalPlusEquivalent) {
+  const Program original = {Instruction::rtype(Opcode::SUB, 1, 2, 3)};
+  const Program t = edsep_v_transform(original, *table_, 64);
+  ASSERT_GE(t.size(), 4u);  // original + 3-instruction equivalent
+  EXPECT_EQ(t[0], original[0]);
+  // Equivalent instructions only touch the E (14..25) and T (26..31)
+  // banks; x0 may appear as a fixed operand.
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (isa::writes_register(t[i].op)) {
+      EXPECT_GE(t[i].rd, 13) << t[i].to_string();
+    }
+    for (unsigned r : {t[i].rs1, t[i].rs2}) {
+      EXPECT_TRUE(r == 0 || r >= 13) << t[i].to_string();
+    }
+  }
+}
+
+TEST_F(EdsepTable, HealthyExecutionIsConsistent) {
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    // Directed mix over the instructions the table covers.
+    Program original;
+    static const Opcode kOps[] = {Opcode::SUB, Opcode::XOR, Opcode::ADD, Opcode::ADDI};
+    for (int i = 0; i < 12; ++i) {
+      const Opcode op = kOps[rng.below(std::size(kOps))];
+      const unsigned rd = 1 + rng.below(12), rs1 = rng.below(13), rs2 = rng.below(13);
+      if (op == Opcode::ADDI) {
+        original.push_back(Instruction::itype(op, rd, rs1,
+                                              static_cast<std::int32_t>(rng.below(4096)) -
+                                                  2048));
+      } else {
+        original.push_back(Instruction::rtype(op, rd, rs1, rs2));
+      }
+    }
+    const Program t = edsep_v_transform(original, *table_, 64);
+    const QedTestResult r = run_qed_test(t, QedMode::EdsepV, 32, 32);
+    EXPECT_TRUE(r.consistent) << "round " << round;
+  }
+}
+
+TEST_F(EdsepTable, CatchesTheSingleInstructionBugEddiMisses) {
+  // The same uniform SUB corruption EDDI-V cannot see: the SUB-equivalent
+  // program (XORI/ADD/XORI) avoids SUB, so only the original stream is
+  // corrupted and the halves diverge.
+  const auto buggy = [](const Instruction& inst, const BitVec& correct) {
+    if (inst.op != Opcode::SUB) return correct;
+    return correct ^ BitVec(correct.width(), 4);
+  };
+  const Program original = {Instruction::rtype(Opcode::SUB, 1, 2, 3)};
+  const Program t = edsep_v_transform(original, *table_, 64);
+  const QedTestResult r = run_qed_test(t, QedMode::EdsepV, 32, 32, buggy);
+  EXPECT_FALSE(r.consistent);
+  ASSERT_TRUE(r.mismatched_reg.has_value());
+  EXPECT_EQ(*r.mismatched_reg, 1u);  // rd of the corrupted SUB
+}
+
+TEST_F(EdsepTable, CatchesUniformXorBug) {
+  const auto buggy = [](const Instruction& inst, const BitVec& correct) {
+    if (inst.op != Opcode::XOR) return correct;
+    return BitVec::ones(correct.width());
+  };
+  const Program original = {Instruction::rtype(Opcode::XOR, 2, 3, 4)};
+  const Program t = edsep_v_transform(original, *table_, 64);
+  const QedTestResult r = run_qed_test(t, QedMode::EdsepV, 32, 32, buggy);
+  EXPECT_FALSE(r.consistent);
+}
+
+TEST_F(EdsepTable, MemoryInstructionsUseAddressPathPlusShadowAccess) {
+  const Program original = {Instruction::sw(2, 1, 4), Instruction::lw(3, 1, 4)};
+  const Program t = edsep_v_transform(original, *table_, 64);
+  // Each memory op expands to: original, address program (3 instrs), access.
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_EQ(t[0], original[0]);
+  EXPECT_EQ(t[4].op, Opcode::SW);
+  EXPECT_EQ(t[4].imm, 64);           // shadow-half displacement
+  EXPECT_EQ(t[4].rs2, 2 + 13);       // data register mapped into E
+  EXPECT_EQ(t[9].op, Opcode::LW);
+  EXPECT_EQ(t[9].rd, 3 + 13);
+  // Healthy run stays consistent, including the memory halves.
+  const QedTestResult r = run_qed_test(t, QedMode::EdsepV, 32, 32);
+  EXPECT_TRUE(r.consistent);
+}
+
+TEST_F(EdsepTable, RandomProgramGeneratorRespectsTheSplit) {
+  Rng rng(3);
+  const Program p = random_original_program(rng, 50, QedMode::EdsepV, false, 64);
+  for (const Instruction& inst : p) {
+    if (isa::writes_register(inst.op)) EXPECT_LT(inst.rd, 13);
+    EXPECT_LT(inst.rs1, 13);
+    EXPECT_LT(inst.rs2, 13);
+  }
+}
+
+}  // namespace
+}  // namespace sepe::qed

@@ -1,0 +1,176 @@
+// Cross-checks of the two interpretations of instruction semantics
+// (paper §4.1): the concrete BitVec evaluator and the symbolic term
+// builder must agree instruction-for-instruction, at every supported
+// datapath width. This is the keystone property: CEGIS trusts the
+// symbolic side, the ISS and QED testing trust the concrete side.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "isa/semantics.hpp"
+#include "smt/eval.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::isa {
+namespace {
+
+using smt::TermManager;
+using smt::TermRef;
+
+std::vector<Opcode> alu_opcodes() {
+  return {Opcode::ADD,  Opcode::SUB,   Opcode::SLL,    Opcode::SLT,  Opcode::SLTU,
+          Opcode::XOR,  Opcode::SRL,   Opcode::SRA,    Opcode::OR,   Opcode::AND,
+          Opcode::ADDI, Opcode::SLTI,  Opcode::SLTIU,  Opcode::XORI, Opcode::ORI,
+          Opcode::ANDI, Opcode::SLLI,  Opcode::SRLI,   Opcode::SRAI, Opcode::MUL,
+          Opcode::MULH, Opcode::MULHSU, Opcode::MULHU, Opcode::DIV,  Opcode::DIVU,
+          Opcode::REM,  Opcode::REMU};
+}
+
+TEST(ImmToXlen, SignExtendsOntoWiderDatapaths) {
+  EXPECT_EQ(imm_to_xlen(-1, 32), BitVec(32, 0xffffffffULL));
+  EXPECT_EQ(imm_to_xlen(-2048, 32), BitVec(32, 0xfffff800ULL));
+  EXPECT_EQ(imm_to_xlen(2047, 32), BitVec(32, 0x7ff));
+  EXPECT_EQ(imm_to_xlen(5, 16), BitVec(16, 5));
+}
+
+TEST(ImmToXlen, TruncatesOntoNarrowDatapaths) {
+  EXPECT_EQ(imm_to_xlen(-1, 8), BitVec(8, 0xff));
+  EXPECT_EQ(imm_to_xlen(0x7ff, 8), BitVec(8, 0xff));
+  EXPECT_EQ(imm_to_xlen(0x123, 8), BitVec(8, 0x23));
+}
+
+// Concrete vs symbolic ALU semantics: random sweep per (opcode, width).
+class AluCrossCheck : public ::testing::TestWithParam<std::tuple<Opcode, unsigned>> {};
+
+TEST_P(AluCrossCheck, ConcreteAndSymbolicAgree) {
+  const auto [op, xlen] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(op) * 64 + xlen);
+  for (int trial = 0; trial < 60; ++trial) {
+    const BitVec a = rng.interesting_bitvec(xlen);
+    const BitVec b = rng.interesting_bitvec(xlen);
+
+    const BitVec concrete = alu_concrete(op, a, b);
+
+    TermManager mgr;
+    const TermRef ta = mgr.mk_const(a), tb = mgr.mk_const(b);
+    const TermRef out = alu_symbolic(mgr, op, ta, tb);
+    const BitVec symbolic = smt::eval_term(mgr, out, {});
+
+    ASSERT_EQ(concrete, symbolic)
+        << opcode_name(op) << " xlen=" << xlen << " a=" << a.to_hex()
+        << " b=" << b.to_hex();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndWidths, AluCrossCheck,
+    ::testing::Combine(::testing::ValuesIn(alu_opcodes()),
+                       ::testing::Values(4u, 8u, 16u, 32u)),
+    [](const ::testing::TestParamInfo<std::tuple<Opcode, unsigned>>& info) {
+      return std::string(opcode_name(std::get<0>(info.param))) + "_w" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// RISC-V corner cases that must hold in both interpretations.
+TEST(AluCorners, DivisionByZero) {
+  for (unsigned xlen : {8u, 32u}) {
+    const BitVec a(xlen, 57), zero(xlen, 0);
+    EXPECT_EQ(alu_concrete(Opcode::DIVU, a, zero), BitVec::ones(xlen));
+    EXPECT_EQ(alu_concrete(Opcode::DIV, a, zero), BitVec::ones(xlen));
+    EXPECT_EQ(alu_concrete(Opcode::REMU, a, zero), a);
+    EXPECT_EQ(alu_concrete(Opcode::REM, a, zero), a);
+  }
+}
+
+TEST(AluCorners, SignedDivisionOverflow) {
+  for (unsigned xlen : {8u, 16u, 32u}) {
+    const BitVec int_min(xlen, 1ULL << (xlen - 1));
+    const BitVec minus1 = BitVec::ones(xlen);
+    EXPECT_EQ(alu_concrete(Opcode::DIV, int_min, minus1), int_min);
+    EXPECT_EQ(alu_concrete(Opcode::REM, int_min, minus1), BitVec::zeros(xlen));
+  }
+}
+
+TEST(AluCorners, ShiftAmountsAreMaskedLikeRiscv) {
+  // Register shifts use only the low log2(xlen) bits of the amount.
+  const BitVec a(32, 0x80000000ULL);
+  EXPECT_EQ(alu_concrete(Opcode::SRL, a, BitVec(32, 32)), a);   // 32 & 31 == 0
+  EXPECT_EQ(alu_concrete(Opcode::SRL, a, BitVec(32, 33)),      // 33 & 31 == 1
+            BitVec(32, 0x40000000ULL));
+  EXPECT_EQ(alu_concrete(Opcode::SLL, BitVec(32, 1), BitVec(32, 63)),
+            BitVec(32, 0x80000000ULL));
+}
+
+TEST(AluCorners, MulhMatchesWideProduct) {
+  // MULH family against a 64-bit wide reference at 32 bits.
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    const BitVec a = rng.interesting_bitvec(32), b = rng.interesting_bitvec(32);
+    const std::int64_t sa = a.sval(), sb = b.sval();
+    const std::uint64_t ua = a.uval(), ub = b.uval();
+    EXPECT_EQ(alu_concrete(Opcode::MULH, a, b).uval(),
+              static_cast<std::uint64_t>((sa * sb) >> 32) & 0xffffffffULL);
+    EXPECT_EQ(alu_concrete(Opcode::MULHU, a, b).uval(), (ua * ub) >> 32);
+    EXPECT_EQ(alu_concrete(Opcode::MULHSU, a, b).uval(),
+              static_cast<std::uint64_t>((sa * static_cast<std::int64_t>(ub)) >> 32) &
+                  0xffffffffULL);
+  }
+}
+
+// instruction_result (the full register-writing path incl. LUI and
+// immediates) against its concrete twin.
+class InstructionResultCrossCheck : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(InstructionResultCrossCheck, SymbolicMatchesConcrete) {
+  const unsigned xlen = GetParam();
+  Rng rng(xlen * 31 + 5);
+  for (int trial = 0; trial < 300; ++trial) {
+    // Draw a random register-writing, non-load instruction.
+    Instruction inst;
+    const Opcode op = alu_opcodes()[rng.below(alu_opcodes().size())];
+    const unsigned rd = 1 + rng.below(31);
+    if (is_rtype(op)) {
+      inst = Instruction::rtype(op, rd, rng.below(32), rng.below(32));
+    } else if (opcode_format(op) == Format::Shift) {
+      inst = Instruction::itype(op, rd, rng.below(32),
+                                static_cast<std::int32_t>(rng.below(32)));
+    } else {
+      inst = Instruction::itype(op, rd, rng.below(32),
+                                static_cast<std::int32_t>(rng.below(4096)) - 2048);
+    }
+    const BitVec rs1 = rng.interesting_bitvec(xlen);
+    const BitVec rs2 = rng.interesting_bitvec(xlen);
+
+    const BitVec concrete = instruction_result_concrete(inst, rs1, rs2, xlen);
+
+    TermManager mgr;
+    const TermRef out = instruction_result(mgr, inst, mgr.mk_const(rs1),
+                                           mgr.mk_const(rs2), xlen);
+    ASSERT_EQ(concrete, smt::eval_term(mgr, out, {}))
+        << inst.to_string() << " xlen=" << xlen;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, InstructionResultCrossCheck,
+                         ::testing::Values(8u, 16u, 32u));
+
+TEST(InstructionResult, LuiShiftsImmediateField) {
+  TermManager mgr;
+  const Instruction lui = Instruction::lui(1, 0xabcde);
+  const TermRef out = instruction_result(mgr, lui, mgr.mk_const(32, 0),
+                                         mgr.mk_const(32, 0), 32);
+  EXPECT_EQ(smt::eval_term(mgr, out, {}), BitVec(32, 0xabcde000ULL));
+  EXPECT_EQ(instruction_result_concrete(lui, BitVec(32, 7), BitVec(32, 9), 32),
+            BitVec(32, 0xabcde000ULL));
+}
+
+TEST(InstructionResult, LuiTruncatesOnNarrowDatapath) {
+  const Instruction lui = Instruction::lui(1, 0xabcde);
+  // At 16 bits only imm[3:0] survives the <<12.
+  EXPECT_EQ(instruction_result_concrete(lui, BitVec(16, 0), BitVec(16, 0), 16),
+            BitVec(16, 0xe000));
+}
+
+}  // namespace
+}  // namespace sepe::isa

@@ -1,0 +1,116 @@
+// Tests for the transition-system IR and its BTOR2-style serializer.
+#include <gtest/gtest.h>
+
+#include "smt/eval.hpp"
+#include "ts/transition_system.hpp"
+
+namespace sepe::ts {
+namespace {
+
+using smt::TermManager;
+using smt::TermRef;
+
+TEST(TransitionSystemTest, DeclaresStatesAndInputs) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef s = ts.add_state("counter", 8);
+  const TermRef in = ts.add_input("step", 8);
+  EXPECT_TRUE(ts.is_state(s));
+  EXPECT_FALSE(ts.is_state(in));
+  EXPECT_TRUE(ts.is_input(in));
+  EXPECT_FALSE(ts.is_input(s));
+  EXPECT_EQ(ts.states().size(), 1u);
+  EXPECT_EQ(ts.inputs().size(), 1u);
+  EXPECT_EQ(mgr.width(s), 8u);
+}
+
+TEST(TransitionSystemTest, InitAndNextAreRecorded) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef s = ts.add_state("x", 4);
+  EXPECT_EQ(ts.init_of(s), smt::kNullTerm);   // unconstrained by default
+  EXPECT_EQ(ts.next_of(s), smt::kNullTerm);
+  EXPECT_FALSE(ts.complete());
+
+  ts.set_init(s, mgr.mk_const(4, 0));
+  ts.set_next(s, mgr.mk_add(s, mgr.mk_const(4, 1)));
+  EXPECT_EQ(ts.init_of(s), mgr.mk_const(4, 0));
+  EXPECT_NE(ts.next_of(s), smt::kNullTerm);
+  EXPECT_TRUE(ts.complete());
+}
+
+TEST(TransitionSystemTest, ConstraintsAndBadsAccumulate) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef in = ts.add_input("i", 4);
+  ts.add_constraint(mgr.mk_ult(in, mgr.mk_const(4, 5)));
+  ts.add_init_constraint(mgr.mk_eq(in, mgr.mk_const(4, 0)));
+  ts.add_bad(mgr.mk_eq(in, mgr.mk_const(4, 3)), "i-hits-3");
+  EXPECT_EQ(ts.constraints().size(), 1u);
+  EXPECT_EQ(ts.init_constraints().size(), 1u);
+  ASSERT_EQ(ts.bads().size(), 1u);
+  ASSERT_EQ(ts.bad_labels().size(), 1u);
+  EXPECT_EQ(ts.bad_labels()[0], "i-hits-3");
+}
+
+TEST(Btor2Serializer, EmitsAllSections) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef s = ts.add_state("cnt", 8);
+  const TermRef in = ts.add_input("inc", 1);
+  ts.set_init(s, mgr.mk_const(8, 0));
+  ts.set_next(s, mgr.mk_ite(in, mgr.mk_add(s, mgr.mk_const(8, 1)), s));
+  ts.add_constraint(mgr.mk_not(mgr.mk_eq(s, mgr.mk_const(8, 250))));
+  ts.add_bad(mgr.mk_eq(s, mgr.mk_const(8, 10)), "cnt-10");
+
+  const std::string btor = to_btor2(ts);
+  EXPECT_NE(btor.find(" sort bitvec 8"), std::string::npos);
+  EXPECT_NE(btor.find(" state "), std::string::npos);
+  EXPECT_NE(btor.find(" input "), std::string::npos);
+  EXPECT_NE(btor.find(" init "), std::string::npos);
+  EXPECT_NE(btor.find(" next "), std::string::npos);
+  EXPECT_NE(btor.find(" constraint "), std::string::npos);
+  EXPECT_NE(btor.find(" bad "), std::string::npos);
+  EXPECT_NE(btor.find("cnt"), std::string::npos);
+}
+
+TEST(Btor2Serializer, EmitsOperatorsForTheWholeTermAlphabet) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef a = ts.add_state("a", 8);
+  const TermRef b = ts.add_input("b", 8);
+  // A next-function exercising many operators at once.
+  TermRef t = mgr.mk_add(a, b);
+  t = mgr.mk_xor(t, mgr.mk_sub(a, b));
+  t = mgr.mk_ite(mgr.mk_ult(a, b), t, mgr.mk_mul(a, b));
+  t = mgr.mk_or(t, mgr.mk_shl(a, mgr.mk_const(8, 1)));
+  t = mgr.mk_and(t, mgr.mk_ashr(b, mgr.mk_const(8, 2)));
+  ts.set_next(a, t);
+  const std::string btor = to_btor2(ts);
+  for (const char* op : {"add", "xor", "sub", "ite", "ult", "mul", "or", "sll", "sra", "and"})
+    EXPECT_NE(btor.find(op), std::string::npos) << op;
+}
+
+TEST(Btor2Serializer, SharesSortsAndNodes) {
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef a = ts.add_state("a", 16);
+  const TermRef b = ts.add_state("b", 16);
+  const TermRef sum = mgr.mk_add(a, b);
+  ts.set_next(a, sum);
+  ts.set_next(b, sum);  // shared subterm
+  const std::string btor = to_btor2(ts);
+  // Exactly one 16-bit sort declaration, one add definition.
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t pos = btor.find(needle); pos != std::string::npos;
+         pos = btor.find(needle, pos + 1))
+      ++n;
+    return n;
+  };
+  EXPECT_EQ(count("sort bitvec 16"), 1u);
+  EXPECT_EQ(count(" add "), 1u);
+}
+
+}  // namespace
+}  // namespace sepe::ts
