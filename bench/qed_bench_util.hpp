@@ -1,23 +1,17 @@
 // qed_bench_util.hpp — shared infrastructure for the Table-1 / Figure-4
-// benches: a pinned equivalence table and timed BMC runs of the two QED
-// verification models.
-//
-// The equivalence programs here are the ones HPF-CEGIS finds (see
-// bench/fig3_synthesis); the benches pin the multisets so that the
-// verification-side experiments are deterministic and do not re-pay the
-// synthesis cost on every run. Each program transforms the operand
-// data path (different wiring or different opcodes), which is what lets
-// EDSEP-V separate a single-instruction bug's effect on the original
-// instruction from its effect on the replay (paper §5).
+// benches. The pinned equivalence table now lives in the campaign engine
+// (src/engine/pinned_table.hpp) so that tools/sepe-run shares it; this
+// header re-exports it for the benches and keeps the one-shot timed BMC
+// helper used by experiments that have not moved onto the engine.
 #pragma once
 
 #include <cassert>
-#include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "bmc/bmc.hpp"
+#include "engine/campaign.hpp"
+#include "engine/pinned_table.hpp"
 #include "proc/mutations.hpp"
 #include "qed/qed_module.hpp"
 #include "synth/cegis.hpp"
@@ -25,95 +19,17 @@
 
 namespace sepe::bench {
 
-/// Owns the specs the table's programs point into.
-struct PinnedTable {
-  std::vector<synth::Component> lib = synth::make_standard_library();
-  std::vector<synth::SynthSpec> specs;
-  synth::EquivalenceTable table;
+using engine::PinnedTable;
 
-  PinnedTable() { specs.reserve(64); }
-
-  const synth::Component* comp(const std::string& name) const {
-    for (const auto& c : lib)
-      if (c.name == name) return &c;
-    assert(false && "unknown component");
-    return nullptr;
-  }
-
-  /// Synthesize one pinned equivalence via CEGIS on a fixed multiset.
-  ///
-  /// `synth_xlen` must equal the DUV width the table will verify:
-  /// solved attribute constants (sign masks, multiplier tricks) are in
-  /// general only correct at the width they were synthesized for, so the
-  /// program is re-proved at that width here.
-  void add(const std::string& key, synth::SynthSpec spec,
-           const std::vector<std::string>& multiset, unsigned synth_xlen) {
-    specs.push_back(std::move(spec));
-    std::vector<const synth::Component*> comps;
-    for (const std::string& name : multiset) comps.push_back(comp(name));
-    synth::CegisOptions o;
-    o.xlen = synth_xlen;
-    // Prefer a program whose output instruction differs from the
-    // original opcode (full datapath separation); fall back to the plain
-    // §4.1 constraint when the multiset cannot satisfy that.
-    o.forbid_output_op = true;
-    auto p = synth::cegis_multiset(specs.back(), comps, o);
-    if (!p) {
-      o.forbid_output_op = false;
-      p = synth::cegis_multiset(specs.back(), comps, o);
-    }
-    assert(p.has_value() && "pinned multiset failed to synthesize");
-    assert(synth::verify_program(*p, synth_xlen) && "pinned program failed re-proof");
-    table.add(key, std::move(*p));
-  }
-};
-
-/// The equivalence table covering every instruction the Table-1 and
-/// Figure-4 benches stream. Every program reshapes the operands, so a
-/// uniform corruption of the original instruction diverges from the
-/// replay (even for the rows whose equivalent reuses the opcode, e.g.
-/// SRA == NOT(SRA(NOT(a), b))).
 inline std::unique_ptr<PinnedTable> make_bench_table(unsigned duv_xlen) {
-  auto t = std::make_unique<PinnedTable>();
-  using isa::Opcode;
-  auto spec = [](Opcode op) { return synth::make_spec(op); };
-  const unsigned w = duv_xlen;
-  t->add("ADD", spec(Opcode::ADD), {"NOT", "SUB", "NOT"}, w);
-  t->add("SUB", spec(Opcode::SUB), {"NOT", "ADD", "NOT"}, w);     // Listing 1
-  t->add("XOR", spec(Opcode::XOR), {"OR", "AND", "SUB"}, w);
-  t->add("OR", spec(Opcode::OR), {"ADD", "AND", "SUB"}, w);       // a+b-(a&b)
-  t->add("AND", spec(Opcode::AND), {"ADD", "OR", "SUB"}, w);      // a+b-(a|b)
-  t->add("SLT", spec(Opcode::SLT), {"XORI", "XORI", "SLTU"}, w);  // sign-flip
-  t->add("SLTU", spec(Opcode::SLTU), {"XORI", "XORI", "SLT"}, w);
-  t->add("SRA", spec(Opcode::SRA), {"NOT", "SRA", "NOT"}, w);     // complement conjugation
-  t->add("MULH", spec(Opcode::MULH), {"MULHSU_C", "SIGNSEL", "SUB"}, w);
-  t->add("XORI", spec(Opcode::XORI), {"NOT", "XORI", "NOT"}, w);
-  t->add("SLLI", spec(Opcode::SLLI), {"XOR", "ADDI", "SLL"}, w);  // materialized shamt
-  t->add("SRAI", spec(Opcode::SRAI), {"NOT", "SRAI", "NOT"}, w);
-  t->add("ADDI", spec(Opcode::ADDI), {"NOT", "NOT", "ADDI"}, w);  // conjugated passthrough
-  t->add("LW_ADDR", synth::make_address_spec(Opcode::LW), {"NOT", "NOT", "ADDI"}, w);
-  t->add("SW_ADDR", synth::make_address_spec(Opcode::SW), {"NOT", "NOT", "ADDI"}, w);
-  return t;
+  return engine::make_pinned_table(duv_xlen);
 }
 
-/// Opcodes an EDSEP replay of `op` issues (the lowering of its pinned
-/// equivalent program plus, for memory ops, the shadow access itself);
-/// used to size the DUV opcode set per experiment.
+/// Opcodes an EDSEP replay of `op` issues; used to size the DUV opcode
+/// set per experiment.
 inline std::vector<isa::Opcode> replay_opcodes(const PinnedTable& t, isa::Opcode op) {
-  const bool memory = isa::is_load(op) || isa::is_store(op);
-  const std::string key =
-      memory ? std::string(isa::opcode_name(op)) + "_ADDR" : isa::opcode_name(op);
-  const synth::SynthProgram* prog = t.table.first(key);
-  assert(prog && "no pinned equivalence for opcode");
-  std::vector<isa::Opcode> ops;
-  const auto push_unique = [&](isa::Opcode o) {
-    for (isa::Opcode existing : ops)
-      if (existing == o) return;
-    ops.push_back(o);
-  };
-  for (const synth::SynthLine& line : prog->lines)
-    for (const synth::ExpansionInstr& e : line.comp->expansion) push_unique(e.op);
-  if (memory) push_unique(op);
+  std::vector<isa::Opcode> ops = engine::replay_opcodes(t.table, op);
+  assert(!ops.empty() && "no pinned equivalence for opcode");
   return ops;
 }
 

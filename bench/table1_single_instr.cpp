@@ -2,16 +2,19 @@
 // single-instruction bugs; SEPE-SQED (EDSEP-V) detects every one, SQED
 // (EDDI-V) detects none.
 //
-// Per row: the mutated DUV is model-checked twice — once under the
-// EDSEP-V module (expect a counterexample: detection time reported) and
-// once under the EDDI-V module (expect *no* counterexample up to the
-// bound: reported as "-", exactly the paper's column). The DUV opcode
-// set per row is the target instruction plus its replay's opcodes, the
+// Runs as two campaigns on the parallel verification engine
+// (src/engine): first every EDSEP-V job fans out across the worker
+// pool (expect a counterexample per row: detection time reported), then
+// the EDDI-V jobs run with each row's bound set two past the depth
+// where EDSEP-V already saw the bug (expect *no* counterexample:
+// reported as "-", exactly the paper's column). The DUV opcode set per
+// row is the target instruction plus its replay's opcodes, the
 // smallest design that exercises the bug (the paper's RIDECORE carries
 // the full ISA; the shape — detect vs not — is what transfers).
 //
-// Flags: --xlen W (datapath, default 6), --bound N (BMC bound, default
-// 10), --sqed-cap SEC (EDDI-V per-row wall cap, default 60), --rows N.
+// Flags: --xlen W (datapath, default 4), --bound N (BMC bound, default
+// 10), --sqed-cap SEC (EDDI-V per-row wall cap, default 60), --rows N,
+// --threads N (worker pool size, default: hardware concurrency).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,13 +26,14 @@ using namespace sepe::bench;
 using isa::Opcode;
 
 int main(int argc, char** argv) {
-  unsigned xlen = 4, bound = 10, rows_limit = 13;
+  unsigned xlen = 4, bound = 10, rows_limit = 13, threads = 0;
   double sqed_cap = 60.0;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--xlen") && i + 1 < argc) xlen = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--bound") && i + 1 < argc) bound = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--sqed-cap") && i + 1 < argc) sqed_cap = std::atof(argv[++i]);
     if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) rows_limit = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) threads = std::atoi(argv[++i]);
   }
 
   std::printf("Table 1 — injected single-instruction bugs (xlen=%u, bound=%u)\n", xlen,
@@ -37,58 +41,86 @@ int main(int argc, char** argv) {
   std::printf("synthesizing the pinned equivalence table...\n");
   const auto pinned = make_bench_table(xlen);
 
-  const auto bugs = proc::table1_single_instruction_bugs();
+  auto bugs = proc::table1_single_instruction_bugs();
+  if (rows_limit < bugs.size()) bugs.resize(rows_limit);
+
+  // Per-row DUV derivation (target + its replay's opcodes, memory sized to
+  // the address space) shared with engine::expand via derive_duv_config.
+  engine::CampaignMatrix matrix;
+  matrix.xlen = xlen;
+  matrix.mem_words = 8;
+  matrix.equivalences = &pinned->table;
+  const auto job_config = [&](const proc::Mutation& bug) {
+    return engine::derive_duv_config(matrix, &bug);
+  };
+
+  engine::CampaignOptions pool;
+  pool.threads = threads;
+
+  // --- campaign 1: SEPE-SQED (EDSEP-V), one job per row ---
+  engine::CampaignSpec sepe_spec;
+  for (const proc::Mutation& bug : bugs) {
+    engine::JobBudget budget;
+    budget.max_bound = bound;
+    budget.race_k_induction = false;  // Table 1 is a pure BMC experiment
+    sepe_spec.jobs.push_back(engine::make_qed_job(bug.name + "/EDSEP-V",
+                                                  qed::QedMode::EdsepV, job_config(bug),
+                                                  bug, &pinned->table, budget));
+  }
+  const engine::CampaignReport sepe = engine::run_campaign(sepe_spec, pool);
+
+  // --- campaign 2: SQED (EDDI-V); sweep at least two bounds past the
+  // depth where SEPE-SQED already sees the bug — enough to substantiate
+  // the "-" — under the per-row wall cap. ---
+  engine::CampaignSpec sqed_spec;
+  for (std::size_t i = 0; i < bugs.size(); ++i) {
+    engine::JobBudget budget;
+    budget.max_bound = sepe.jobs[i].verdict == engine::Verdict::Falsified
+                           ? sepe.jobs[i].trace_length + 2
+                           : bound;
+    budget.max_seconds = sqed_cap;
+    budget.race_k_induction = false;
+    sqed_spec.jobs.push_back(engine::make_qed_job(bugs[i].name + "/EDDI-V",
+                                                  qed::QedMode::EddiV,
+                                                  job_config(bugs[i]), bugs[i], nullptr,
+                                                  budget));
+  }
+  const engine::CampaignReport sqed = engine::run_campaign(sqed_spec, pool);
+
   std::printf("\n%-8s %-28s | %-14s | %s\n", "Type", "Injected bug", "SEPE-SQED",
               "SQED");
   std::printf("---------------------------------------+----------------+------------\n");
 
-  unsigned sepe_found = 0, sqed_found = 0, done = 0;
-  for (std::size_t i = 0; i < bugs.size() && i < rows_limit; ++i) {
-    const proc::Mutation& bug = bugs[i];
-
-    // DUV opcode set: the target + everything its replay issues.
-    proc::ProcConfig config;
-    config.xlen = xlen;
-    // Largest power-of-two memory the address space supports (cap 8).
-    config.mem_words = xlen >= 5 ? 8 : (1u << (xlen - 2));
-    config.opcodes = replay_opcodes(*pinned, bug.target);
-    bool has_target = false;
-    for (Opcode op : config.opcodes) has_target |= (op == bug.target);
-    if (!has_target) config.opcodes.push_back(bug.target);
-
-    const QedRunResult sepe = run_qed_bmc(qed::QedMode::EdsepV, config, &pinned->table,
-                                          &bug, bound);
-    // SQED column: sweep at least two bounds past the depth where
-    // SEPE-SQED already sees the bug — enough to substantiate the "-".
-    const unsigned sqed_bound = sepe.found ? sepe.trace_length + 2 : bound;
-    const QedRunResult sqed = run_qed_bmc(qed::QedMode::EddiV, config, nullptr, &bug,
-                                          sqed_bound, sqed_cap);
-
+  unsigned sepe_found = 0, sqed_found = 0;
+  for (std::size_t i = 0; i < bugs.size(); ++i) {
+    const engine::JobResult& s = sepe.jobs[i];
+    const engine::JobResult& q = sqed.jobs[i];
     char sepe_cell[32], sqed_cell[32];
-    if (sepe.found) {
-      std::snprintf(sepe_cell, sizeof sepe_cell, "%.2fs (len %u)", sepe.seconds,
-                    sepe.trace_length);
+    if (s.verdict == engine::Verdict::Falsified) {
+      std::snprintf(sepe_cell, sizeof sepe_cell, "%.2fs (len %u)", s.seconds,
+                    s.trace_length);
       ++sepe_found;
     } else {
       std::snprintf(sepe_cell, sizeof sepe_cell, "MISSED");
     }
-    if (sqed.found) {
-      std::snprintf(sqed_cell, sizeof sqed_cell, "%.2fs (!)", sqed.seconds);
+    if (q.verdict == engine::Verdict::Falsified) {
+      std::snprintf(sqed_cell, sizeof sqed_cell, "%.2fs (!)", q.seconds);
       ++sqed_found;
     } else {
       // The paper's "-": no counterexample. Distinguish a finished bound
       // sweep from a wall-cap stop (both support the "-" verdict; the cap
       // is reported for honesty).
-      std::snprintf(sqed_cell, sizeof sqed_cell, sqed.hit_limit ? "- (cap %.0fs)" : "-",
-                    sqed.seconds);
+      std::snprintf(sqed_cell, sizeof sqed_cell,
+                    q.hit_resource_limit ? "- (cap %.0fs)" : "-", q.seconds);
     }
-    std::printf("%-8s %-28s | %-14s | %s\n", isa::opcode_name(bug.target),
-                bug.description.substr(0, 28).c_str(), sepe_cell, sqed_cell);
-    std::fflush(stdout);
-    ++done;
+    std::printf("%-8s %-28s | %-14s | %s\n", isa::opcode_name(bugs[i].target),
+                bugs[i].description.substr(0, 28).c_str(), sepe_cell, sqed_cell);
   }
 
-  std::printf("\nSEPE-SQED detected %u/%u, SQED detected %u/%u "
-              "(paper: 13/13 vs 0/13)\n", sepe_found, done, sqed_found, done);
+  std::printf("\nSEPE-SQED detected %u/%zu, SQED detected %u/%zu "
+              "(paper: 13/13 vs 0/13)\n",
+              sepe_found, bugs.size(), sqed_found, bugs.size());
+  std::printf("engine: %u threads, %.2fs + %.2fs wall for the two campaigns\n",
+              sepe.threads, sepe.wall_seconds, sqed.wall_seconds);
   return 0;
 }

@@ -1,7 +1,8 @@
 // find_pipeline_bug — the verification half of the paper (Fig. 1 lower
 // path, Fig. 2 model): inject a named RTL mutation into the pipelined
-// DUV, attach BOTH QED modules in turn, model-check, and compare what
-// SQED and SEPE-SQED can see.
+// DUV, attach BOTH QED modules, and model-check them as a two-job
+// campaign on the parallel engine — each job racing BMC against
+// k-induction — to compare what SQED and SEPE-SQED can see.
 //
 // Usage: ./examples/find_pipeline_bug [BUG_NAME]
 //        ./examples/find_pipeline_bug --list
@@ -11,7 +12,7 @@
 #include <optional>
 #include <string>
 
-#include "bmc/bmc.hpp"
+#include "engine/campaign.hpp"
 #include "proc/mutations.hpp"
 #include "qed/qed_module.hpp"
 #include "synth/cegis.hpp"
@@ -107,32 +108,45 @@ int main(int argc, char** argv) {
                     Opcode::ADDI, Opcode::SLL, Opcode::SRL, Opcode::SLT, Opcode::SLTU})
     if (!config.supports(op)) config.opcodes.push_back(op);
 
-  for (const qed::QedMode mode : {qed::QedMode::EddiV, qed::QedMode::EdsepV}) {
-    std::printf("=== %s ===\n", qed::qed_mode_name(mode));
-    smt::TermManager mgr;
-    ts::TransitionSystem ts(mgr);
-    qed::QedOptions qo;
-    qo.mode = mode;
-    qo.counter_bits = 3;
-    qo.equivalences = &table;
-    qed::build_qed_model(ts, config, qo, &*bug);
+  // One engine job per QED module; both fan out on the worker pool, each
+  // racing BMC against k-induction under the shared wall cap.
+  engine::JobBudget budget;
+  budget.max_bound = 10;
+  budget.max_k = 4;
+  budget.max_seconds = 180.0;
+  engine::CampaignSpec spec;
+  for (const qed::QedMode mode : {qed::QedMode::EddiV, qed::QedMode::EdsepV})
+    spec.jobs.push_back(engine::make_qed_job(std::string(engine::mode_tag(mode)), mode,
+                                             config, *bug, &table, budget,
+                                             /*queue_capacity=*/2, /*counter_bits=*/3));
 
-    bmc::Bmc checker(ts);
-    bmc::BmcOptions bo;
-    bo.max_bound = 10;
-    bo.max_seconds = 180.0;
-    const auto w = checker.check(bo);
-    if (w) {
-      std::printf("VIOLATION at bound %u (%.2fs)\n%s\n", w->length,
-                  checker.stats().seconds, bmc::witness_to_string(ts, *w).c_str());
-    } else if (checker.stats().hit_resource_limit) {
-      std::printf("no verdict within the resource budget (%.0fs)\n\n", bo.max_seconds);
-    } else {
-      std::printf("no violation up to bound %u (%.2fs)%s\n\n", bo.max_bound,
-                  checker.stats().seconds,
-                  bug->single_instruction && mode == qed::QedMode::EddiV
-                      ? " — the false negative the paper predicts for SQED"
-                      : "");
+  engine::CampaignOptions pool;
+  pool.threads = 2;
+  const engine::CampaignReport report = engine::run_campaign(spec, pool);
+
+  for (const engine::JobResult& r : report.jobs) {
+    std::printf("=== %s ===\n", qed::qed_mode_name(r.mode));
+    switch (r.verdict) {
+      case engine::Verdict::Falsified:
+        std::printf("VIOLATION at bound %u (%.2fs, %s won the race)\n%s\n",
+                    r.trace_length, r.seconds, engine::prover_name(r.winner),
+                    r.witness.c_str());
+        break;
+      case engine::Verdict::Proved:
+        std::printf("PROVED by k-induction at k=%u (%.2fs) — no violation at any "
+                    "depth\n\n", r.proved_k, r.seconds);
+        break;
+      case engine::Verdict::Unknown:
+        std::printf("no verdict within the resource budget (%.0fs)\n\n",
+                    budget.max_seconds);
+        break;
+      case engine::Verdict::BoundClean:
+        std::printf("no violation up to bound %u (%.2fs)%s\n\n", budget.max_bound,
+                    r.seconds,
+                    bug->single_instruction && r.mode == qed::QedMode::EddiV
+                        ? " — the false negative the paper predicts for SQED"
+                        : "");
+        break;
     }
   }
   return 0;

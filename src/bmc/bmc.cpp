@@ -67,8 +67,17 @@ void Bmc::unroll_to(unsigned step) {
 std::optional<Witness> Bmc::check(const BmcOptions& options) {
   Stopwatch clock;
   stats_ = BmcStats{};
+  // Lifetime-cumulative, so an early exit (stop flag, wall cap) before the
+  // first solve of this call still reports the conflicts of earlier calls.
+  stats_.solver_conflicts = solver_.sat_solver().num_conflicts();
+
+  solver_.set_stop_flag(options.stop);
 
   for (unsigned bound = 0; bound <= options.max_bound; ++bound) {
+    if (options.stop && options.stop->load(std::memory_order_relaxed)) {
+      stats_.cancelled = true;
+      break;
+    }
     if (options.max_seconds > 0 && clock.seconds() > options.max_seconds) {
       stats_.hit_resource_limit = true;
       break;
@@ -90,7 +99,11 @@ std::optional<Witness> Bmc::check(const BmcOptions& options) {
     const Result r = solver_.check({any_bad});
     stats_.solver_conflicts = solver_.sat_solver().num_conflicts();
     if (r == Result::Unknown) {
-      stats_.hit_resource_limit = true;
+      if (solver_.stop_requested()) {
+        stats_.cancelled = true;
+      } else {
+        stats_.hit_resource_limit = true;
+      }
       break;
     }
     if (r == Result::Sat) {

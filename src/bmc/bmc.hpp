@@ -7,6 +7,7 @@
 // length Figure 4 compares between SQED and SEPE-SQED.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,12 +36,18 @@ struct BmcOptions {
   /// Overall wall-clock cap in seconds (0 = none). When hit, check()
   /// returns nullopt with hit_resource_limit set in the stats.
   double max_seconds = 0.0;
+  /// Cooperative cancellation: when non-null and set true (from any
+  /// thread), check() aborts mid-sweep — the flag is threaded into the
+  /// CDCL loop, so even a single hard bound is interrupted. A cancelled
+  /// check() returns nullopt with stats().cancelled set.
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct BmcStats {
   unsigned bounds_checked = 0;
   double seconds = 0.0;
   bool hit_resource_limit = false;
+  bool cancelled = false;
   std::uint64_t solver_conflicts = 0;
 };
 

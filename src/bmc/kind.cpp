@@ -95,20 +95,31 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     return options.max_seconds > 0 && clock.seconds() >= options.max_seconds;
   };
 
+  const auto stopped = [&]() {
+    return options.stop && options.stop->load(std::memory_order_relaxed);
+  };
+  const auto tally_conflicts = [&]() {
+    result.solver_conflicts =
+        base.stats().solver_conflicts + window.solver().sat_solver().num_conflicts();
+  };
+
   for (unsigned k = 1; k <= options.max_k; ++k) {
     // --- base: any violation within k steps from init? ---
     BmcOptions bo;
     bo.max_bound = k;
     bo.conflict_budget_per_bound = options.conflict_budget;
     bo.max_seconds = remaining();
+    bo.stop = options.stop;
     const auto w = base.check(bo);
     if (w) {
       result.status = KInductionStatus::Falsified;
       result.k = k;
       result.witness = w;
       result.seconds = clock.seconds();
+      tally_conflicts();
       return result;
     }
+    if (base.stats().cancelled || stopped()) break;
     if (base.stats().hit_resource_limit || out_of_time()) break;
 
     // --- inductive step: k good steps, bad at step k. Unsat => proved. ---
@@ -125,19 +136,23 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
 
     window.solver().set_conflict_budget(options.conflict_budget);
     window.solver().set_time_budget(remaining());
+    window.solver().set_stop_flag(options.stop);
     const Result r = window.solver().check(assumptions);
     if (r == Result::Unsat) {
       result.status = KInductionStatus::Proved;
       result.k = k;
       result.seconds = clock.seconds();
+      tally_conflicts();
       return result;
     }
     if (r == Result::Unknown || out_of_time()) break;
     result.k = k;  // Sat: not yet inductive, deepen
   }
 
-  result.hit_resource_limit = out_of_time();
+  result.cancelled = stopped();
+  result.hit_resource_limit = !result.cancelled && out_of_time();
   result.seconds = clock.seconds();
+  tally_conflicts();
   return result;
 }
 

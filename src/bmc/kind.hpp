@@ -38,6 +38,9 @@ struct KInductionOptions {
   std::uint64_t conflict_budget = 0;
   /// Overall wall-clock cap in seconds (0 = none).
   double max_seconds = 0.0;
+  /// Cooperative cancellation, threaded into both the base-case BMC and
+  /// the inductive-step solver (see BmcOptions::stop).
+  const std::atomic<bool>* stop = nullptr;
 };
 
 struct KInductionResult {
@@ -47,7 +50,10 @@ struct KInductionResult {
   /// Counterexample when Falsified.
   std::optional<Witness> witness;
   bool hit_resource_limit = false;
+  bool cancelled = false;
   double seconds = 0.0;
+  /// Total SAT conflicts across the base-case and inductive solvers.
+  std::uint64_t solver_conflicts = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

@@ -1,0 +1,405 @@
+#include "engine/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <thread>
+
+#include "synth/encoding.hpp"
+#include "util/stopwatch.hpp"
+
+namespace sepe::engine {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Falsified: return "FALSIFIED";
+    case Verdict::Proved: return "PROVED";
+    case Verdict::BoundClean: return "BOUND_CLEAN";
+    case Verdict::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+const char* prover_name(Prover p) {
+  switch (p) {
+    case Prover::None: return "none";
+    case Prover::Bmc: return "bmc";
+    case Prover::KInduction: return "k-induction";
+  }
+  return "?";
+}
+
+const char* mode_tag(qed::QedMode mode) {
+  return mode == qed::QedMode::EddiV ? "EDDI-V" : "EDSEP-V";
+}
+
+JobSpec make_qed_job(std::string name, qed::QedMode mode, const proc::ProcConfig& config,
+                     std::optional<proc::Mutation> mutation,
+                     const synth::EquivalenceTable* equivalences, const JobBudget& budget,
+                     unsigned queue_capacity, unsigned counter_bits) {
+  assert((mode != qed::QedMode::EdsepV || equivalences != nullptr) &&
+         "EDSEP-V requires an equivalence table");
+  JobSpec job;
+  job.name = std::move(name);
+  job.mode = mode;
+  job.budget = budget;
+  job.build = [mode, config, mutation = std::move(mutation), equivalences,
+               queue_capacity, counter_bits](ts::TransitionSystem& ts) {
+    qed::QedOptions qo;
+    qo.mode = mode;
+    qo.queue_capacity = queue_capacity;
+    qo.counter_bits = counter_bits;
+    qo.equivalences = equivalences;
+    qed::build_qed_model(ts, config, qo, mutation ? &*mutation : nullptr);
+  };
+  return job;
+}
+
+std::vector<isa::Opcode> replay_opcodes(const synth::EquivalenceTable& table,
+                                        isa::Opcode op) {
+  const bool memory = isa::is_load(op) || isa::is_store(op);
+  const std::string key =
+      memory ? std::string(isa::opcode_name(op)) + "_ADDR" : isa::opcode_name(op);
+  std::vector<isa::Opcode> ops;
+  const synth::SynthProgram* prog = table.first(key);
+  if (!prog) return ops;
+  const auto push_unique = [&](isa::Opcode o) {
+    for (isa::Opcode existing : ops)
+      if (existing == o) return;
+    ops.push_back(o);
+  };
+  for (const synth::SynthLine& line : prog->lines)
+    for (const synth::ExpansionInstr& e : line.comp->expansion) push_unique(e.op);
+  if (memory) push_unique(op);
+  return ops;
+}
+
+proc::ProcConfig derive_duv_config(const CampaignMatrix& matrix,
+                                   const proc::Mutation* mutation) {
+  assert(matrix.xlen >= 2 && "DUV datapath needs at least 2 bits");
+  proc::ProcConfig config;
+  config.xlen = std::max(2u, matrix.xlen);
+  // Largest power-of-two memory the address space supports (cap at the
+  // requested size) — mirrors the Table-1 bench sizing.
+  config.mem_words = config.xlen >= 5
+                         ? matrix.mem_words
+                         : std::min(matrix.mem_words, 1u << (config.xlen - 2));
+  const auto add = [&](isa::Opcode op) {
+    if (!config.supports(op)) config.opcodes.push_back(op);
+  };
+  if (mutation && mutation->target != isa::Opcode::NOP) add(mutation->target);
+  for (isa::Opcode op : matrix.extra_opcodes) add(op);
+  // The DUV must also implement every opcode the EDSEP replays of its
+  // instructions issue.
+  if (matrix.equivalences) {
+    for (isa::Opcode base : std::vector<isa::Opcode>(config.opcodes))
+      for (isa::Opcode op : replay_opcodes(*matrix.equivalences, base)) add(op);
+  }
+  return config;
+}
+
+CampaignSpec expand(const CampaignMatrix& matrix, std::uint64_t seed) {
+  CampaignSpec spec;
+  spec.seed = seed;
+
+  const auto add_jobs_for = [&](const proc::Mutation* mutation,
+                                const std::string& base) {
+    const proc::ProcConfig config = derive_duv_config(matrix, mutation);
+    for (qed::QedMode mode : matrix.modes) {
+      spec.jobs.push_back(make_qed_job(
+          base + "/" + mode_tag(mode), mode, config,
+          mutation ? std::optional<proc::Mutation>(*mutation) : std::nullopt,
+          matrix.equivalences, matrix.budget, matrix.queue_capacity,
+          matrix.counter_bits));
+    }
+  };
+
+  if (matrix.mutations.empty()) {
+    add_jobs_for(nullptr, "healthy");
+  } else {
+    for (const proc::Mutation& m : matrix.mutations) add_jobs_for(&m, m.name);
+  }
+  return spec;
+}
+
+namespace {
+
+/// Outcome of one prover inside the race.
+struct BmcSide {
+  bool ran = false;
+  std::optional<bmc::Witness> found;
+  bmc::BmcStats stats;
+  std::string witness_text;
+  std::string bad_label;
+};
+
+struct KindSide {
+  bool ran = false;
+  bmc::KInductionResult result;
+  std::string witness_text;
+  std::string bad_label;
+};
+
+constexpr int kClaimNone = 0, kClaimBmc = 1, kClaimKind = 2;
+
+}  // namespace
+
+JobResult run_job(const JobSpec& job) {
+  assert(job.build && "JobSpec needs a model builder");
+  Stopwatch clock;
+  JobResult r;
+  r.name = job.name;
+  r.mode = job.mode;
+
+  // The race state: the first prover with a *definite* verdict
+  // (counterexample or proof) claims the job and raises the stop flag the
+  // loser's CDCL loop polls. Indefinite outcomes (clean sweep, exhausted
+  // max_k, budget) never cancel the other side — that is what keeps
+  // verdicts deterministic across thread counts.
+  std::atomic<bool> stop{false};
+  std::atomic<int> claim{kClaimNone};
+  const auto try_claim = [&](int who) {
+    int expected = kClaimNone;
+    if (claim.compare_exchange_strong(expected, who)) {
+      stop.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  };
+
+  BmcSide bside;
+  KindSide kside;
+  const bool race = job.budget.race_k_induction && job.budget.max_k > 0;
+
+  const auto bmc_prover = [&]() {
+    bside.ran = true;
+    smt::TermManager mgr;
+    ts::TransitionSystem ts(mgr);
+    job.build(ts);
+    bmc::Bmc checker(ts);
+    bmc::BmcOptions bo;
+    bo.max_bound = job.budget.max_bound;
+    bo.conflict_budget_per_bound = job.budget.conflict_budget;
+    bo.max_seconds = job.budget.max_seconds;
+    bo.stop = &stop;
+    bside.found = checker.check(bo);
+    bside.stats = checker.stats();
+    if (bside.found && try_claim(kClaimBmc)) {
+      bside.witness_text = bmc::witness_to_string(ts, *bside.found);
+      bside.bad_label = bside.found->bad_label;
+    }
+  };
+
+  const auto kind_prover = [&]() {
+    kside.ran = true;
+    smt::TermManager mgr;
+    ts::TransitionSystem ts(mgr);
+    job.build(ts);
+    bmc::KInductionOptions ko;
+    ko.max_k = job.budget.max_k;
+    ko.conflict_budget = job.budget.conflict_budget;
+    ko.max_seconds = job.budget.max_seconds;
+    ko.stop = &stop;
+    kside.result = bmc::prove_by_k_induction(ts, ko);
+    if (kside.result.status != bmc::KInductionStatus::Unknown &&
+        try_claim(kClaimKind)) {
+      if (kside.result.witness) {
+        kside.witness_text = bmc::witness_to_string(ts, *kside.result.witness);
+        kside.bad_label = kside.result.witness->bad_label;
+      }
+    }
+  };
+
+  if (race) {
+    std::thread second(kind_prover);
+    bmc_prover();
+    second.join();
+  } else {
+    bmc_prover();
+  }
+
+  r.bmc_bounds_checked = bside.stats.bounds_checked;
+  switch (claim.load(std::memory_order_acquire)) {
+    case kClaimBmc:
+      r.verdict = Verdict::Falsified;
+      r.winner = Prover::Bmc;
+      r.trace_length = bside.found->length;
+      r.bad_label = bside.bad_label;
+      r.witness = bside.witness_text;
+      r.conflicts = bside.stats.solver_conflicts;
+      r.loser_cancelled = kside.ran && kside.result.cancelled;
+      break;
+    case kClaimKind:
+      r.winner = Prover::KInduction;
+      r.conflicts = kside.result.solver_conflicts;
+      r.loser_cancelled = bside.stats.cancelled;
+      if (kside.result.status == bmc::KInductionStatus::Falsified) {
+        r.verdict = Verdict::Falsified;
+        r.trace_length = kside.result.witness ? kside.result.witness->length : 0;
+        r.bad_label = kside.bad_label;
+        r.witness = kside.witness_text;
+      } else {
+        r.verdict = Verdict::Proved;
+        r.proved_k = kside.result.k;
+      }
+      break;
+    default:
+      // No definite verdict from either prover. A completed BMC sweep is
+      // itself a definite bounded result (BoundClean) even when the
+      // induction side ran out of budget — only BMC's own budgets can
+      // demote the verdict to Unknown. This keeps verdicts deterministic
+      // under (deterministic) conflict budgets: a budget-truncated
+      // k-induction run never changes the verdict, it only loses the
+      // chance to upgrade it to Proved.
+      r.conflicts = bside.stats.solver_conflicts +
+                    (kside.ran ? kside.result.solver_conflicts : 0);
+      if (bside.stats.hit_resource_limit || bside.stats.cancelled) {
+        r.verdict = Verdict::Unknown;
+        r.hit_resource_limit = true;
+      } else {
+        r.verdict = Verdict::BoundClean;
+        r.hit_resource_limit = kside.ran && kside.result.hit_resource_limit;
+      }
+      break;
+  }
+  r.seconds = clock.seconds();
+  return r;
+}
+
+CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& options) {
+  Stopwatch clock;
+  unsigned threads =
+      options.threads != 0 ? options.threads : std::thread::hardware_concurrency();
+  threads = std::max<std::size_t>(
+      1, std::min<std::size_t>(threads, spec.jobs.empty() ? 1 : spec.jobs.size()));
+
+  CampaignReport report;
+  report.seed = spec.seed;
+  report.threads = threads;
+  report.jobs.resize(spec.jobs.size());
+
+  // Work queue: an atomic cursor over the job list. Each worker pops the
+  // next index and runs the job in full isolation; results land in spec
+  // order so the report is independent of scheduling.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= spec.jobs.size()) return;
+      report.jobs[i] = run_job(spec.jobs[i]);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_seconds = clock.seconds();
+  return report;
+}
+
+unsigned CampaignReport::count(Verdict v) const {
+  unsigned n = 0;
+  for (const JobResult& j : jobs) n += (j.verdict == v);
+  return n;
+}
+
+std::string CampaignReport::to_table() const {
+  std::ostringstream os;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-34s %-8s %-12s %-6s %-12s %10s %9s\n", "job",
+                "mode", "verdict", "len/k", "winner", "conflicts", "time");
+  os << line;
+  os << std::string(96, '-') << "\n";
+  for (const JobResult& j : jobs) {
+    char lenk[16] = "-";
+    if (j.verdict == Verdict::Falsified)
+      std::snprintf(lenk, sizeof lenk, "%u", j.trace_length);
+    else if (j.verdict == Verdict::Proved)
+      std::snprintf(lenk, sizeof lenk, "k=%u", j.proved_k);
+    std::snprintf(line, sizeof line, "%-34s %-8s %-12s %-6s %-12s %10llu %8.2fs%s\n",
+                  j.name.c_str(), mode_tag(j.mode), verdict_name(j.verdict),
+                  lenk, prover_name(j.winner),
+                  static_cast<unsigned long long>(j.conflicts), j.seconds,
+                  j.loser_cancelled ? "  [loser cancelled]" : "");
+    os << line;
+  }
+  std::snprintf(line, sizeof line,
+                "%zu jobs: %u falsified, %u proved, %u bound-clean, %u unknown "
+                "(%u threads, %.2fs wall, seed %llu)\n",
+                jobs.size(), count(Verdict::Falsified), count(Verdict::Proved),
+                count(Verdict::BoundClean), count(Verdict::Unknown), threads,
+                wall_seconds, static_cast<unsigned long long>(seed));
+  os << line;
+  return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string CampaignReport::to_json(bool include_timing) const {
+  std::ostringstream os;
+  os << "{\n  \"seed\": " << seed;
+  if (include_timing) {
+    os << ",\n  \"threads\": " << threads;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.3f", wall_seconds);
+    os << ",\n  \"wall_seconds\": " << buf;
+  }
+  os << ",\n  \"jobs\": [";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const JobResult& j = jobs[i];
+    os << (i ? ",\n    {" : "\n    {");
+    os << "\"name\": ";
+    json_escape(os, j.name);
+    os << ", \"mode\": \"" << mode_tag(j.mode) << "\"";
+    os << ", \"verdict\": \"" << verdict_name(j.verdict) << "\"";
+    if (j.verdict == Verdict::Falsified) os << ", \"trace_length\": " << j.trace_length;
+    if (j.verdict == Verdict::Proved) os << ", \"proved_k\": " << j.proved_k;
+    // Winner, conflicts and timings depend on race scheduling; keeping
+    // them out makes the no-timing report byte-stable across runs and
+    // thread counts for a fixed spec.
+    if (include_timing) {
+      os << ", \"winner\": \"" << prover_name(j.winner) << "\"";
+      os << ", \"conflicts\": " << j.conflicts;
+      os << ", \"bmc_bounds_checked\": " << j.bmc_bounds_checked;
+      os << ", \"loser_cancelled\": " << (j.loser_cancelled ? "true" : "false");
+      os << ", \"hit_resource_limit\": " << (j.hit_resource_limit ? "true" : "false");
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3f", j.seconds);
+      os << ", \"seconds\": " << buf;
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+}  // namespace sepe::engine

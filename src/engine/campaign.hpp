@@ -1,0 +1,172 @@
+// campaign.hpp — the parallel verification-campaign engine.
+//
+// The paper's headline experiments (Table 1, Fig. 3/4) are embarrassingly
+// parallel sweeps: instruction classes × QED mode {EDDI-V, EDSEP-V} ×
+// injected mutation, each cell an independent model-checking run. This
+// engine is the architectural seam those sweeps (and every future scaling
+// direction — sharding, portfolio solvers, multi-backend) plug into:
+//
+//   * a CampaignSpec is a declarative list of verification jobs, either
+//     enumerated directly or expanded from a CampaignMatrix cross-product;
+//   * a work-queue thread pool fans jobs out, one isolated TermManager /
+//     solver stack per job (nothing below the engine is shared, so no
+//     locking in the hot path);
+//   * each job races BMC against k-induction: the first definite verdict
+//     (counterexample or proof) wins and cancels the loser through the
+//     cooperative stop flag threaded down into the CDCL loop;
+//   * results aggregate into a CampaignReport that is deterministic for a
+//     fixed spec — verdicts, trace lengths and proof depths are identical
+//     whatever the thread count, because only *definite* verdicts cancel
+//     the other prover (a clean bound sweep never suppresses a proof, and
+//     both provers enumerate counterexamples shortest-first). Caveat: the
+//     guarantee needs deterministic budgets — conflict budgets qualify,
+//     wall-clock caps (JobBudget::max_seconds) do not, since a cap that
+//     fires earlier under core contention can demote a verdict to Unknown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bmc/bmc.hpp"
+#include "bmc/kind.hpp"
+#include "proc/mutations.hpp"
+#include "qed/qed_module.hpp"
+#include "synth/cegis.hpp"
+
+namespace sepe::engine {
+
+/// Final answer for one job.
+enum class Verdict {
+  Falsified,   // counterexample found (by either prover)
+  Proved,      // k-induction closed: no violation at any depth
+  BoundClean,  // BMC exhausted its bound cleanly; no proof within the
+               // induction side's depth/budget limits
+  Unknown,     // a resource budget cut the BMC sweep itself short
+};
+const char* verdict_name(Verdict v);
+
+/// Which prover delivered the verdict.
+enum class Prover { None, Bmc, KInduction };
+const char* prover_name(Prover p);
+
+/// Short QED-mode tag for job names and report columns ("EDDI-V" /
+/// "EDSEP-V"; contrast qed::qed_mode_name's long display form).
+const char* mode_tag(qed::QedMode mode);
+
+/// Search budgets for one job.
+struct JobBudget {
+  unsigned max_bound = 10;      // BMC bound sweep limit
+  unsigned max_k = 10;          // k-induction depth limit (0 = BMC only)
+  std::uint64_t conflict_budget = 0;  // per-solver-call cap (0 = none)
+  double max_seconds = 0.0;           // per-job wall cap (0 = none)
+  bool race_k_induction = true;       // false = BMC only, no second prover
+};
+
+/// One verification job: a self-contained model builder plus budgets.
+/// `build` runs on a worker thread against a job-local TransitionSystem /
+/// TermManager, so it must not touch mutable shared state.
+struct JobSpec {
+  std::string name;
+  std::function<void(ts::TransitionSystem&)> build;
+  qed::QedMode mode = qed::QedMode::EddiV;  // informational (reports)
+  JobBudget budget;
+};
+
+/// Convenience constructor for the standard QED job: DUV(config, mutation)
+/// + QED module in `mode`. The mutation is captured by value; the
+/// equivalence table (required for EDSEP-V) is captured by pointer and
+/// must outlive the campaign — it is only ever read.
+JobSpec make_qed_job(std::string name, qed::QedMode mode, const proc::ProcConfig& config,
+                     std::optional<proc::Mutation> mutation,
+                     const synth::EquivalenceTable* equivalences, const JobBudget& budget,
+                     unsigned queue_capacity = 2, unsigned counter_bits = 3);
+
+/// A campaign: ordered jobs plus the RNG seed recorded in the report
+/// (and used by spec generators that sample, e.g. sepe-run's random
+/// opcode subsets). The engine itself is deterministic for a fixed spec.
+struct CampaignSpec {
+  std::vector<JobSpec> jobs;
+  std::uint64_t seed = 1;
+};
+
+/// Declarative cross-product: one job per (mutation × mode). Instruction
+/// classes enter through the mutations (each targets one instruction) and
+/// the per-job DUV opcode set, which is derived from the mutation target
+/// plus everything its EDSEP replay issues.
+struct CampaignMatrix {
+  unsigned xlen = 4;
+  unsigned mem_words = 8;
+  std::vector<qed::QedMode> modes;
+  std::vector<proc::Mutation> mutations;
+  const synth::EquivalenceTable* equivalences = nullptr;
+  /// Opcodes always present in the DUV besides the derived ones.
+  std::vector<isa::Opcode> extra_opcodes;
+  unsigned queue_capacity = 2;
+  unsigned counter_bits = 3;
+  JobBudget budget;
+};
+CampaignSpec expand(const CampaignMatrix& matrix, std::uint64_t seed = 1);
+
+/// The DUV configuration expand() gives a job: mutation target + extra
+/// opcodes + every opcode their EDSEP replays issue, memory sized to the
+/// address space. Exposed for drivers (e.g. the Table-1 bench) that build
+/// per-job budgets expand() cannot express. Requires xlen >= 2.
+proc::ProcConfig derive_duv_config(const CampaignMatrix& matrix,
+                                   const proc::Mutation* mutation);
+
+/// Opcodes an EDSEP replay of `op` issues: the lowering of its table
+/// entry plus, for memory instructions, the shadow access itself. Used to
+/// size per-job DUV opcode sets.
+std::vector<isa::Opcode> replay_opcodes(const synth::EquivalenceTable& table,
+                                        isa::Opcode op);
+
+/// Per-job outcome. All verdict-bearing fields (verdict, trace_length,
+/// proved_k, bad_label) are deterministic for a fixed spec; timing and
+/// conflict counts are not and are excluded from stable reports.
+struct JobResult {
+  std::string name;
+  qed::QedMode mode = qed::QedMode::EddiV;
+  Verdict verdict = Verdict::Unknown;
+  Prover winner = Prover::None;
+  unsigned trace_length = 0;  // Falsified: counterexample length
+  unsigned proved_k = 0;      // Proved: depth at which induction closed
+  std::string bad_label;      // Falsified: which bad condition fired
+  std::string witness;        // Falsified: rendered trace table
+  unsigned bmc_bounds_checked = 0;
+  bool loser_cancelled = false;  // losing prover observed the stop flag
+  bool hit_resource_limit = false;
+  std::uint64_t conflicts = 0;  // winning prover's SAT conflicts
+  double seconds = 0.0;         // job wall time
+};
+
+struct CampaignOptions {
+  unsigned threads = 1;  // worker count (0 = hardware_concurrency)
+};
+
+struct CampaignReport {
+  std::vector<JobResult> jobs;  // in spec order, regardless of threads
+  std::uint64_t seed = 0;
+  unsigned threads = 0;
+  double wall_seconds = 0.0;
+
+  unsigned count(Verdict v) const;
+  /// Human-readable per-job stats table.
+  std::string to_table() const;
+  /// Machine-readable report. With include_timing=false only the
+  /// deterministic fields are emitted (byte-identical across runs and
+  /// thread counts for a fixed spec).
+  std::string to_json(bool include_timing = true) const;
+};
+
+/// Run one job on the calling thread (racing its provers internally).
+JobResult run_job(const JobSpec& job);
+
+/// Fan the campaign out over a worker pool and aggregate the report.
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            const CampaignOptions& options = {});
+
+}  // namespace sepe::engine

@@ -389,6 +389,7 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
     conflict_core_.clear();
     return SolveResult::Unsat;
   }
+  if (stop_requested()) return SolveResult::Unknown;
   backtrack(0);
   if (propagate() != kNullRef) {
     root_unsat_ = true;
@@ -404,6 +405,13 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
 
   std::vector<Lit> learnt;
   for (;;) {
+    // Cooperative cancellation: one relaxed atomic load per
+    // propagate/decide cycle, so a raced solve aborts within a few
+    // microseconds of the winner raising the flag.
+    if (stop_requested()) {
+      backtrack(0);
+      return SolveResult::Unknown;
+    }
     const ClauseRef confl = propagate();
     if (confl != kNullRef) {
       ++stats_conflicts_;

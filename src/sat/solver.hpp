@@ -11,6 +11,7 @@
 // under assumptions (the incremental interface CEGIS relies on).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -94,6 +95,16 @@ class Solver {
   /// (0 = no limit). Checked every 1024 conflicts, so the overshoot is
   /// bounded by one short conflict burst.
   void set_time_budget(double seconds) { time_budget_seconds_ = seconds; }
+
+  /// Cooperative cancellation: when `stop` is non-null and becomes true
+  /// (typically set from another thread), solve() aborts with Unknown at
+  /// the next decision or conflict. The flag must outlive the solver or
+  /// be cleared with set_stop_flag(nullptr). Used by the campaign engine
+  /// to cancel the losing side of a BMC/k-induction race.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  bool stop_requested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+  }
 
   // --- statistics, for the micro benches and EXPERIMENTS.md ---
   std::uint64_t num_conflicts() const { return stats_conflicts_; }
@@ -192,6 +203,7 @@ class Solver {
   std::vector<Lit> conflict_core_;
   std::uint64_t conflict_budget_ = 0;
   double time_budget_seconds_ = 0.0;
+  const std::atomic<bool>* stop_ = nullptr;
 
   // scratch for analyze()
   std::vector<std::uint8_t> seen_;

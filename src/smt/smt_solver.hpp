@@ -49,6 +49,11 @@ class SmtSolver {
   /// Abort check() with Unknown after this many wall seconds (0 = off).
   void set_time_budget(double seconds) { sat_.set_time_budget(seconds); }
 
+  /// Cooperative cancellation (see sat::Solver::set_stop_flag): check()
+  /// aborts with Unknown soon after *stop becomes true.
+  void set_stop_flag(const std::atomic<bool>* stop) { sat_.set_stop_flag(stop); }
+  bool stop_requested() const { return sat_.stop_requested(); }
+
   const sat::Solver& sat_solver() const { return sat_; }
 
  private:

@@ -182,11 +182,11 @@ class BitVec {
   }
 
  private:
-  BitVec binop(const BitVec& o, std::uint64_t raw) const {
+  BitVec binop([[maybe_unused]] const BitVec& o, std::uint64_t raw) const {
     assert(width_ == o.width_);
     return BitVec(width_, raw);
   }
-  BitVec cmp(const BitVec& o, bool r) const {
+  BitVec cmp([[maybe_unused]] const BitVec& o, bool r) const {
     assert(width_ == o.width_);
     return boolean(r);
   }

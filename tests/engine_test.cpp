@@ -1,0 +1,278 @@
+// Tests for the parallel verification-campaign engine: verdict parity
+// between multi-threaded and sequential runs, deterministic reports,
+// the BMC/k-induction race, and cooperative cancellation (the losing
+// prover observes the stop flag and exits without finishing its sweep).
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "engine/campaign.hpp"
+#include "engine/pinned_table.hpp"
+#include "proc/mutations.hpp"
+#include "sat/solver.hpp"
+
+namespace sepe::engine {
+namespace {
+
+using smt::TermRef;
+
+/// Job over a counter that increments by an input-controlled step:
+/// falsified at depth `target` when target <= max_bound, bound-clean
+/// otherwise (never provable — a symbolic window state can sit at the
+/// target, so the inductive step stays satisfiable).
+JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t target,
+                    const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width, target](ts::TransitionSystem& ts) {
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef cnt = ts.add_state("cnt", width);
+    const TermRef inc = ts.add_input("inc", 1);
+    ts.set_init(cnt, mgr.mk_const(width, 0));
+    ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(width, 1)), cnt));
+    ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(width, target)), "cnt-target");
+  };
+  return job;
+}
+
+/// Job over a frozen register: init 0, never changes, bad = (x == 1).
+/// k-induction proves it at k = 1 (x != 1 stays x != 1); BMC alone can
+/// only ever sweep bounds.
+JobSpec frozen_job(const std::string& name, unsigned width, const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width](ts::TransitionSystem& ts) {
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef x = ts.add_state("x", width);
+    ts.set_init(x, mgr.mk_const(width, 0));
+    ts.set_next(x, x);
+    ts.add_bad(mgr.mk_eq(x, mgr.mk_const(width, 1)), "x-one");
+  };
+  return job;
+}
+
+TEST(EngineJob, FalsifiesReachableCounter) {
+  JobBudget budget;
+  budget.max_bound = 10;
+  budget.max_k = 4;
+  const JobResult r = run_job(counter_job("cnt5", 8, 5, budget));
+  EXPECT_EQ(r.verdict, Verdict::Falsified);
+  EXPECT_EQ(r.trace_length, 5u);
+  EXPECT_EQ(r.bad_label, "cnt-target");
+  EXPECT_NE(r.winner, Prover::None);
+  EXPECT_NE(r.witness.find("counterexample of length 5"), std::string::npos);
+}
+
+TEST(EngineJob, ProvesFrozenRegisterByInduction) {
+  JobBudget budget;
+  budget.max_bound = 3;
+  budget.max_k = 4;
+  const JobResult r = run_job(frozen_job("frozen", 8, budget));
+  EXPECT_EQ(r.verdict, Verdict::Proved);
+  EXPECT_EQ(r.winner, Prover::KInduction);
+  EXPECT_GE(r.proved_k, 1u);
+}
+
+TEST(EngineJob, BoundCleanWhenUnreachableWithinBound) {
+  JobBudget budget;
+  budget.max_bound = 5;
+  budget.max_k = 3;
+  const JobResult r = run_job(counter_job("cnt40", 8, 40, budget));
+  EXPECT_EQ(r.verdict, Verdict::BoundClean);
+  EXPECT_EQ(r.winner, Prover::None);
+  EXPECT_EQ(r.bmc_bounds_checked, 6u);  // bounds 0..5, all clean
+}
+
+TEST(EngineJob, RaceDisabledNeverProves) {
+  JobBudget budget;
+  budget.max_bound = 3;
+  budget.max_k = 4;
+  budget.race_k_induction = false;
+  const JobResult r = run_job(frozen_job("frozen", 8, budget));
+  EXPECT_EQ(r.verdict, Verdict::BoundClean);
+  EXPECT_EQ(r.winner, Prover::None);
+}
+
+// The acceptance check for the cancellation hook: the frozen register is
+// proved by k-induction almost immediately, while the BMC side faces a
+// sweep five orders of magnitude deeper than it can finish first. The
+// losing BMC prover must observe the stop flag raised by the winner and
+// exit mid-sweep instead of checking all 200000 bounds.
+TEST(EngineJob, LosingBmcSweepIsCancelledPromptly) {
+  JobBudget budget;
+  budget.max_bound = 200000;
+  budget.max_k = 4;
+  const JobResult r = run_job(frozen_job("frozen-deep", 24, budget));
+  EXPECT_EQ(r.verdict, Verdict::Proved);
+  EXPECT_EQ(r.winner, Prover::KInduction);
+  EXPECT_TRUE(r.loser_cancelled);
+  EXPECT_LT(r.bmc_bounds_checked, 200000u);
+}
+
+TEST(EngineCancellation, PresetStopFlagCancelsBmcBeforeAnyBound) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const TermRef cnt = ts.add_state("cnt", 8);
+  ts.set_init(cnt, mgr.mk_const(8, 0));
+  ts.set_next(cnt, mgr.mk_add(cnt, mgr.mk_const(8, 1)));
+  ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(8, 3)), "cnt-3");
+
+  std::atomic<bool> stop{true};
+  bmc::Bmc checker(ts);
+  bmc::BmcOptions bo;
+  bo.max_bound = 10;
+  bo.stop = &stop;
+  EXPECT_FALSE(checker.check(bo).has_value());
+  EXPECT_TRUE(checker.stats().cancelled);
+  EXPECT_FALSE(checker.stats().hit_resource_limit);
+  EXPECT_EQ(checker.stats().bounds_checked, 0u);
+}
+
+TEST(EngineCancellation, PresetStopFlagCancelsKInduction) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  const TermRef x = ts.add_state("x", 8);
+  ts.set_init(x, mgr.mk_const(8, 0));
+  ts.set_next(x, x);
+  ts.add_bad(mgr.mk_eq(x, mgr.mk_const(8, 1)), "x-one");
+
+  std::atomic<bool> stop{true};
+  bmc::KInductionOptions ko;
+  ko.max_k = 5;
+  ko.stop = &stop;
+  const bmc::KInductionResult r = bmc::prove_by_k_induction(ts, ko);
+  EXPECT_EQ(r.status, bmc::KInductionStatus::Unknown);
+  EXPECT_TRUE(r.cancelled);
+}
+
+TEST(EngineCancellation, PresetStopFlagAbortsSatSolve) {
+  sat::Solver solver;
+  const int a = solver.new_var(), b = solver.new_var();
+  solver.add_clause(sat::Lit(a, false), sat::Lit(b, false));
+  std::atomic<bool> stop{true};
+  solver.set_stop_flag(&stop);
+  EXPECT_EQ(solver.solve(), sat::SolveResult::Unknown);
+  stop.store(false);
+  EXPECT_EQ(solver.solve(), sat::SolveResult::Sat);
+}
+
+/// A mixed 12-job campaign covering every verdict class.
+CampaignSpec mixed_spec() {
+  JobBudget budget;
+  budget.max_bound = 8;
+  budget.max_k = 3;
+  CampaignSpec spec;
+  spec.seed = 42;
+  for (unsigned t = 1; t <= 6; ++t)
+    spec.jobs.push_back(
+        counter_job("cnt-" + std::to_string(t), 6 + t % 3, t, budget));
+  for (unsigned w = 4; w <= 7; ++w)
+    spec.jobs.push_back(frozen_job("frozen-" + std::to_string(w), w, budget));
+  spec.jobs.push_back(counter_job("clean-20", 8, 20, budget));
+  spec.jobs.push_back(counter_job("clean-30", 8, 30, budget));
+  return spec;
+}
+
+TEST(EngineCampaign, MultiThreadedVerdictsMatchSequential) {
+  const CampaignSpec spec = mixed_spec();
+  CampaignOptions seq;
+  seq.threads = 1;
+  CampaignOptions par;
+  par.threads = 4;
+  const CampaignReport a = run_campaign(spec, seq);
+  const CampaignReport b = run_campaign(spec, par);
+  ASSERT_EQ(a.jobs.size(), spec.jobs.size());
+  ASSERT_EQ(b.jobs.size(), spec.jobs.size());
+  for (std::size_t i = 0; i < spec.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].name, spec.jobs[i].name) << "report out of spec order";
+    EXPECT_EQ(a.jobs[i].name, b.jobs[i].name);
+    EXPECT_EQ(a.jobs[i].verdict, b.jobs[i].verdict) << spec.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].trace_length, b.jobs[i].trace_length) << spec.jobs[i].name;
+    EXPECT_EQ(a.jobs[i].proved_k, b.jobs[i].proved_k) << spec.jobs[i].name;
+  }
+  // Expected verdict mix: 6 falsified counters, 4 proved frozen
+  // registers, 2 clean sweeps.
+  EXPECT_EQ(a.count(Verdict::Falsified), 6u);
+  EXPECT_EQ(a.count(Verdict::Proved), 4u);
+  EXPECT_EQ(a.count(Verdict::BoundClean), 2u);
+  EXPECT_EQ(a.count(Verdict::Unknown), 0u);
+}
+
+TEST(EngineCampaign, StableReportIsByteDeterministic) {
+  const CampaignSpec spec = mixed_spec();
+  CampaignOptions par;
+  par.threads = 4;
+  const std::string a = run_campaign(spec, par).to_json(/*include_timing=*/false);
+  const std::string b = run_campaign(spec, par).to_json(/*include_timing=*/false);
+  EXPECT_EQ(a, b);
+  CampaignOptions seq;
+  seq.threads = 1;
+  EXPECT_EQ(a, run_campaign(spec, seq).to_json(/*include_timing=*/false));
+  EXPECT_NE(a.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(a.find("\"verdict\": \"FALSIFIED\""), std::string::npos);
+  EXPECT_NE(a.find("\"verdict\": \"PROVED\""), std::string::npos);
+}
+
+TEST(EngineCampaign, TableReportCountsVerdicts) {
+  CampaignSpec spec;
+  JobBudget budget;
+  budget.max_bound = 4;
+  budget.max_k = 2;
+  spec.jobs.push_back(counter_job("cnt-2", 8, 2, budget));
+  spec.jobs.push_back(frozen_job("frozen", 8, budget));
+  const CampaignReport report = run_campaign(spec, CampaignOptions{2});
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("cnt-2"), std::string::npos);
+  EXPECT_NE(table.find("FALSIFIED"), std::string::npos);
+  EXPECT_NE(table.find("PROVED"), std::string::npos);
+  EXPECT_NE(table.find("1 falsified"), std::string::npos);
+}
+
+TEST(EngineMatrix, ExpandsMutationsTimesModes) {
+  CampaignMatrix matrix;
+  matrix.modes = {qed::QedMode::EddiV, qed::QedMode::EdsepV};
+  auto bugs = proc::table1_single_instruction_bugs();
+  bugs.resize(3);
+  matrix.mutations = bugs;
+  const auto pinned = make_pinned_table(4);
+  matrix.equivalences = &pinned->table;
+  const CampaignSpec spec = expand(matrix, 7);
+  ASSERT_EQ(spec.jobs.size(), 6u);
+  EXPECT_EQ(spec.seed, 7u);
+  EXPECT_EQ(spec.jobs[0].name, bugs[0].name + "/EDDI-V");
+  EXPECT_EQ(spec.jobs[1].name, bugs[0].name + "/EDSEP-V");
+  EXPECT_EQ(spec.jobs[1].mode, qed::QedMode::EdsepV);
+  for (const JobSpec& job : spec.jobs) EXPECT_TRUE(static_cast<bool>(job.build));
+}
+
+// End-to-end integration: a real Table-1 QED job through the engine. The
+// xor_as_or bug is invisible to EDDI-V (uniform corruption) and must be
+// falsified under EDSEP-V with the pinned equivalence table.
+TEST(EngineQedIntegration, EdsepFalsifiesSingleInstructionBug) {
+  const auto pinned = make_pinned_table(4);
+  proc::Mutation bug;
+  bool found = false;
+  for (const proc::Mutation& m : proc::table1_single_instruction_bugs())
+    if (m.name == "xor_as_or") {
+      bug = m;
+      found = true;
+    }
+  ASSERT_TRUE(found);
+
+  CampaignMatrix matrix;
+  matrix.xlen = 4;
+  matrix.modes = {qed::QedMode::EdsepV};
+  matrix.mutations = {bug};
+  matrix.equivalences = &pinned->table;
+  matrix.budget.max_bound = 6;
+  matrix.budget.max_k = 2;
+  const CampaignReport report = run_campaign(expand(matrix, 1), CampaignOptions{2});
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].verdict, Verdict::Falsified);
+  EXPECT_EQ(report.jobs[0].trace_length, 6u);
+}
+
+}  // namespace
+}  // namespace sepe::engine

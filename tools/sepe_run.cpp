@@ -1,0 +1,231 @@
+// sepe-run — CLI driver for the parallel verification-campaign engine.
+//
+// Expands a declarative campaign (instruction classes × QED mode ×
+// injected mutation) into jobs, fans them out over a worker pool (each
+// job racing BMC against k-induction), and prints per-job stats plus an
+// optional machine-readable JSON report. Verdicts are deterministic for
+// a fixed spec whatever --threads says, as long as budgets are
+// deterministic: --conflicts qualifies, --time-cap does not (a wall cap
+// can fire earlier under core contention) — see src/engine/campaign.hpp.
+//
+// Examples:
+//   sepe-run --bugs table1 --rows 8 --threads 4
+//   sepe-run --bugs xor_as_or,add_wrong --modes edsep --json report.json
+//   sepe-run --healthy --max-k 6 --bound 6
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/pinned_table.hpp"
+#include "proc/mutations.hpp"
+#include "util/stopwatch.hpp"
+
+using namespace sepe;
+using isa::Opcode;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "sepe-run — parallel SEPE-SQED verification campaigns\n"
+      "\n"
+      "usage: sepe-run [options]\n"
+      "  --threads N      worker threads (default: hardware concurrency)\n"
+      "  --xlen W         DUV datapath width (default 4)\n"
+      "  --bound N        BMC bound sweep limit (default 10)\n"
+      "  --max-k N        k-induction depth limit (default 10)\n"
+      "  --no-race        disable the k-induction prover (BMC only)\n"
+      "  --modes M        eddi | edsep | both (default both)\n"
+      "  --bugs LIST      comma-separated bug names, or: table1 | fig4 | all\n"
+      "                   (default table1)\n"
+      "  --rows N         only the first N instruction classes of the catalog\n"
+      "  --healthy        verify the unmutated DUV instead of injecting bugs\n"
+      "  --conflicts N    per-solver-call conflict budget (default none;\n"
+      "                   deterministic, unlike --time-cap)\n"
+      "  --time-cap SEC   per-job wall-clock cap (default none; verdicts under\n"
+      "                   a wall cap may vary with load and --threads)\n"
+      "  --seed S         RNG seed recorded in the report (default 1)\n"
+      "  --json FILE      write a JSON report ('-' = stdout)\n"
+      "  --stable-json    JSON omits timing/race fields (byte-deterministic)\n"
+      "  --witness        print the counterexample trace of falsified jobs\n"
+      "  --list-bugs      list the injectable bug catalog and exit\n");
+}
+
+void list_bugs() {
+  std::printf("single-instruction bugs (Table 1):\n");
+  for (const proc::Mutation& m : proc::table1_single_instruction_bugs())
+    std::printf("  %-28s %s\n", m.name.c_str(), m.description.c_str());
+  std::printf("multiple-instruction bugs (Figure 4):\n");
+  for (const proc::Mutation& m : proc::figure4_multi_instruction_bugs(true))
+    std::printf("  %-28s %s\n", m.name.c_str(), m.description.c_str());
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::string piece = s.substr(start, comma - start);
+    if (!piece.empty()) out.push_back(piece);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = 0, xlen = 4, bound = 10, max_k = 10, rows = ~0u;
+  bool race = true, healthy = false, stable_json = false, print_witness = false;
+  std::uint64_t conflicts = 0, seed = 1;
+  double time_cap = 0.0;
+  std::string modes_arg = "both", bugs_arg = "table1", json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(next("--threads"));
+    else if (!std::strcmp(argv[i], "--xlen")) xlen = std::atoi(next("--xlen"));
+    else if (!std::strcmp(argv[i], "--bound")) bound = std::atoi(next("--bound"));
+    else if (!std::strcmp(argv[i], "--max-k")) max_k = std::atoi(next("--max-k"));
+    else if (!std::strcmp(argv[i], "--no-race")) race = false;
+    else if (!std::strcmp(argv[i], "--modes")) modes_arg = next("--modes");
+    else if (!std::strcmp(argv[i], "--bugs")) bugs_arg = next("--bugs");
+    else if (!std::strcmp(argv[i], "--rows")) rows = std::atoi(next("--rows"));
+    else if (!std::strcmp(argv[i], "--healthy")) healthy = true;
+    else if (!std::strcmp(argv[i], "--conflicts")) conflicts = std::atoll(next("--conflicts"));
+    else if (!std::strcmp(argv[i], "--time-cap")) time_cap = std::atof(next("--time-cap"));
+    else if (!std::strcmp(argv[i], "--seed")) seed = std::atoll(next("--seed"));
+    else if (!std::strcmp(argv[i], "--json")) json_path = next("--json");
+    else if (!std::strcmp(argv[i], "--stable-json")) stable_json = true;
+    else if (!std::strcmp(argv[i], "--witness")) print_witness = true;
+    else if (!std::strcmp(argv[i], "--list-bugs")) { list_bugs(); return 0; }
+    else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' — try --help\n", argv[i]);
+      return 2;
+    }
+  }
+  if (xlen < 2 || xlen > 32) {
+    std::fprintf(stderr, "--xlen must be in [2, 32], got %u\n", xlen);
+    return 2;
+  }
+
+  engine::CampaignMatrix matrix;
+  matrix.xlen = xlen;
+  matrix.budget.max_bound = bound;
+  matrix.budget.max_k = max_k;
+  matrix.budget.race_k_induction = race;
+  matrix.budget.conflict_budget = conflicts;
+  matrix.budget.max_seconds = time_cap;
+
+  if (modes_arg == "eddi") {
+    matrix.modes = {qed::QedMode::EddiV};
+  } else if (modes_arg == "edsep") {
+    matrix.modes = {qed::QedMode::EdsepV};
+  } else if (modes_arg == "both") {
+    matrix.modes = {qed::QedMode::EddiV, qed::QedMode::EdsepV};
+  } else {
+    std::fprintf(stderr, "unknown --modes '%s' (eddi|edsep|both)\n", modes_arg.c_str());
+    return 2;
+  }
+
+  // Resolve the mutation list.
+  const auto table1 = proc::table1_single_instruction_bugs();
+  const auto fig4 = proc::figure4_multi_instruction_bugs(/*with_memory=*/true);
+  if (!healthy) {
+    std::vector<proc::Mutation> selected;
+    if (bugs_arg == "table1") {
+      selected = table1;
+    } else if (bugs_arg == "fig4") {
+      selected = fig4;
+    } else if (bugs_arg == "all") {
+      selected = table1;
+      selected.insert(selected.end(), fig4.begin(), fig4.end());
+    } else {
+      for (const std::string& name : split_csv(bugs_arg)) {
+        bool found = false;
+        for (const auto* catalog : {&table1, &fig4}) {
+          for (const proc::Mutation& m : *catalog)
+            if (m.name == name) {
+              selected.push_back(m);
+              found = true;
+            }
+        }
+        if (!found) {
+          std::fprintf(stderr, "unknown bug '%s' — try --list-bugs\n", name.c_str());
+          return 2;
+        }
+      }
+    }
+    if (rows < selected.size()) selected.resize(rows);
+    if (selected.empty()) {
+      std::fprintf(stderr, "no bugs selected (use --healthy for an unmutated DUV)\n");
+      return 2;
+    }
+    matrix.mutations = std::move(selected);
+  }
+
+  // Figure-4 interaction bugs need a producer/consumer instruction mix in
+  // the DUV; the campaign derives the rest (target + replay opcodes).
+  matrix.extra_opcodes = {Opcode::ADD, Opcode::ADDI};
+
+  const bool needs_table = modes_arg != "eddi";
+  std::unique_ptr<engine::PinnedTable> pinned;
+  if (needs_table) {
+    std::printf("synthesizing the pinned equivalence table (xlen=%u)...\n", xlen);
+    Stopwatch synth_clock;
+    pinned = engine::make_pinned_table(xlen);
+    std::printf("table ready: %zu instructions, %.2fs\n\n", pinned->table.size(),
+                synth_clock.seconds());
+    matrix.equivalences = &pinned->table;
+  }
+
+  const engine::CampaignSpec spec = engine::expand(matrix, seed);
+  std::printf("campaign: %zu jobs (%zu instruction classes × %zu modes), "
+              "bound=%u, max-k=%u%s\n\n",
+              spec.jobs.size(),
+              matrix.mutations.empty() ? 1 : matrix.mutations.size(),
+              matrix.modes.size(), bound, max_k, race ? "" : ", race disabled");
+
+  engine::CampaignOptions options;
+  options.threads = threads;
+  const engine::CampaignReport report = engine::run_campaign(spec, options);
+
+  std::printf("%s", report.to_table().c_str());
+  if (print_witness) {
+    for (const engine::JobResult& j : report.jobs)
+      if (j.verdict == engine::Verdict::Falsified && !j.witness.empty())
+        std::printf("\n[%s]\n%s", j.name.c_str(), j.witness.c_str());
+  }
+
+  if (!json_path.empty()) {
+    const std::string json = report.to_json(/*include_timing=*/!stable_json);
+    if (json_path == "-") {
+      std::printf("\n%s", json.c_str());
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+        return 1;
+      }
+      out << json;
+      std::printf("\nJSON report written to %s\n", json_path.c_str());
+    }
+  }
+
+  // Exit status: 0 when every job reached a definite or clean verdict.
+  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+}
