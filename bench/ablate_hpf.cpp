@@ -96,7 +96,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%-10s", "total");
-  for (std::size_t vi = 0; vi < variants.size(); ++vi) std::printf(" | %6.2fs         ", totals[vi]);
+  for (std::size_t vi = 0; vi < variants.size(); ++vi)
+    std::printf(" | %6.2fs         ", totals[vi]);
   std::printf("\n");
   if (totals[0] > 0) {
     std::printf("%-10s", "vs full");

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   unsigned cases_limit = 5;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) cap = std::atof(argv[++i]);
-    if (!std::strcmp(argv[i], "--cases") && i + 1 < argc) cases_limit = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--cases") && i + 1 < argc)
+      cases_limit = std::atoi(argv[++i]);
   }
 
   const auto lib = make_standard_library();
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
   neg.name = "NEG_CONTROL";
   neg.opcode = isa::Opcode::SUB;
   neg.inputs = {InputClass::Reg};
-  neg.semantics = [](smt::TermManager& mgr, const std::vector<smt::TermRef>& in, unsigned) {
+  neg.semantics = [](smt::TermManager& mgr, const std::vector<smt::TermRef>& in,
+                     unsigned) {
     return mgr.mk_neg(in[0]);
   };
   Stopwatch sw;

@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--k") && i + 1 < argc) k = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) cap = std::atof(argv[++i]);
-    if (!std::strcmp(argv[i], "--cases") && i + 1 < argc) cases_limit = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--cases") && i + 1 < argc)
+      cases_limit = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--xlen") && i + 1 < argc) xlen = std::atoi(argv[++i]);
   }
 

@@ -23,7 +23,8 @@ int main(int argc, char** argv) {
     if (!std::strcmp(argv[i], "--xlen") && i + 1 < argc) xlen = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--bound") && i + 1 < argc) bound = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--cap") && i + 1 < argc) cap = std::atof(argv[++i]);
-    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) rows_limit = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc)
+      rows_limit = std::atoi(argv[++i]);
   }
 
   std::printf("Figure 4 — multiple-instruction bugs (xlen=%u, bound=%u, cap=%.0fs)\n",

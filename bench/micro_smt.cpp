@@ -56,7 +56,8 @@ void BM_RegfileMuxSolve(benchmark::State& state) {
     SmtSolver s(mgr);
     const TermRef idx = mgr.mk_var("idx", 5);
     std::vector<TermRef> regs;
-    for (unsigned i = 0; i < 32; ++i) regs.push_back(mgr.mk_var("x" + std::to_string(i), w));
+    for (unsigned i = 0; i < 32; ++i)
+      regs.push_back(mgr.mk_var("x" + std::to_string(i), w));
     TermRef v = regs[0];
     for (unsigned i = 1; i < 32; ++i)
       v = mgr.mk_ite(mgr.mk_eq(idx, mgr.mk_const(5, i)), regs[i], v);
@@ -130,7 +131,8 @@ void BM_TermConstruction(benchmark::State& state) {
   for (auto _ : state) {
     TermManager mgr;
     std::vector<TermRef> layer;
-    for (unsigned i = 0; i < 256; ++i) layer.push_back(mgr.mk_var("v" + std::to_string(i), 32));
+    for (unsigned i = 0; i < 256; ++i)
+      layer.push_back(mgr.mk_var("v" + std::to_string(i), 32));
     while (layer.size() > 1) {
       std::vector<TermRef> next;
       for (std::size_t i = 0; i + 1 < layer.size(); i += 2)

@@ -14,11 +14,15 @@
 //
 // Flags: --xlen W (datapath, default 4), --bound N (BMC bound, default
 // 10), --sqed-cap SEC (EDDI-V per-row wall cap, default 60), --rows N,
-// --threads N (worker pool size, default: hardware concurrency).
+// --threads N (worker pool size, default: hardware concurrency),
+// --shard I/N (run only the deterministic row-shard I of N, so the
+// thirteen rows can be split across machines and the printed sub-tables
+// concatenated).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "engine/shard.hpp"
 #include "qed_bench_util.hpp"
 
 using namespace sepe;
@@ -28,12 +32,23 @@ using isa::Opcode;
 int main(int argc, char** argv) {
   unsigned xlen = 4, bound = 10, rows_limit = 13, threads = 0;
   double sqed_cap = 60.0;
+  engine::ShardSpec shard;  // default 0/1 = every row
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--xlen") && i + 1 < argc) xlen = std::atoi(argv[++i]);
     if (!std::strcmp(argv[i], "--bound") && i + 1 < argc) bound = std::atoi(argv[++i]);
-    if (!std::strcmp(argv[i], "--sqed-cap") && i + 1 < argc) sqed_cap = std::atof(argv[++i]);
-    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) rows_limit = std::atoi(argv[++i]);
-    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) threads = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--sqed-cap") && i + 1 < argc)
+      sqed_cap = std::atof(argv[++i]);
+    if (!std::strcmp(argv[i], "--rows") && i + 1 < argc)
+      rows_limit = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+      threads = std::atoi(argv[++i]);
+    if (!std::strcmp(argv[i], "--shard") && i + 1 < argc) {
+      std::string error;
+      if (!engine::parse_shard(argv[++i], &shard, &error)) {
+        std::fprintf(stderr, "table1_single_instr: %s\n", error.c_str());
+        return 2;
+      }
+    }
   }
 
   std::printf("Table 1 — injected single-instruction bugs (xlen=%u, bound=%u)\n", xlen,
@@ -43,6 +58,25 @@ int main(int argc, char** argv) {
 
   auto bugs = proc::table1_single_instruction_bugs();
   if (rows_limit < bugs.size()) bugs.resize(rows_limit);
+
+  // Optional scale-out: keep only this shard's rows. Each row yields one
+  // EDSEP-V and one EDDI-V job whose budget depends on that row's
+  // EDSEP-V result, so rows (not jobs) are the sharding unit here.
+  if (shard.count > 1) {
+    std::vector<std::string> ids;
+    for (const proc::Mutation& bug : bugs) ids.push_back(bug.name);
+    const std::vector<unsigned> assignment = engine::shard_assignment(ids, shard.count);
+    std::vector<proc::Mutation> mine;
+    for (std::size_t i = 0; i < bugs.size(); ++i)
+      if (assignment[i] == shard.index) mine.push_back(bugs[i]);
+    std::printf("shard %u/%u: %zu of %zu rows\n", shard.index, shard.count,
+                mine.size(), bugs.size());
+    bugs = std::move(mine);
+    if (bugs.empty()) {
+      std::printf("no rows fall into this shard — nothing to do\n");
+      return 0;
+    }
+  }
 
   // Per-row DUV derivation (target + its replay's opcodes, memory sized to
   // the address space) shared with engine::expand via derive_duv_config.

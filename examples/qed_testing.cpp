@@ -118,7 +118,8 @@ int main(int argc, char** argv) {
                                       qed::QedMode::EddiV, kXlen, kMemWords, uniform_bug);
     eddi_caught += !re.consistent;
     const auto rs = qed::run_qed_test(qed::edsep_v_transform(filtered, table, kHalfBytes),
-                                      qed::QedMode::EdsepV, kXlen, kMemWords, uniform_bug);
+                                      qed::QedMode::EdsepV, kXlen, kMemWords,
+                                      uniform_bug);
     edsep_caught += !rs.consistent;
   }
   std::printf("uniform SUB bug: EDDI-V caught %u/%u, EDSEP-V caught %u/%u "

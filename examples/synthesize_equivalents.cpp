@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   synth::PriorityDict dict(library.size(), hpf);
   std::printf("searching for %u programs equivalent to %s (HPF-CEGIS, n=3)...\n\n", k,
               spec.name.c_str());
-  const synth::SynthesisResult result = synth::hpf_cegis(spec, library, driver, hpf, &dict);
+  const synth::SynthesisResult result =
+      synth::hpf_cegis(spec, library, driver, hpf, &dict);
 
   std::printf("%zu programs in %.2fs — %u multisets attempted, %u synthesized\n\n",
               result.programs.size(), result.seconds, result.multisets_tried,
@@ -56,7 +57,8 @@ int main(int argc, char** argv) {
   const qed::RegisterSplit split = qed::register_split(qed::QedMode::EdsepV);
   for (std::size_t i = 0; i < result.programs.size(); ++i) {
     const synth::SynthProgram& p = result.programs[i];
-    std::printf("--- program %zu (synthesis form) ---\n%s\n", i + 1, p.to_string().c_str());
+    std::printf("--- program %zu (synthesis form) ---\n%s\n", i + 1,
+                p.to_string().c_str());
 
     // Lower onto the EDSEP-V banks for an original "g x1, x2, x3 / imm":
     // inputs from E (x2 -> x15, x3 -> x16), output to E (x1 -> x14),

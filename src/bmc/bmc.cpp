@@ -58,7 +58,8 @@ void Bmc::unroll_to(unsigned step) {
     }
     if (t == 0) {
       for (TermRef c : ts_.init_constraints()) {
-        solver_.assert_formula(smt::substitute(mgr_, c, time_maps_[0], &subst_caches_[0]));
+        solver_.assert_formula(
+            smt::substitute(mgr_, c, time_maps_[0], &subst_caches_[0]));
       }
     }
   }
@@ -88,7 +89,8 @@ std::optional<Witness> Bmc::check(const BmcOptions& options) {
     // One solve per bound: assume the disjunction of all bad conditions.
     std::vector<TermRef> bad_terms;
     for (TermRef b : ts_.bads())
-      bad_terms.push_back(smt::substitute(mgr_, b, time_maps_[bound], &subst_caches_[bound]));
+      bad_terms.push_back(
+          smt::substitute(mgr_, b, time_maps_[bound], &subst_caches_[bound]));
     const TermRef any_bad = mgr_.mk_or_many(bad_terms);
 
     solver_.set_conflict_budget(options.conflict_budget_per_bound);
@@ -119,8 +121,10 @@ std::optional<Witness> Bmc::check(const BmcOptions& options) {
       }
       for (unsigned t = 0; t <= bound; ++t) {
         smt::Assignment in_vals, st_vals;
-        for (TermRef in : ts_.inputs()) in_vals.emplace(in, solver_.value(time_maps_[t].at(in)));
-        for (TermRef s : ts_.states()) st_vals.emplace(s, solver_.value(time_maps_[t].at(s)));
+        for (TermRef in : ts_.inputs())
+          in_vals.emplace(in, solver_.value(time_maps_[t].at(in)));
+        for (TermRef s : ts_.states())
+          st_vals.emplace(s, solver_.value(time_maps_[t].at(s)));
         w.inputs.push_back(std::move(in_vals));
         w.states.push_back(std::move(st_vals));
       }
@@ -142,7 +146,8 @@ std::string witness_to_string(const ts::TransitionSystem& ts, const Witness& w) 
     for (TermRef in : ts.inputs()) {
       const auto it = w.inputs[t].find(in);
       if (it != w.inputs[t].end())
-        os << "    in  " << ts.mgr().node(in).name << " = " << it->second.to_hex() << "\n";
+        os << "    in  " << ts.mgr().node(in).name << " = " << it->second.to_hex()
+           << "\n";
     }
     for (TermRef s : ts.states()) {
       const auto it = w.states[t].find(s);

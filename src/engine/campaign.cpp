@@ -287,6 +287,8 @@ CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec.jobs.size()) return;
       report.jobs[i] = run_job(spec.jobs[i]);
+      report.jobs[i].spec_index = i;
+      if (options.on_job_done) options.on_job_done(i, report.jobs[i]);
     }
   };
 
@@ -367,7 +369,16 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 std::string CampaignReport::to_json(bool include_timing) const {
   std::ostringstream os;
   os << "{\n  \"seed\": " << seed;
+  if (shard) {
+    os << ",\n  \"shard\": {\"index\": " << shard->shard.index
+       << ", \"count\": " << shard->shard.count
+       << ", \"total_jobs\": " << shard->total_jobs << "}";
+  }
   if (include_timing) {
+    if (!spec_digest.empty()) {
+      os << ",\n  \"spec_digest\": ";
+      json_escape(os, spec_digest);
+    }
     os << ",\n  \"threads\": " << threads;
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.3f", wall_seconds);
@@ -379,9 +390,20 @@ std::string CampaignReport::to_json(bool include_timing) const {
     os << (i ? ",\n    {" : "\n    {");
     os << "\"name\": ";
     json_escape(os, j.name);
+    // Only shard reports carry the job's position in the full spec —
+    // merged output must stay byte-identical to an unsharded run.
+    if (shard) os << ", \"spec_index\": " << j.spec_index;
     os << ", \"mode\": \"" << mode_tag(j.mode) << "\"";
     os << ", \"verdict\": \"" << verdict_name(j.verdict) << "\"";
-    if (j.verdict == Verdict::Falsified) os << ", \"trace_length\": " << j.trace_length;
+    if (j.verdict == Verdict::Falsified) {
+      os << ", \"trace_length\": " << j.trace_length;
+      // Which bad condition fired is verdict-bearing and deterministic,
+      // so it belongs in the stable form alongside the trace length.
+      if (!j.bad_label.empty()) {
+        os << ", \"bad_label\": ";
+        json_escape(os, j.bad_label);
+      }
+    }
     if (j.verdict == Verdict::Proved) os << ", \"proved_k\": " << j.proved_k;
     // Winner, conflicts and timings depend on race scheduling; keeping
     // them out makes the no-timing report byte-stable across runs and

@@ -124,11 +124,19 @@ proc::ProcConfig derive_duv_config(const CampaignMatrix& matrix,
 std::vector<isa::Opcode> replay_opcodes(const synth::EquivalenceTable& table,
                                         isa::Opcode op);
 
+/// One slice of a campaign: shard `index` of `count` equal partitions of
+/// the expanded job list (see engine/shard.hpp for the planner).
+struct ShardSpec {
+  unsigned index = 0;  // 0-based
+  unsigned count = 1;  // total shards of the spec
+};
+
 /// Per-job outcome. All verdict-bearing fields (verdict, trace_length,
 /// proved_k, bad_label) are deterministic for a fixed spec; timing and
 /// conflict counts are not and are excluded from stable reports.
 struct JobResult {
   std::string name;
+  std::size_t spec_index = 0;  // position in the full (unsharded) spec
   qed::QedMode mode = qed::QedMode::EddiV;
   Verdict verdict = Verdict::Unknown;
   Prover winner = Prover::None;
@@ -145,13 +153,34 @@ struct JobResult {
 
 struct CampaignOptions {
   unsigned threads = 1;  // worker count (0 = hardware_concurrency)
+  /// Called after each job completes with its spec position and result.
+  /// Invoked from worker threads without serialization — the callback
+  /// must synchronize itself. Used by the checkpointing shard runner.
+  std::function<void(std::size_t, const JobResult&)> on_job_done;
 };
 
 struct CampaignReport {
+  /// Present on reports produced by a sharded run: which slice of the
+  /// full expanded job list this report covers. Reports carrying shard
+  /// metadata also emit per-job spec_index, so a merge can restore the
+  /// original spec order; unsharded (and merged) reports omit both,
+  /// keeping their stable JSON byte-identical to a single-process run.
+  struct ShardInfo {
+    ShardSpec shard;
+    std::uint64_t total_jobs = 0;  // job count of the full spec
+  };
+
   std::vector<JobResult> jobs;  // in spec order, regardless of threads
   std::uint64_t seed = 0;
   unsigned threads = 0;
   double wall_seconds = 0.0;
+  std::optional<ShardInfo> shard;
+  /// Digest of the spec's job names and budgets (plus caller-supplied
+  /// campaign parameters), set by the checkpointing shard runner and
+  /// emitted only in the timing report form. Resume refuses a checkpoint
+  /// whose digest disagrees, so stale verdicts recorded under different
+  /// budgets are never silently reused.
+  std::string spec_digest;
 
   unsigned count(Verdict v) const;
   /// Human-readable per-job stats table.
@@ -160,6 +189,15 @@ struct CampaignReport {
   /// deterministic fields are emitted (byte-identical across runs and
   /// thread counts for a fixed spec).
   std::string to_json(bool include_timing = true) const;
+
+  /// Combine per-shard reports into the report of the full campaign.
+  /// Order-insensitive and deterministic: any permutation of the same
+  /// disjoint shard set yields the same report, whose stable JSON is
+  /// byte-identical to an unsharded run of the spec. Rejects (returns
+  /// nullopt, sets *error) inputs that are not shard reports, disagree
+  /// on seed/count/total, overlap, or fail to cover every job id.
+  static std::optional<CampaignReport> merge(const std::vector<CampaignReport>& shards,
+                                             std::string* error);
 };
 
 /// Run one job on the calling thread (racing its provers internally).

@@ -81,12 +81,14 @@ inline std::unique_ptr<PinnedTable> make_pinned_table(unsigned duv_xlen) {
   t->add("AND", spec(Opcode::AND), {"ADD", "OR", "SUB"}, w);      // a+b-(a|b)
   t->add("SLT", spec(Opcode::SLT), {"XORI", "XORI", "SLTU"}, w);  // sign-flip
   t->add("SLTU", spec(Opcode::SLTU), {"XORI", "XORI", "SLT"}, w);
-  t->add("SRA", spec(Opcode::SRA), {"NOT", "SRA", "NOT"}, w);     // complement conjugation
+  // complement conjugation
+  t->add("SRA", spec(Opcode::SRA), {"NOT", "SRA", "NOT"}, w);
   t->add("MULH", spec(Opcode::MULH), {"MULHSU_C", "SIGNSEL", "SUB"}, w);
   t->add("XORI", spec(Opcode::XORI), {"NOT", "XORI", "NOT"}, w);
   t->add("SLLI", spec(Opcode::SLLI), {"XOR", "ADDI", "SLL"}, w);  // materialized shamt
   t->add("SRAI", spec(Opcode::SRAI), {"NOT", "SRAI", "NOT"}, w);
-  t->add("ADDI", spec(Opcode::ADDI), {"NOT", "NOT", "ADDI"}, w);  // conjugated passthrough
+  // conjugated passthrough
+  t->add("ADDI", spec(Opcode::ADDI), {"NOT", "NOT", "ADDI"}, w);
   t->add("LW_ADDR", synth::make_address_spec(Opcode::LW), {"NOT", "NOT", "ADDI"}, w);
   t->add("SW_ADDR", synth::make_address_spec(Opcode::SW), {"NOT", "NOT", "ADDI"}, w);
   return t;

@@ -1,0 +1,32 @@
+// report_io.hpp — reading campaign reports back from their JSON form.
+//
+// The scale-out seam (engine/shard.hpp) moves reports between processes
+// and hosts as JSON files: shard runs write them, `sepe-run merge` and
+// the checkpoint/resume path read them back. This is the reader side —
+// a small recursive-descent parser for exactly the dialect
+// CampaignReport::to_json emits (both the timing and the stable form,
+// with or without shard metadata). Unknown fields are skipped so newer
+// writers stay readable by older readers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "engine/campaign.hpp"
+
+namespace sepe::engine {
+
+/// Parse a report previously produced by CampaignReport::to_json.
+/// Returns false and sets *error (with a byte offset) on malformed
+/// input or on values outside the report schema (unknown verdict names,
+/// non-numeric counts, a jobs entry without a name, ...).
+bool parse_report(const std::string& json, CampaignReport* out, std::string* error);
+
+/// Slurp a file; nullopt when it cannot be opened/read.
+std::optional<std::string> read_text_file(const std::string& path);
+
+/// Write `text` to `path` atomically (temp file + rename) so readers
+/// never observe a torn report. Returns false on I/O failure.
+bool write_text_file_atomic(const std::string& path, const std::string& text);
+
+}  // namespace sepe::engine

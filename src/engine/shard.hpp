@@ -1,0 +1,92 @@
+// shard.hpp — deterministic campaign sharding: the multi-host scale-out
+// seam of the verification engine.
+//
+// The paper's experiment grid (instruction classes × QED modes ×
+// mutations) is embarrassingly parallel across machines, not just across
+// threads. This planner splits an expanded CampaignSpec into `count`
+// disjoint shards so each can run as its own `sepe-run --shard I/N`
+// process on any host, write its (stable) JSON report, and be merged
+// back (CampaignReport::merge, `sepe-run merge`) into a report that is
+// byte-identical to a single-process run of the whole spec.
+//
+// Determinism contract: shard membership depends only on the *stable job
+// ids* (the job names, unique within a spec) — each id's lexicographic
+// rank mod `count` picks its shard. The same spec therefore produces the
+// same shard partition on every host and every rerun, the shards are
+// balanced to within one job, and together they cover the expanded job
+// list exactly (no overlap, no gaps).
+//
+// Checkpoint/resume: a shard run can journal every finished job to a
+// report file (rewritten atomically after each completion); rerunning
+// the same shard against that file re-executes only the unfinished jobs
+// and re-emits the same report.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+
+namespace sepe::engine {
+
+/// Parse "I/N" (e.g. "2/4") into a ShardSpec. Requires 0 <= I < N and
+/// N >= 1; returns false and sets *error on malformed or out-of-range
+/// input.
+bool parse_shard(const std::string& text, ShardSpec* out, std::string* error);
+
+/// Shard assignment for a list of stable job ids: result[i] is the shard
+/// of ids[i], computed as the id's lexicographic rank mod `count`.
+/// Depends only on the id multiset, so it is reproducible anywhere.
+/// `count` must be >= 1; ids are expected to be unique (the planner
+/// rejects duplicates before calling this).
+std::vector<unsigned> shard_assignment(const std::vector<std::string>& ids,
+                                       unsigned count);
+
+/// One shard's slice of a full campaign.
+struct ShardPlan {
+  CampaignSpec spec;  // the shard's jobs, in full-spec order
+  std::vector<std::size_t> spec_indices;  // full-spec index of each job
+  std::uint64_t total_jobs = 0;           // job count of the full spec
+  std::string error;                      // non-empty = plan invalid
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Deterministically select shard `shard.index` of `shard.count` from
+/// the expanded spec. Fails (ShardPlan::error) on an out-of-range shard
+/// or on duplicate job names — names are the stable ids the partition
+/// and the merge key on.
+ShardPlan plan_shard(const CampaignSpec& full, const ShardSpec& shard);
+
+/// Options for a sharded (and/or checkpointed) campaign run.
+struct ShardRunOptions {
+  /// Worker pool configuration. pool.on_job_done, if set, is called with
+  /// positions in the *full* spec handed to run_sharded; jobs resumed
+  /// from a checkpoint do not re-fire it.
+  CampaignOptions pool;
+  /// Which slice to run; nullopt = the whole spec (the report then
+  /// carries no shard metadata, exactly as a plain run_campaign).
+  std::optional<ShardSpec> shard;
+  /// When non-empty: resume finished jobs from this report file if it
+  /// exists (validated against the spec's seed, shard, and a digest of
+  /// the job names and budgets), and rewrite it atomically after every
+  /// completed job. Resumed jobs keep their recorded verdicts; only
+  /// their witness text (never serialized) is lost.
+  std::string checkpoint_path;
+  /// Extra campaign parameters folded into the checkpoint digest that
+  /// the JobSpecs cannot expose themselves (their model builders are
+  /// opaque) — e.g. sepe-run contributes the DUV xlen. A checkpoint
+  /// recorded under a different fingerprint is refused on resume.
+  std::string fingerprint;
+};
+
+/// Run one shard of the campaign with optional checkpoint/resume. On
+/// invalid input (bad shard, duplicate job names, or a checkpoint file
+/// that is unreadable or inconsistent with this spec/shard) returns an
+/// empty report and sets *error.
+CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& options,
+                           std::string* error);
+
+}  // namespace sepe::engine

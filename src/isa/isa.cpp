@@ -51,7 +51,8 @@ bool is_mul_family(Opcode op) {
          op == Opcode::MULHU;
 }
 bool is_div_family(Opcode op) {
-  return op == Opcode::DIV || op == Opcode::DIVU || op == Opcode::REM || op == Opcode::REMU;
+  return op == Opcode::DIV || op == Opcode::DIVU || op == Opcode::REM ||
+         op == Opcode::REMU;
 }
 bool is_load(Opcode op) { return op == Opcode::LW; }
 bool is_store(Opcode op) { return op == Opcode::SW; }
@@ -70,7 +71,8 @@ Instruction Instruction::itype(Opcode op, unsigned rd, unsigned rs1, std::int32_
   } else {
     assert(imm >= -2048 && imm <= 2047);
   }
-  return Instruction{op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1), 0, imm};
+  return Instruction{op, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1),
+                     0, imm};
 }
 
 Instruction Instruction::lui(unsigned rd, std::int32_t imm20) {
@@ -80,8 +82,8 @@ Instruction Instruction::lui(unsigned rd, std::int32_t imm20) {
 
 Instruction Instruction::lw(unsigned rd, unsigned rs1, std::int32_t offset) {
   assert(rd < 32 && rs1 < 32 && offset >= -2048 && offset <= 2047);
-  return Instruction{Opcode::LW, static_cast<std::uint8_t>(rd), static_cast<std::uint8_t>(rs1),
-                     0, offset};
+  return Instruction{Opcode::LW, static_cast<std::uint8_t>(rd),
+                     static_cast<std::uint8_t>(rs1), 0, offset};
 }
 
 Instruction Instruction::sw(unsigned rs2, unsigned rs1, std::int32_t offset) {
@@ -299,7 +301,8 @@ std::optional<Instruction> parse_asm(const std::string& line) {
   switch (opcode_format(*op)) {
     case Format::R: {
       if (toks.size() != 4) return std::nullopt;
-      const auto rd = parse_reg(toks[1]), rs1 = parse_reg(toks[2]), rs2 = parse_reg(toks[3]);
+      const auto rd = parse_reg(toks[1]), rs1 = parse_reg(toks[2]),
+                 rs2 = parse_reg(toks[3]);
       if (!rd || !rs1 || !rs2) return std::nullopt;
       return Instruction::rtype(*op, *rd, *rs1, *rs2);
     }

@@ -147,7 +147,8 @@ BitVec instruction_result_concrete(const Instruction& inst, const BitVec& rs1_va
     return BitVec(xlen, static_cast<std::uint64_t>(inst.imm) << 12);
   if (is_rtype(inst.op)) return alu_concrete(inst.op, rs1_val, rs2_val);
   if (opcode_format(inst.op) == Format::Shift)
-    return alu_concrete(inst.op, rs1_val, BitVec(xlen, static_cast<std::uint64_t>(inst.imm)));
+    return alu_concrete(inst.op, rs1_val,
+                        BitVec(xlen, static_cast<std::uint64_t>(inst.imm)));
   return alu_concrete(inst.op, rs1_val, imm_to_xlen(inst.imm, xlen));
 }
 

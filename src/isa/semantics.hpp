@@ -31,7 +31,8 @@ BitVec imm_to_xlen(std::int32_t imm, unsigned xlen);
 BitVec alu_concrete(Opcode op, const BitVec& a, const BitVec& b);
 
 /// Symbolic ALU semantics mirroring alu_concrete term-for-term.
-smt::TermRef alu_symbolic(smt::TermManager& mgr, Opcode op, smt::TermRef a, smt::TermRef b);
+smt::TermRef alu_symbolic(smt::TermManager& mgr, Opcode op, smt::TermRef a,
+                          smt::TermRef b);
 
 /// Symbolic immediate: the instruction's immediate as an xlen-wide
 /// constant term (sign extension included).
@@ -40,7 +41,8 @@ smt::TermRef imm_symbolic(smt::TermManager& mgr, const Instruction& inst, unsign
 /// Full symbolic result of a register-writing instruction given symbolic
 /// source values. For LUI, `rs1_val` is ignored. Asserts for loads/stores.
 smt::TermRef instruction_result(smt::TermManager& mgr, const Instruction& inst,
-                                smt::TermRef rs1_val, smt::TermRef rs2_val, unsigned xlen);
+                                smt::TermRef rs1_val, smt::TermRef rs2_val,
+                                unsigned xlen);
 
 /// Concrete twin of instruction_result.
 BitVec instruction_result_concrete(const Instruction& inst, const BitVec& rs1_val,

@@ -34,8 +34,8 @@ Mutation fwd_a_dead_for(Opcode consumer) {
   m.target = consumer;
   m.fwd_a_hook = [consumer](const MutationCtx& ctx, TermRef correct) {
     TermManager& mgr = *ctx.mgr;
-    const TermRef is_consumer =
-        mgr.mk_eq(ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
+    const TermRef is_consumer = mgr.mk_eq(
+        ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
     return mgr.mk_and(correct, mgr.mk_not(is_consumer));
   };
   return m;
@@ -50,8 +50,8 @@ Mutation fwd_b_dead_for(Opcode consumer) {
   m.target = consumer;
   m.fwd_b_hook = [consumer](const MutationCtx& ctx, TermRef correct) {
     TermManager& mgr = *ctx.mgr;
-    const TermRef is_consumer =
-        mgr.mk_eq(ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
+    const TermRef is_consumer = mgr.mk_eq(
+        ctx.d_op, mgr.mk_const(kOpcodeBits, static_cast<std::uint64_t>(consumer)));
     return mgr.mk_and(correct, mgr.mk_not(is_consumer));
   };
   return m;
@@ -91,17 +91,20 @@ std::vector<Mutation> table1_single_instruction_bugs() {
   bugs.push_back(functional_bug(Opcode::SLT, "slt_unsigned",
                                 "SLT performs the unsigned comparison",
                                 [](const MutationCtx& c) {
-                                  return c.mgr->mk_zext(c.mgr->mk_ult(c.op_a, c.op_b), c.xlen);
+                                  return c.mgr->mk_zext(c.mgr->mk_ult(c.op_a, c.op_b),
+                                                        c.xlen);
                                 }));
   bugs.push_back(functional_bug(Opcode::SLTU, "sltu_signed",
                                 "SLTU performs the signed comparison",
                                 [](const MutationCtx& c) {
-                                  return c.mgr->mk_zext(c.mgr->mk_slt(c.op_a, c.op_b), c.xlen);
+                                  return c.mgr->mk_zext(c.mgr->mk_slt(c.op_a, c.op_b),
+                                                        c.xlen);
                                 }));
   bugs.push_back(functional_bug(Opcode::SRA, "sra_logical",
                                 "SRA shifts in zeros (behaves like SRL)",
                                 [](const MutationCtx& c) {
-                                  return isa::alu_symbolic(*c.mgr, Opcode::SRL, c.op_a, c.op_b);
+                                  return isa::alu_symbolic(*c.mgr, Opcode::SRL, c.op_a,
+                                                           c.op_b);
                                 }));
   bugs.push_back(functional_bug(Opcode::MULH, "mulh_unsigned",
                                 "MULH returns the unsigned high product (MULHU)",
@@ -119,7 +122,8 @@ std::vector<Mutation> table1_single_instruction_bugs() {
                                   TermManager& mgr = *c.mgr;
                                   const TermRef masked = mgr.mk_and(
                                       c.d_imm, mgr.mk_const(c.xlen, ~std::uint64_t(1)));
-                                  return isa::alu_symbolic(mgr, Opcode::SLL, c.op_a, masked);
+                                  return isa::alu_symbolic(mgr, Opcode::SLL, c.op_a,
+                                                           masked);
                                 }));
   bugs.push_back(functional_bug(Opcode::SRAI, "srai_logical",
                                 "SRAI shifts in zeros (behaves like SRLI)",

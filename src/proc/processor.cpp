@@ -32,7 +32,9 @@ bool ProcConfig::supports(isa::Opcode op) const {
   return false;
 }
 
-bool ProcConfig::has_memory() const { return supports(Opcode::LW) || supports(Opcode::SW); }
+bool ProcConfig::has_memory() const {
+  return supports(Opcode::LW) || supports(Opcode::SW);
+}
 
 TermRef ProcModel::drained() const {
   TermManager& mgr = ts->mgr();
@@ -55,7 +57,8 @@ ProcModel build_processor(ts::TransitionSystem& ts, const ProcConfig& config,
                           const Mutation* mutation, const std::string& prefix) {
   TermManager& mgr = ts.mgr();
   const unsigned xlen = config.xlen;
-  assert((config.mem_words & (config.mem_words - 1)) == 0 && "mem_words must be a power of 2");
+  assert((config.mem_words & (config.mem_words - 1)) == 0 &&
+         "mem_words must be a power of 2");
   // When memory instructions are implemented, byte addresses must fit
   // the datapath: mem_words * 4 <= 2^xlen. (Memory-less configs may carry
   // unused mem state words; they are never indexed.)

@@ -244,7 +244,8 @@ QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& confi
 
   // --- the replayed (duplicate / equivalent) instruction for the head ---
   TermRef eq_op = duv.opcode_const(Opcode::NOP);
-  TermRef eq_rd = mgr.mk_const(5, 0), eq_rs1 = mgr.mk_const(5, 0), eq_rs2 = mgr.mk_const(5, 0);
+  TermRef eq_rd = mgr.mk_const(5, 0), eq_rs1 = mgr.mk_const(5, 0),
+          eq_rs2 = mgr.mk_const(5, 0);
   TermRef eq_imm = mgr.mk_const(xlen, 0);
   TermRef head_completes = mgr.mk_false();  // this replay step finishes the head
 
@@ -329,9 +330,10 @@ QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& confi
         if (ti.imm_passthrough) {
           imm_term = arch_imm_to_xlen(mgr, q[0].imm, ti.op, xlen);
         } else {
-          const BitVec v = isa::opcode_format(ti.op) == isa::Format::Shift
-                               ? BitVec(xlen, static_cast<std::uint64_t>(ti.imm_const) & 31)
-                               : isa::imm_to_xlen(ti.imm_const, xlen);
+          const BitVec v =
+              isa::opcode_format(ti.op) == isa::Format::Shift
+                  ? BitVec(xlen, static_cast<std::uint64_t>(ti.imm_const) & 31)
+                  : isa::imm_to_xlen(ti.imm_const, xlen);
           imm_term = mgr.mk_const(v);
         }
         g_op = mgr.mk_ite(at_s, duv.opcode_const(ti.op), g_op);
@@ -449,8 +451,8 @@ QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& confi
   }
   if (config.has_memory()) {
     for (unsigned w = 0; w < config.mem_words / 2; ++w)
-      consistent =
-          mgr.mk_and(consistent, mgr.mk_eq(duv.mem[w], duv.mem[w + config.mem_words / 2]));
+      consistent = mgr.mk_and(
+          consistent, mgr.mk_eq(duv.mem[w], duv.mem[w + config.mem_words / 2]));
   }
   model.qed_consistent = consistent;
 
@@ -463,7 +465,8 @@ QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& confi
   if (edsep) {
     // The paired bank E must also start consistent with O; x0's partner
     // regs[13] starts at zero like x0 itself.
-    ts.add_init_constraint(mgr.mk_eq(duv.regs[split.shadow_offset], mgr.mk_const(xlen, 0)));
+    ts.add_init_constraint(
+        mgr.mk_eq(duv.regs[split.shadow_offset], mgr.mk_const(xlen, 0)));
   }
   if (config.has_memory()) {
     for (unsigned w = 0; w < config.mem_words / 2; ++w)

@@ -73,7 +73,8 @@ Program edsep_v_transform(const Program& original, const synth::EquivalenceTable
       std::vector<std::uint8_t> in_regs{shadow_reg(inst.rs1, split.shadow_offset)};
       std::vector<std::int32_t> imm_values(addr_prog->spec->inputs.size(), 0);
       for (unsigned i = 0; i < addr_prog->spec->inputs.size(); ++i)
-        if (addr_prog->spec->inputs[i] != synth::InputClass::Reg) imm_values[i] = inst.imm;
+        if (addr_prog->spec->inputs[i] != synth::InputClass::Reg)
+          imm_values[i] = inst.imm;
       const Program addr_expansion =
           addr_prog->lower(in_regs, addr_temp, imm_values,
                            std::vector<std::uint8_t>(temps.begin(), temps.end() - 1));
@@ -82,7 +83,8 @@ Program edsep_v_transform(const Program& original, const synth::EquivalenceTable
         out.push_back(Instruction::lw(shadow_reg(inst.rd, split.shadow_offset), addr_temp,
                                       static_cast<std::int32_t>(mem_bytes_half)));
       } else {
-        out.push_back(Instruction::sw(shadow_reg(inst.rs2, split.shadow_offset), addr_temp,
+        out.push_back(Instruction::sw(shadow_reg(inst.rs2, split.shadow_offset),
+                                      addr_temp,
                                       static_cast<std::int32_t>(mem_bytes_half)));
       }
       continue;
@@ -163,7 +165,8 @@ Program random_original_program(Rng& rng, unsigned length, QedMode mode, bool wi
     if (isa::is_rtype(op)) {
       p.push_back(Instruction::rtype(op, rd, rs1, rs2));
     } else if (isa::opcode_format(op) == isa::Format::Shift) {
-      p.push_back(Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(32))));
+      p.push_back(
+          Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(32))));
     } else {
       const std::int32_t imm = static_cast<std::int32_t>(rng.below(4096)) - 2048;
       p.push_back(Instruction::itype(op, rd, rs1, imm));

@@ -304,7 +304,7 @@ void Solver::analyze_final(Lit p) {
   conflict_core_.push_back(~p);
   if (decision_level() == 0) return;
   seen_[p.var()] = 1;
-  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[0]);) {
     const int v = trail_[i].var();
     if (!seen_[v]) continue;
     if (reason_[v] == kNullRef) {
@@ -322,7 +322,8 @@ void Solver::analyze_final(Lit p) {
 
 void Solver::backtrack(int target) {
   if (decision_level() <= target) return;
-  for (std::size_t i = trail_.size(); i-- > static_cast<std::size_t>(trail_lim_[target]);) {
+  for (std::size_t i = trail_.size();
+       i-- > static_cast<std::size_t>(trail_lim_[target]);) {
     const int v = trail_[i].var();
     saved_phase_[v] = assigns_[v];
     assigns_[v] = Value::Unknown;

@@ -47,7 +47,8 @@ enum class Value : std::uint8_t { False = 0, True = 1, Unknown = 2 };
 
 inline Value operator^(Value v, bool sign) {
   if (v == Value::Unknown) return v;
-  return static_cast<Value>(static_cast<std::uint8_t>(v) ^ static_cast<std::uint8_t>(sign));
+  return static_cast<Value>(static_cast<std::uint8_t>(v) ^
+                            static_cast<std::uint8_t>(sign));
 }
 
 /// Result of a solve() call.
@@ -90,11 +91,13 @@ class Solver {
 
   /// Abort solve() with Unknown after this many conflicts (0 = no limit).
   void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
+  std::uint64_t conflict_budget() const { return conflict_budget_; }
 
   /// Abort solve() with Unknown after this many wall-clock seconds
   /// (0 = no limit). Checked every 1024 conflicts, so the overshoot is
   /// bounded by one short conflict burst.
   void set_time_budget(double seconds) { time_budget_seconds_ = seconds; }
+  double time_budget() const { return time_budget_seconds_; }
 
   /// Cooperative cancellation: when `stop` is non-null and becomes true
   /// (typically set from another thread), solve() aborts with Unknown at
@@ -102,6 +105,7 @@ class Solver {
   /// be cleared with set_stop_flag(nullptr). Used by the campaign engine
   /// to cancel the losing side of a BMC/k-induction race.
   void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  const std::atomic<bool>* stop_flag() const { return stop_; }
   bool stop_requested() const {
     return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
   }
@@ -131,11 +135,15 @@ class Solver {
     Lit blocker;  // quick check to skip clause traversal
   };
 
-  ClauseHeader* header(ClauseRef r) { return reinterpret_cast<ClauseHeader*>(&arena_[r]); }
+  ClauseHeader* header(ClauseRef r) {
+    return reinterpret_cast<ClauseHeader*>(&arena_[r]);
+  }
   const ClauseHeader* header(ClauseRef r) const {
     return reinterpret_cast<const ClauseHeader*>(&arena_[r]);
   }
-  Lit* lits(ClauseRef r) { return reinterpret_cast<Lit*>(&arena_[r + sizeof(ClauseHeader)]); }
+  Lit* lits(ClauseRef r) {
+    return reinterpret_cast<Lit*>(&arena_[r + sizeof(ClauseHeader)]);
+  }
   const Lit* lits(ClauseRef r) const {
     return reinterpret_cast<const Lit*>(&arena_[r + sizeof(ClauseHeader)]);
   }

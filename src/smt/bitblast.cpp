@@ -78,7 +78,8 @@ Lit BitBlaster::gate_full_add(Lit a, Lit b, Lit cin, Lit& cout) {
 BitBlaster::Bits BitBlaster::encode_add(const Bits& a, const Bits& b, Lit carry_in) {
   Bits out(a.size());
   Lit carry = carry_in;
-  for (std::size_t i = 0; i < a.size(); ++i) out[i] = gate_full_add(a[i], b[i], carry, carry);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = gate_full_add(a[i], b[i], carry, carry);
   return out;
 }
 
@@ -162,7 +163,8 @@ BitBlaster::Bits BitBlaster::encode_shift(const Bits& a, const Bits& amount, Op 
   // Saturate when amount >= w (SMT-LIB semantics). Covers both high bits
   // of the amount beyond the barrel stages and non-power-of-two widths.
   Lit oversize = const_lit(false);
-  for (std::size_t i = stages; i < amount.size(); ++i) oversize = gate_or(oversize, amount[i]);
+  for (std::size_t i = stages; i < amount.size(); ++i)
+    oversize = gate_or(oversize, amount[i]);
   if ((w & (w - 1)) != 0) {
     // amount[0..stages) >= w ?
     Bits lowa(amount.begin(), amount.begin() + stages);

@@ -36,8 +36,23 @@ BitVec SmtSolver::value(TermRef t) {
     // cover (and gate folding can alias result bits to *negations* of
     // such variables, so an unassigned default would read back wrong).
     // Re-solve under the same assumptions to extend the model; the
-    // incremental core makes this cheap.
+    // incremental core makes this cheap. The extension must not observe
+    // the cooperative stop flag: in the campaign race the other prover
+    // can raise it right after our Sat result, and aborting here would
+    // tear the model mid-read (the claim logic decides separately
+    // whether the witness is still wanted).
+    // Budgets are lifted for the same reason: a Sat result whose model
+    // cannot be read back is worse than a slightly-overspent budget.
+    const auto* stop = sat_.stop_flag();
+    const std::uint64_t conflict_budget = sat_.conflict_budget();
+    const double time_budget = sat_.time_budget();
+    sat_.set_stop_flag(nullptr);
+    sat_.set_conflict_budget(0);
+    sat_.set_time_budget(0.0);
     const auto r = sat_.solve(last_assumptions_);
+    sat_.set_stop_flag(stop);
+    sat_.set_conflict_budget(conflict_budget);
+    sat_.set_time_budget(time_budget);
     assert(r == sat::SolveResult::Sat && "model extension cannot fail");
     (void)r;
     vars_at_last_solve_ = sat_.num_vars();

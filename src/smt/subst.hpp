@@ -16,6 +16,7 @@ using SubstMap = std::unordered_map<TermRef, TermRef>;
 /// Rebuild `t` with every variable v mapped through `map` (identity for
 /// unmapped variables). Memoized and iterative: safe for BMC-sized DAGs.
 /// `cache` persists memoization across calls with the same map.
-TermRef substitute(TermManager& mgr, TermRef t, const SubstMap& map, SubstMap* cache = nullptr);
+TermRef substitute(TermManager& mgr, TermRef t, const SubstMap& map,
+                   SubstMap* cache = nullptr);
 
 }  // namespace sepe::smt

@@ -121,8 +121,8 @@ TermRef TermManager::mk_binop(Op op, TermRef a, TermRef b, unsigned result_width
   }
   if (is_const(b)) {
     const BitVec& y = const_val(b);
-    if ((op == Op::Add || op == Op::Sub || op == Op::Xor || op == Op::Or || op == Op::Shl ||
-         op == Op::Lshr || op == Op::Ashr) &&
+    if ((op == Op::Add || op == Op::Sub || op == Op::Xor || op == Op::Or ||
+         op == Op::Shl || op == Op::Lshr || op == Op::Ashr) &&
         y.is_zero())
       return a;
     if (op == Op::And && y == BitVec::ones(y.width())) return a;
@@ -149,19 +149,45 @@ TermRef TermManager::mk_neg(TermRef a) {
   return intern(std::move(key), std::move(node));
 }
 
-TermRef TermManager::mk_and(TermRef a, TermRef b) { return mk_binop(Op::And, a, b, width(a)); }
-TermRef TermManager::mk_or(TermRef a, TermRef b) { return mk_binop(Op::Or, a, b, width(a)); }
-TermRef TermManager::mk_xor(TermRef a, TermRef b) { return mk_binop(Op::Xor, a, b, width(a)); }
-TermRef TermManager::mk_add(TermRef a, TermRef b) { return mk_binop(Op::Add, a, b, width(a)); }
-TermRef TermManager::mk_sub(TermRef a, TermRef b) { return mk_binop(Op::Sub, a, b, width(a)); }
-TermRef TermManager::mk_mul(TermRef a, TermRef b) { return mk_binop(Op::Mul, a, b, width(a)); }
-TermRef TermManager::mk_udiv(TermRef a, TermRef b) { return mk_binop(Op::Udiv, a, b, width(a)); }
-TermRef TermManager::mk_urem(TermRef a, TermRef b) { return mk_binop(Op::Urem, a, b, width(a)); }
-TermRef TermManager::mk_sdiv(TermRef a, TermRef b) { return mk_binop(Op::Sdiv, a, b, width(a)); }
-TermRef TermManager::mk_srem(TermRef a, TermRef b) { return mk_binop(Op::Srem, a, b, width(a)); }
-TermRef TermManager::mk_shl(TermRef a, TermRef b) { return mk_binop(Op::Shl, a, b, width(a)); }
-TermRef TermManager::mk_lshr(TermRef a, TermRef b) { return mk_binop(Op::Lshr, a, b, width(a)); }
-TermRef TermManager::mk_ashr(TermRef a, TermRef b) { return mk_binop(Op::Ashr, a, b, width(a)); }
+TermRef TermManager::mk_and(TermRef a, TermRef b) {
+  return mk_binop(Op::And, a, b, width(a));
+}
+TermRef TermManager::mk_or(TermRef a, TermRef b) {
+  return mk_binop(Op::Or, a, b, width(a));
+}
+TermRef TermManager::mk_xor(TermRef a, TermRef b) {
+  return mk_binop(Op::Xor, a, b, width(a));
+}
+TermRef TermManager::mk_add(TermRef a, TermRef b) {
+  return mk_binop(Op::Add, a, b, width(a));
+}
+TermRef TermManager::mk_sub(TermRef a, TermRef b) {
+  return mk_binop(Op::Sub, a, b, width(a));
+}
+TermRef TermManager::mk_mul(TermRef a, TermRef b) {
+  return mk_binop(Op::Mul, a, b, width(a));
+}
+TermRef TermManager::mk_udiv(TermRef a, TermRef b) {
+  return mk_binop(Op::Udiv, a, b, width(a));
+}
+TermRef TermManager::mk_urem(TermRef a, TermRef b) {
+  return mk_binop(Op::Urem, a, b, width(a));
+}
+TermRef TermManager::mk_sdiv(TermRef a, TermRef b) {
+  return mk_binop(Op::Sdiv, a, b, width(a));
+}
+TermRef TermManager::mk_srem(TermRef a, TermRef b) {
+  return mk_binop(Op::Srem, a, b, width(a));
+}
+TermRef TermManager::mk_shl(TermRef a, TermRef b) {
+  return mk_binop(Op::Shl, a, b, width(a));
+}
+TermRef TermManager::mk_lshr(TermRef a, TermRef b) {
+  return mk_binop(Op::Lshr, a, b, width(a));
+}
+TermRef TermManager::mk_ashr(TermRef a, TermRef b) {
+  return mk_binop(Op::Ashr, a, b, width(a));
+}
 TermRef TermManager::mk_ult(TermRef a, TermRef b) { return mk_binop(Op::Ult, a, b, 1); }
 TermRef TermManager::mk_ule(TermRef a, TermRef b) { return mk_binop(Op::Ule, a, b, 1); }
 TermRef TermManager::mk_slt(TermRef a, TermRef b) { return mk_binop(Op::Slt, a, b, 1); }
@@ -175,14 +201,16 @@ TermRef TermManager::mk_ite(TermRef cond, TermRef then_t, TermRef else_t) {
   if (is_const(cond)) return const_val(cond).is_true() ? then_t : else_t;
   if (then_t == else_t) return then_t;
   Key key{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t}, 0, 0, 0};
-  TermNode node{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t}, BitVec(), 0, 0, {}};
+  TermNode node{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t},
+                BitVec(), 0, 0, {}};
   return intern(std::move(key), std::move(node));
 }
 
 TermRef TermManager::mk_concat(TermRef high, TermRef low) {
   const unsigned w = nodes_[high].width + nodes_[low].width;
   assert(w <= 64);
-  if (is_const(high) && is_const(low)) return mk_const(const_val(high).concat(const_val(low)));
+  if (is_const(high) && is_const(low))
+    return mk_const(const_val(high).concat(const_val(low)));
   Key key{Op::Concat, w, {high, low}, 0, 0, 0};
   TermNode node{Op::Concat, w, {high, low}, BitVec(), 0, 0, {}};
   return intern(std::move(key), std::move(node));
@@ -233,8 +261,8 @@ std::string TermManager::to_string(TermRef t) const {
     case Op::Const: return n.value.to_hex();
     case Op::Var: return n.name;
     case Op::Extract:
-      return "((_ extract " + std::to_string(n.aux0) + " " + std::to_string(n.aux1) + ") " +
-             to_string(n.operands[0]) + ")";
+      return "((_ extract " + std::to_string(n.aux0) + " " +
+             std::to_string(n.aux1) + ") " + to_string(n.operands[0]) + ")";
     case Op::ZExt:
     case Op::SExt:
       return std::string("((_ ") + op_name(n.op) + " " +

@@ -30,7 +30,8 @@ PriorityDict::PriorityDict(std::size_t num_components, const HpfOptions& opts)
       choice_(num_components, opts.initial_choice_weight),
       exclusion_(num_components, opts.initial_exclusion_weight) {}
 
-double PriorityDict::priority(const std::vector<unsigned>& multiset, const SynthSpec& spec,
+double PriorityDict::priority(const std::vector<unsigned>& multiset,
+                              const SynthSpec& spec,
                               const std::vector<Component>& lib) const {
   // priority = Σ_j (c_j − α·χ_j) / Σ_j e_j   (paper §4.2)
   double num = 0.0, den = 0.0;
@@ -95,8 +96,8 @@ SynthesisResult hpf_cegis(const SynthSpec& spec, const std::vector<Component>& l
   PriorityDict& dict = shared_dict ? *shared_dict : local_dict;
 
   // MULTISETS <- COMBINATIONSWITHREPLACEMENT(B, n)   (Algorithm 1, line 5)
-  auto multisets =
-      combinations_with_replacement(static_cast<unsigned>(lib.size()), opts.multiset_size);
+  auto multisets = combinations_with_replacement(static_cast<unsigned>(lib.size()),
+                                                 opts.multiset_size);
 
   while (!multisets.empty() && !reached_target(result, opts, clock)) {
     // SORTED(MULTISETS, PRIORITY_DICT, g); S <- MULTISETS[0]  (lines 9-10)
@@ -129,8 +130,8 @@ SynthesisResult iterative_cegis(const SynthSpec& spec, const std::vector<Compone
   SynthesisResult result;
   std::set<std::string> seen;
 
-  auto multisets =
-      combinations_with_replacement(static_cast<unsigned>(lib.size()), opts.multiset_size);
+  auto multisets = combinations_with_replacement(static_cast<unsigned>(lib.size()),
+                                                 opts.multiset_size);
   // §6.1: "we shuffle all multisets before synthesis to prevent the
   // clustering of similar data types".
   Rng rng(opts.shuffle_seed);
@@ -167,7 +168,8 @@ void EquivalenceTable::add(const std::string& instr_name, SynthProgram program) 
   table_[instr_name].push_back(std::move(program));
 }
 
-const std::vector<SynthProgram>* EquivalenceTable::find(const std::string& instr_name) const {
+const std::vector<SynthProgram>* EquivalenceTable::find(
+    const std::string& instr_name) const {
   const auto it = table_.find(instr_name);
   return it != table_.end() ? &it->second : nullptr;
 }

@@ -28,7 +28,8 @@ unsigned attr_class_width(AttrClass c) {
 }
 
 isa::Program lower_expansion(const Expansion& expansion,
-                             const std::vector<std::uint8_t>& in_regs, std::uint8_t out_reg,
+                             const std::vector<std::uint8_t>& in_regs,
+                             std::uint8_t out_reg,
                              const std::vector<std::int32_t>& attr_values,
                              const std::vector<std::uint8_t>& temps) {
   auto reg = [&](const RegOperand& r) -> std::uint8_t {
@@ -192,7 +193,8 @@ Component make_cic_signsel() {
     return mgr.mk_and(sign, in[1]);
   };
   c.expansion = {
-      {Opcode::SRAI, RegOperand::temp(0), RegOperand::input(0), {}, ImmOperand::fixed(31)},
+      {Opcode::SRAI, RegOperand::temp(0), RegOperand::input(0), {},
+       ImmOperand::fixed(31)},
       {Opcode::AND, RegOperand::output(), RegOperand::temp(0), RegOperand::input(1), {}}};
   return c;
 }
@@ -209,7 +211,8 @@ Component make_cic_neg() {
   c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
                    const std::vector<TermRef>&, unsigned) { return mgr.mk_neg(in[0]); };
   c.expansion = {
-      {Opcode::SUB, RegOperand::output(), RegOperand::fixed(0), RegOperand::input(0), {}}};
+      {Opcode::SUB, RegOperand::output(), RegOperand::fixed(0), RegOperand::input(0),
+       {}}};
   return c;
 }
 
@@ -225,7 +228,8 @@ Component make_cic_not() {
   c.semantics = [](TermManager& mgr, const std::vector<TermRef>& in,
                    const std::vector<TermRef>&, unsigned) { return mgr.mk_not(in[0]); };
   c.expansion = {
-      {Opcode::XORI, RegOperand::output(), RegOperand::input(0), {}, ImmOperand::fixed(-1)}};
+      {Opcode::XORI, RegOperand::output(), RegOperand::input(0), {},
+       ImmOperand::fixed(-1)}};
   return c;
 }
 
@@ -278,7 +282,8 @@ std::vector<Component> make_standard_library() {
   return lib;
 }
 
-std::vector<Component> filter_by_class(const std::vector<Component>& lib, ComponentClass c) {
+std::vector<Component> filter_by_class(const std::vector<Component>& lib,
+                                       ComponentClass c) {
   std::vector<Component> out;
   for (const Component& comp : lib)
     if (comp.cls == c) out.push_back(comp);

@@ -112,7 +112,8 @@ struct Component {
 
 /// Lower a component expansion to concrete instructions.
 isa::Program lower_expansion(const Expansion& expansion,
-                             const std::vector<std::uint8_t>& in_regs, std::uint8_t out_reg,
+                             const std::vector<std::uint8_t>& in_regs,
+                             std::uint8_t out_reg,
                              const std::vector<std::int32_t>& attr_values,
                              const std::vector<std::uint8_t>& temps);
 
@@ -120,6 +121,7 @@ isa::Program lower_expansion(const Expansion& expansion,
 std::vector<Component> make_standard_library();
 
 /// Subset selection helper for ablation benches.
-std::vector<Component> filter_by_class(const std::vector<Component>& lib, ComponentClass c);
+std::vector<Component> filter_by_class(const std::vector<Component>& lib,
+                                       ComponentClass c);
 
 }  // namespace sepe::synth

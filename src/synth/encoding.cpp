@@ -42,7 +42,8 @@ std::vector<unsigned> passthrough_candidates(const SynthSpec& spec, AttrClass cl
 
 /// Widen a passthrough source term onto the attribute's width (Shamt5 ->
 /// Imm12 zero-extension; same width is the identity).
-smt::TermRef convert_passthrough(smt::TermManager& mgr, smt::TermRef input, unsigned attr_w) {
+smt::TermRef convert_passthrough(smt::TermManager& mgr, smt::TermRef input,
+                                 unsigned attr_w) {
   const unsigned w = mgr.width(input);
   assert(w <= attr_w);
   return w == attr_w ? input : mgr.mk_zext(input, attr_w);
@@ -181,7 +182,8 @@ isa::Program SynthProgram::lower(const std::vector<std::uint8_t>& in_regs,
       }
     }
     std::vector<std::uint8_t> comp_temps;
-    for (unsigned t = 0; t < l.comp->num_temps; ++t) comp_temps.push_back(temps[next_temp++]);
+    for (unsigned t = 0; t < l.comp->num_temps; ++t)
+      comp_temps.push_back(temps[next_temp++]);
 
     const isa::Program expansion =
         lower_expansion(l.comp->expansion, ins, dest, attr_vals, comp_temps);
@@ -196,8 +198,8 @@ bool verify_program(const SynthProgram& program, unsigned xlen,
   SmtSolver solver(mgr);
   std::vector<TermRef> inputs;
   for (unsigned i = 0; i < program.spec->inputs.size(); ++i) {
-    inputs.push_back(
-        mgr.mk_var("vin" + std::to_string(i), input_class_width(program.spec->inputs[i], xlen)));
+    inputs.push_back(mgr.mk_var("vin" + std::to_string(i),
+                                input_class_width(program.spec->inputs[i], xlen)));
   }
   const TermRef prog_out = program.to_term(mgr, inputs, xlen);
   const TermRef spec_out = program.spec->semantics(mgr, inputs, xlen);
@@ -255,7 +257,7 @@ class MultisetEncoder {
   std::vector<TermRef> out_loc_;                        // per line
   std::vector<std::vector<TermRef>> in_loc_;            // per line, per input
   std::vector<std::vector<TermRef>> attr_const_;        // per line, per attr
-  std::vector<std::vector<TermRef>> attr_sel_;          // per line, per attr (may be null)
+  std::vector<std::vector<TermRef>> attr_sel_;  // per line, per attr (may be null)
   std::vector<std::vector<std::vector<unsigned>>> attr_cands_;  // candidates per attr
 };
 
@@ -465,7 +467,8 @@ std::optional<SynthProgram> MultisetEncoder::solve_candidate() {
 
 std::optional<SynthProgram> cegis_multiset(const SynthSpec& spec,
                                            const std::vector<const Component*>& multiset,
-                                           const CegisOptions& options, CegisStats* stats) {
+                                           const CegisOptions& options,
+                                           CegisStats* stats) {
   MultisetEncoder encoder(spec, multiset, options);
 
   // Seed examples: corner values plus a mixed pattern; real CEGIS
@@ -490,8 +493,8 @@ std::optional<SynthProgram> cegis_multiset(const SynthSpec& spec,
     SmtSolver vsolver(vmgr);
     std::vector<TermRef> vins;
     for (unsigned i = 0; i < spec.inputs.size(); ++i)
-      vins.push_back(
-          vmgr.mk_var("vin" + std::to_string(i), input_class_width(spec.inputs[i], xlen)));
+      vins.push_back(vmgr.mk_var("vin" + std::to_string(i),
+                                 input_class_width(spec.inputs[i], xlen)));
     const TermRef prog_out = candidate->to_term(vmgr, vins, xlen);
     const TermRef spec_out = spec.semantics(vmgr, vins, xlen);
     vsolver.assert_formula(vmgr.mk_ne(prog_out, spec_out));

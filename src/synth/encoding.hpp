@@ -64,7 +64,8 @@ struct SynthProgram {
   unsigned instruction_count() const;
 
   /// Build the program's output term over the given spec input terms.
-  smt::TermRef to_term(smt::TermManager& mgr, const std::vector<smt::TermRef>& spec_inputs,
+  smt::TermRef to_term(smt::TermManager& mgr,
+                       const std::vector<smt::TermRef>& spec_inputs,
                        unsigned xlen) const;
 
   /// Concrete execution (for tests / QED testing).

@@ -27,7 +27,8 @@ SynthSpec make_spec(Opcode op) {
     s.inputs = {InputClass::Imm20};
     s.semantics = [](TermManager& mgr, const std::vector<TermRef>& in, unsigned xlen) {
       const unsigned wide = xlen >= 32 ? xlen : 32;
-      const TermRef shifted = mgr.mk_shl(mgr.mk_zext(in[0], wide), mgr.mk_const(wide, 12));
+      const TermRef shifted =
+          mgr.mk_shl(mgr.mk_zext(in[0], wide), mgr.mk_const(wide, 12));
       return xlen == wide ? shifted : mgr.mk_extract(shifted, xlen - 1, 0);
     };
     return s;

@@ -104,15 +104,15 @@ class Btor2Writer {
     for (TermRef s : ts_.states()) {
       if (ts_.init_of(s) != kNullTerm) {
         const unsigned v = emit(ts_.init_of(s));
-        os_ << next_id_++ << " init " << sort_id(ts_.mgr().width(s)) << " " << node_ids_[s]
-            << " " << v << "\n";
+        os_ << next_id_++ << " init " << sort_id(ts_.mgr().width(s)) << " "
+            << node_ids_[s] << " " << v << "\n";
       }
     }
     for (TermRef s : ts_.states()) {
       if (ts_.next_of(s) != kNullTerm) {
         const unsigned v = emit(ts_.next_of(s));
-        os_ << next_id_++ << " next " << sort_id(ts_.mgr().width(s)) << " " << node_ids_[s]
-            << " " << v << "\n";
+        os_ << next_id_++ << " next " << sort_id(ts_.mgr().width(s)) << " "
+            << node_ids_[s] << " " << v << "\n";
       }
     }
     for (TermRef c : ts_.constraints()) {
@@ -138,7 +138,8 @@ class Btor2Writer {
   std::string header() {
     std::ostringstream h;
     h << "; btor2-style dump (sepe-sqed)\n";
-    for (const auto& [width, id] : sorted_sorts()) h << id << " sort bitvec " << width << "\n";
+    for (const auto& [width, id] : sorted_sorts())
+      h << id << " sort bitvec " << width << "\n";
     return h.str();
   }
 

@@ -25,7 +25,8 @@ class BitVec {
  public:
   BitVec() : width_(1), bits_(0) {}
 
-  BitVec(unsigned width, std::uint64_t value) : width_(width), bits_(value & mask(width)) {
+  BitVec(unsigned width, std::uint64_t value)
+      : width_(width), bits_(value & mask(width)) {
     assert(width >= 1 && width <= 64);
   }
 
@@ -109,7 +110,8 @@ class BitVec {
     assert(width_ == o.width_);
     if (o.bits_ == 0) return ones(width_);
     const std::int64_t a = sval(), b = o.sval();
-    if (a == min_signed() && b == -1) return BitVec(width_, static_cast<std::uint64_t>(a));
+    if (a == min_signed() && b == -1)
+      return BitVec(width_, static_cast<std::uint64_t>(a));
     return BitVec(width_, static_cast<std::uint64_t>(a / b));
   }
   /// Signed remainder per RISC-V: rem-by-zero -> dividend, overflow -> 0.

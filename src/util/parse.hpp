@@ -1,0 +1,25 @@
+// parse.hpp — strict numeric parsing shared by the CLI and report I/O.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace sepe {
+
+/// Strict base-10 unsigned parse: digits only, full consumption, no
+/// sign/whitespace/exponent; nullopt on anything else (including
+/// overflow). Never a silently-zero atoi result.
+inline std::optional<std::uint64_t> parse_u64_strict(const std::string& s) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos)
+    return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return std::nullopt;
+  return value;
+}
+
+}  // namespace sepe

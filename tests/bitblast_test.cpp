@@ -89,20 +89,34 @@ TEST_P(BlastExhaustiveTest, CircuitNeverDisagreesWithReference) {
 INSTANTIATE_TEST_SUITE_P(
     AllOps, BlastExhaustiveTest,
     ::testing::Values(
-        BlastOpCase{"add", &TermManager::mk_add, [](const BitVec& a, const BitVec& b) { return a + b; }},
-        BlastOpCase{"sub", &TermManager::mk_sub, [](const BitVec& a, const BitVec& b) { return a - b; }},
-        BlastOpCase{"mul", &TermManager::mk_mul, [](const BitVec& a, const BitVec& b) { return a * b; }},
-        BlastOpCase{"udiv", &TermManager::mk_udiv, [](const BitVec& a, const BitVec& b) { return a.udiv(b); }},
-        BlastOpCase{"urem", &TermManager::mk_urem, [](const BitVec& a, const BitVec& b) { return a.urem(b); }},
-        BlastOpCase{"sdiv", &TermManager::mk_sdiv, [](const BitVec& a, const BitVec& b) { return a.sdiv(b); }},
-        BlastOpCase{"srem", &TermManager::mk_srem, [](const BitVec& a, const BitVec& b) { return a.srem(b); }},
-        BlastOpCase{"shl", &TermManager::mk_shl, [](const BitVec& a, const BitVec& b) { return a.shl(b); }},
-        BlastOpCase{"lshr", &TermManager::mk_lshr, [](const BitVec& a, const BitVec& b) { return a.lshr(b); }},
-        BlastOpCase{"ashr", &TermManager::mk_ashr, [](const BitVec& a, const BitVec& b) { return a.ashr(b); }},
-        BlastOpCase{"ult", &TermManager::mk_ult, [](const BitVec& a, const BitVec& b) { return a.ult(b); }},
-        BlastOpCase{"ule", &TermManager::mk_ule, [](const BitVec& a, const BitVec& b) { return a.ule(b); }},
-        BlastOpCase{"slt", &TermManager::mk_slt, [](const BitVec& a, const BitVec& b) { return a.slt(b); }},
-        BlastOpCase{"sle", &TermManager::mk_sle, [](const BitVec& a, const BitVec& b) { return a.sle(b); }}),
+        BlastOpCase{"add", &TermManager::mk_add,
+                    [](const BitVec& a, const BitVec& b) { return a + b; }},
+        BlastOpCase{"sub", &TermManager::mk_sub,
+                    [](const BitVec& a, const BitVec& b) { return a - b; }},
+        BlastOpCase{"mul", &TermManager::mk_mul,
+                    [](const BitVec& a, const BitVec& b) { return a * b; }},
+        BlastOpCase{"udiv", &TermManager::mk_udiv,
+                    [](const BitVec& a, const BitVec& b) { return a.udiv(b); }},
+        BlastOpCase{"urem", &TermManager::mk_urem,
+                    [](const BitVec& a, const BitVec& b) { return a.urem(b); }},
+        BlastOpCase{"sdiv", &TermManager::mk_sdiv,
+                    [](const BitVec& a, const BitVec& b) { return a.sdiv(b); }},
+        BlastOpCase{"srem", &TermManager::mk_srem,
+                    [](const BitVec& a, const BitVec& b) { return a.srem(b); }},
+        BlastOpCase{"shl", &TermManager::mk_shl,
+                    [](const BitVec& a, const BitVec& b) { return a.shl(b); }},
+        BlastOpCase{"lshr", &TermManager::mk_lshr,
+                    [](const BitVec& a, const BitVec& b) { return a.lshr(b); }},
+        BlastOpCase{"ashr", &TermManager::mk_ashr,
+                    [](const BitVec& a, const BitVec& b) { return a.ashr(b); }},
+        BlastOpCase{"ult", &TermManager::mk_ult,
+                    [](const BitVec& a, const BitVec& b) { return a.ult(b); }},
+        BlastOpCase{"ule", &TermManager::mk_ule,
+                    [](const BitVec& a, const BitVec& b) { return a.ule(b); }},
+        BlastOpCase{"slt", &TermManager::mk_slt,
+                    [](const BitVec& a, const BitVec& b) { return a.slt(b); }},
+        BlastOpCase{"sle", &TermManager::mk_sle,
+                    [](const BitVec& a, const BitVec& b) { return a.sle(b); }}),
     [](const ::testing::TestParamInfo<BlastOpCase>& info) { return info.param.name; });
 
 // Validity checks at 16 bits: assert the negation of an identity; Unsat

@@ -157,7 +157,8 @@ TEST(BmcTest, TwoInteractingStates) {
   ts.set_init(b, mgr.mk_const(4, 0));
   ts.set_next(a, in);
   ts.set_next(b, a);
-  ts.add_bad(mgr.mk_and(mgr.mk_eq(a, mgr.mk_const(4, 9)), mgr.mk_eq(b, mgr.mk_const(4, 9))),
+  ts.add_bad(mgr.mk_and(mgr.mk_eq(a, mgr.mk_const(4, 9)),
+                        mgr.mk_eq(b, mgr.mk_const(4, 9))),
              "a-and-b-9");
   Bmc bmc(ts);
   BmcOptions o;

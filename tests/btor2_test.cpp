@@ -185,7 +185,9 @@ TEST(Btor2RoundTrip, SystemWithConstraintsAndRichOperators) {
   const auto w1 = c1.check(o);
   const auto w2 = c2.check(o);
   ASSERT_EQ(w1.has_value(), w2.has_value());
-  if (w1) EXPECT_EQ(w1->length, w2->length);
+  if (w1) {
+    EXPECT_EQ(w1->length, w2->length);
+  }
 }
 
 TEST(Btor2RoundTrip, SignedOperatorsSurvive) {

@@ -60,8 +60,8 @@ TEST(CegisMultiset, SynthesizesSubFromNotAddNot) {
   // The paper's Listing 1: SUB == XORI(-1) ; ADD ; XORI(-1).
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::SUB);
-  const std::vector<const Component*> multiset = {by_name(lib, "NOT"), by_name(lib, "ADD"),
-                                                  by_name(lib, "NOT")};
+  const std::vector<const Component*> multiset = {
+      by_name(lib, "NOT"), by_name(lib, "ADD"), by_name(lib, "NOT")};
   CegisStats stats;
   const auto program = cegis_multiset(spec, multiset, fast_cegis(), &stats);
   ASSERT_TRUE(program.has_value());
@@ -76,8 +76,8 @@ TEST(CegisMultiset, SynthesizesSubFromNotAddNot) {
 TEST(CegisMultiset, SynthesizedSubEvaluatesCorrectly) {
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::SUB);
-  const std::vector<const Component*> multiset = {by_name(lib, "NOT"), by_name(lib, "ADD"),
-                                                  by_name(lib, "NOT")};
+  const std::vector<const Component*> multiset = {
+      by_name(lib, "NOT"), by_name(lib, "ADD"), by_name(lib, "NOT")};
   const auto program = cegis_multiset(spec, multiset, fast_cegis());
   ASSERT_TRUE(program.has_value());
   Rng rng(5);
@@ -96,7 +96,8 @@ TEST(CegisMultiset, SynthesizesNegFromNotAddi) {
   spec.inputs = {InputClass::Reg};
   spec.semantics = [](smt::TermManager& mgr, const std::vector<smt::TermRef>& in,
                       unsigned) { return mgr.mk_neg(in[0]); };
-  const std::vector<const Component*> multiset = {by_name(lib, "NOT"), by_name(lib, "ADDI")};
+  const std::vector<const Component*> multiset = {by_name(lib, "NOT"),
+                                                  by_name(lib, "ADDI")};
   const auto program = cegis_multiset(spec, multiset, fast_cegis());
   ASSERT_TRUE(program.has_value());
   EXPECT_TRUE(verify_program(*program, 8));
@@ -109,8 +110,8 @@ TEST(CegisMultiset, SynthesizesXoriViaImmediatePassthrough) {
   // constant (no constant works for all imm).
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::XORI);
-  const std::vector<const Component*> multiset = {by_name(lib, "NOT"), by_name(lib, "XORI"),
-                                                  by_name(lib, "NOT")};
+  const std::vector<const Component*> multiset = {
+      by_name(lib, "NOT"), by_name(lib, "XORI"), by_name(lib, "NOT")};
   const auto program = cegis_multiset(spec, multiset, fast_cegis());
   ASSERT_TRUE(program.has_value());
   EXPECT_TRUE(verify_program(*program, 8));
@@ -142,8 +143,8 @@ TEST(CegisMultiset, SubIsExpressibleWithSubDifferently) {
   // wiring that differs from the verbatim operands satisfies §4.1).
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::SUB);
-  const std::vector<const Component*> multiset = {by_name(lib, "SUB"), by_name(lib, "SUB"),
-                                                  by_name(lib, "SUB")};
+  const std::vector<const Component*> multiset = {
+      by_name(lib, "SUB"), by_name(lib, "SUB"), by_name(lib, "SUB")};
   const auto program = cegis_multiset(spec, multiset, fast_cegis());
   ASSERT_TRUE(program.has_value());
   EXPECT_TRUE(verify_program(*program, 8));
@@ -153,7 +154,8 @@ TEST(CegisMultiset, RejectsInexpressibleSpecs) {
   // AND cannot be built from ADD components alone.
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::AND);
-  const std::vector<const Component*> multiset = {by_name(lib, "ADD"), by_name(lib, "ADD")};
+  const std::vector<const Component*> multiset = {by_name(lib, "ADD"),
+                                                  by_name(lib, "ADD")};
   EXPECT_FALSE(cegis_multiset(spec, multiset, fast_cegis()).has_value());
 }
 
@@ -162,8 +164,8 @@ TEST(CegisMultiset, LoweredProgramRunsOnTheIss) {
   // a direct SUB on the simulator (the EDSEP-V testing path in miniature).
   const auto lib = make_standard_library();
   const SynthSpec spec = make_spec(Opcode::SUB);
-  const std::vector<const Component*> multiset = {by_name(lib, "NOT"), by_name(lib, "ADD"),
-                                                  by_name(lib, "NOT")};
+  const std::vector<const Component*> multiset = {
+      by_name(lib, "NOT"), by_name(lib, "ADD"), by_name(lib, "NOT")};
   const auto program = cegis_multiset(spec, multiset, fast_cegis());
   ASSERT_TRUE(program.has_value());
 
@@ -375,8 +377,9 @@ TEST(EquivalenceTableTest, FirstAvoidingSkipsTheOpcode) {
   const auto result = sub_programs();
   EquivalenceTable table;
   for (const SynthProgram& p : result.programs) table.add("SUB", p);
-  if (const SynthProgram* p = table.first_avoiding("SUB", Opcode::SUB))
+  if (const SynthProgram* p = table.first_avoiding("SUB", Opcode::SUB)) {
     EXPECT_FALSE(p->uses_opcode(Opcode::SUB));
+  }
 }
 
 TEST(EquivalenceTableTest, SelectDistinctKeepsOnePerInstruction) {

@@ -84,7 +84,8 @@ TEST_P(ComponentFaithfulness, ExpansionExecutesTheSemanticModel) {
   for (int trial = 0; trial < 40; ++trial) {
     // Concrete inputs and attributes.
     std::vector<BitVec> ins;
-    for (unsigned i = 0; i < comp.num_inputs; ++i) ins.push_back(rng.interesting_bitvec(xlen));
+    for (unsigned i = 0; i < comp.num_inputs; ++i)
+      ins.push_back(rng.interesting_bitvec(xlen));
     std::vector<std::int32_t> attr_vals;
     for (AttrClass cls : comp.attrs) attr_vals.push_back(random_attr(rng, cls));
 
@@ -109,7 +110,8 @@ TEST_P(ComponentFaithfulness, ExpansionExecutesTheSemanticModel) {
         lower_expansion(comp.expansion, in_regs, out_reg, attr_vals, temps);
 
     sim::Iss iss(xlen, 8);
-    for (unsigned i = 0; i < comp.num_inputs; ++i) iss.state().set_reg(in_regs[i], ins[i]);
+    for (unsigned i = 0; i < comp.num_inputs; ++i)
+      iss.state().set_reg(in_regs[i], ins[i]);
     iss.run(prog);
 
     ASSERT_EQ(iss.state().reg(out_reg), model)

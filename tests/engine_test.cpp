@@ -10,6 +10,7 @@
 #include "engine/pinned_table.hpp"
 #include "proc/mutations.hpp"
 #include "sat/solver.hpp"
+#include "smt/smt_solver.hpp"
 
 namespace sepe::engine {
 namespace {
@@ -147,6 +148,27 @@ TEST(EngineCancellation, PresetStopFlagCancelsKInduction) {
   EXPECT_TRUE(r.cancelled);
 }
 
+// Regression for a race in the prover duel: the losing prover can get a
+// Sat result and *then* see the stop flag raised by the winner while it
+// reads back the witness. Model extension inside value() (triggered by
+// blasting a term the last solve never covered) must ignore the stop
+// flag instead of tearing the model mid-read.
+TEST(EngineCancellation, WitnessExtractionSurvivesLateStopFlag) {
+  smt::TermManager mgr;
+  smt::SmtSolver solver(mgr);
+  std::atomic<bool> stop{false};
+  solver.set_stop_flag(&stop);
+  const smt::TermRef x = mgr.mk_var("x", 8);
+  solver.assert_formula(mgr.mk_eq(x, mgr.mk_const(8, 42)));
+  ASSERT_EQ(solver.check(), smt::Result::Sat);
+  // The other prover claims the job now...
+  stop.store(true);
+  // ...and reading a not-yet-blasted term still extends the model.
+  const smt::TermRef doubled = mgr.mk_add(x, x);
+  EXPECT_EQ(solver.value(doubled), BitVec(8, 84));
+  EXPECT_EQ(solver.value(x), BitVec(8, 42));
+}
+
 TEST(EngineCancellation, PresetStopFlagAbortsSatSolve) {
   sat::Solver solver;
   const int a = solver.new_var(), b = solver.new_var();
@@ -222,7 +244,9 @@ TEST(EngineCampaign, TableReportCountsVerdicts) {
   budget.max_k = 2;
   spec.jobs.push_back(counter_job("cnt-2", 8, 2, budget));
   spec.jobs.push_back(frozen_job("frozen", 8, budget));
-  const CampaignReport report = run_campaign(spec, CampaignOptions{2});
+  CampaignOptions two;
+  two.threads = 2;
+  const CampaignReport report = run_campaign(spec, two);
   const std::string table = report.to_table();
   EXPECT_NE(table.find("cnt-2"), std::string::npos);
   EXPECT_NE(table.find("FALSIFIED"), std::string::npos);
@@ -268,7 +292,9 @@ TEST(EngineQedIntegration, EdsepFalsifiesSingleInstructionBug) {
   matrix.equivalences = &pinned->table;
   matrix.budget.max_bound = 6;
   matrix.budget.max_k = 2;
-  const CampaignReport report = run_campaign(expand(matrix, 1), CampaignOptions{2});
+  CampaignOptions two;
+  two.threads = 2;
+  const CampaignReport report = run_campaign(expand(matrix, 1), two);
   ASSERT_EQ(report.jobs.size(), 1u);
   EXPECT_EQ(report.jobs[0].verdict, Verdict::Falsified);
   EXPECT_EQ(report.jobs[0].trace_length, 6u);

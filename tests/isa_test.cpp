@@ -102,7 +102,8 @@ TEST_P(EncodeRoundTrip, DecodeInvertsEncode) {
     switch (opcode_format(op)) {
       case Format::R: inst = Instruction::rtype(op, rd, rs1, rs2); break;
       case Format::I:
-        inst = Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        inst = Instruction::itype(op, rd, rs1,
+                                  static_cast<std::int32_t>(rng.below(4096)) - 2048);
         break;
       case Format::Shift:
         inst = Instruction::itype(op, rd, rs1, static_cast<std::int32_t>(rng.below(32)));
@@ -111,10 +112,12 @@ TEST_P(EncodeRoundTrip, DecodeInvertsEncode) {
         inst = Instruction::lui(rd, static_cast<std::int32_t>(rng.below(1 << 20)));
         break;
       case Format::Load:
-        inst = Instruction::lw(rd, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        inst = Instruction::lw(rd, rs1,
+                               static_cast<std::int32_t>(rng.below(4096)) - 2048);
         break;
       case Format::Store:
-        inst = Instruction::sw(rs2, rs1, static_cast<std::int32_t>(rng.below(4096)) - 2048);
+        inst = Instruction::sw(rs2, rs1,
+                               static_cast<std::int32_t>(rng.below(4096)) - 2048);
         break;
       case Format::None: inst = Instruction::nop(); break;
     }

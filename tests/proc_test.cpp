@@ -52,8 +52,9 @@ isa::Program random_alu_program(Rng& rng, const ProcConfig& config, unsigned len
       prog.push_back(Instruction::itype(op, rd, rng.below(32),
                                         static_cast<std::int32_t>(rng.below(32))));
     } else {
-      prog.push_back(Instruction::itype(op, rd, rng.below(32),
-                                        static_cast<std::int32_t>(rng.below(4096)) - 2048));
+      prog.push_back(
+          Instruction::itype(op, rd, rng.below(32),
+                             static_cast<std::int32_t>(rng.below(4096)) - 2048));
     }
   }
   return prog;

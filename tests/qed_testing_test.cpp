@@ -50,7 +50,8 @@ TEST(EddiVTransform, X0MapsToX0) {
 }
 
 TEST(EddiVTransform, MemoryAccessesShiftIntoShadowHalf) {
-  const Program t = eddi_v_transform({Instruction::lw(1, 0, 8), Instruction::sw(2, 0, 4)}, 64);
+  const Program t =
+      eddi_v_transform({Instruction::lw(1, 0, 8), Instruction::sw(2, 0, 4)}, 64);
   ASSERT_EQ(t.size(), 4u);
   EXPECT_EQ(t[1], Instruction::lw(17, 0, 8 + 64));
   EXPECT_EQ(t[3], Instruction::sw(18, 0, 4 + 64));
@@ -242,7 +243,9 @@ TEST_F(EdsepTable, RandomProgramGeneratorRespectsTheSplit) {
   Rng rng(3);
   const Program p = random_original_program(rng, 50, QedMode::EdsepV, false, 64);
   for (const Instruction& inst : p) {
-    if (isa::writes_register(inst.op)) EXPECT_LT(inst.rd, 13);
+    if (isa::writes_register(inst.op)) {
+      EXPECT_LT(inst.rd, 13);
+    }
     EXPECT_LT(inst.rs1, 13);
     EXPECT_LT(inst.rs2, 13);
   }

@@ -60,7 +60,8 @@ TEST(Sat, PigeonHole3Into2IsUnsat) {
   for (auto& row : p) s.add_clause(Lit(row[0], false), Lit(row[1], false));
   for (int h = 0; h < 2; ++h)
     for (int i = 0; i < 3; ++i)
-      for (int j = i + 1; j < 3; ++j) s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
+      for (int j = i + 1; j < 3; ++j)
+        s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
   EXPECT_EQ(s.solve(), SolveResult::Unsat);
 }
 
@@ -77,7 +78,8 @@ TEST(Sat, PigeonHole6Into5IsUnsat) {
   }
   for (int h = 0; h < H; ++h)
     for (int i = 0; i < N; ++i)
-      for (int j = i + 1; j < N; ++j) s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
+      for (int j = i + 1; j < N; ++j)
+        s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
   EXPECT_EQ(s.solve(), SolveResult::Unsat);
   EXPECT_GT(s.num_conflicts(), 0u);
 }
@@ -137,7 +139,8 @@ TEST(Sat, ConflictBudgetReturnsUnknown) {
   }
   for (int h = 0; h < H; ++h)
     for (int i = 0; i < N; ++i)
-      for (int j = i + 1; j < N; ++j) s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
+      for (int j = i + 1; j < N; ++j)
+        s.add_clause(Lit(p[i][h], true), Lit(p[j][h], true));
   s.set_conflict_budget(10);
   EXPECT_EQ(s.solve(), SolveResult::Unknown);
   s.set_conflict_budget(0);

@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# CLI contract test for sepe-run: malformed arguments are usage errors
+# (exit 2, diagnostic on stderr), and the shard/merge round trip
+# reproduces the unsharded stable JSON byte-for-byte.
+#
+# Usage: sepe_run_cli_test.sh /path/to/sepe-run
+set -u
+
+SEPE_RUN=${1:?usage: sepe_run_cli_test.sh /path/to/sepe-run}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# expect_usage_error NAME -- ARGS...: the invocation must exit 2 and
+# print a diagnostic on stderr.
+expect_usage_error() {
+  local name=$1
+  shift 2
+  local stderr_file="$WORK/$name.stderr"
+  "$SEPE_RUN" "$@" >/dev/null 2>"$stderr_file"
+  local status=$?
+  if [ "$status" -ne 2 ]; then
+    echo "FAIL: $name: expected exit 2, got $status ($*)"
+    FAILURES=$((FAILURES + 1))
+  elif [ ! -s "$stderr_file" ]; then
+    echo "FAIL: $name: no diagnostic on stderr ($*)"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "ok: $name"
+  fi
+}
+
+expect_usage_error threads_zero      -- --threads 0
+expect_usage_error threads_garbage   -- --threads abc
+expect_usage_error threads_negative  -- --threads -2
+expect_usage_error threads_missing   -- --threads
+expect_usage_error bound_garbage     -- --bound 6x
+expect_usage_error xlen_too_small    -- --xlen 1
+expect_usage_error rows_zero         -- --rows 0
+expect_usage_error seed_garbage      -- --seed 1.5
+expect_usage_error time_cap_negative -- --time-cap -1
+expect_usage_error time_cap_nan      -- --time-cap nan
+expect_usage_error merge_dash_input  -- merge -
+expect_usage_error bad_bug_name      -- --bugs no_such_bug
+expect_usage_error duplicate_bug     -- --bugs add_carry_stuck,add_carry_stuck
+expect_usage_error bad_mode          -- --modes sideways
+expect_usage_error shard_malformed   -- --shard 4of4
+expect_usage_error shard_range       -- --shard 4/4
+expect_usage_error unknown_flag      -- --frobnicate
+expect_usage_error merge_no_inputs   -- merge
+
+# --help and --list-bugs succeed.
+for flag in --help --list-bugs; do
+  if "$SEPE_RUN" "$flag" >/dev/null 2>&1; then
+    echo "ok: $flag exits 0"
+  else
+    echo "FAIL: $flag should exit 0"
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+# Shard/merge round trip on a small campaign (EDDI-only: no synthesis
+# cost): 3 shards, merged in shuffled order, byte-identical to the
+# unsharded --threads 1 reference.
+CAMPAIGN=(--bugs table1 --rows 2 --modes eddi --bound 4 --max-k 2 --stable-json)
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --json "$WORK/reference.json" >/dev/null; then
+  echo "FAIL: unsharded reference run"
+  FAILURES=$((FAILURES + 1))
+fi
+for i in 0 1 2; do
+  if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --shard "$i/3" --json "$WORK/shard$i.json" >/dev/null; then
+    echo "FAIL: shard $i/3 run"
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+if ! "$SEPE_RUN" merge --output "$WORK/merged.json" \
+    "$WORK/shard2.json" "$WORK/shard0.json" "$WORK/shard1.json" 2>/dev/null; then
+  echo "FAIL: merge of complete shard set"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/reference.json" "$WORK/merged.json"; then
+  echo "ok: merged stable JSON is byte-identical to the unsharded run"
+else
+  echo "FAIL: merged JSON differs from the unsharded reference:"
+  diff "$WORK/reference.json" "$WORK/merged.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Merge rejects incomplete and overlapping shard sets with exit 1.
+for bad in "shard0.json shard1.json" "shard0.json shard0.json shard1.json"; do
+  inputs=()
+  for f in $bad; do inputs+=("$WORK/$f"); done
+  "$SEPE_RUN" merge "${inputs[@]}" >/dev/null 2>&1
+  status=$?
+  if [ "$status" -eq 1 ]; then
+    echo "ok: merge rejects bad set ($bad)"
+  else
+    echo "FAIL: merge of ($bad) should exit 1, got $status"
+    FAILURES=$((FAILURES + 1))
+  fi
+done
+
+# Checkpoint/resume: a second run against the finished journal does no
+# solving and reproduces the same stable JSON.
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --checkpoint "$WORK/ckpt.json" \
+    --json "$WORK/first.json" >/dev/null; then
+  echo "FAIL: checkpointed run"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --checkpoint "$WORK/ckpt.json" \
+    --json "$WORK/second.json" >/dev/null; then
+  echo "FAIL: resumed run"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/first.json" "$WORK/second.json"; then
+  echo "ok: checkpoint resume reproduces the report"
+else
+  echo "FAIL: resumed report differs from the original"
+  FAILURES=$((FAILURES + 1))
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES CLI check(s) failed"
+  exit 1
+fi
+echo "all CLI checks passed"

@@ -1,0 +1,435 @@
+// Tests for the campaign sharding + report-merge subsystem: the planner
+// partitions the expanded job list deterministically (no overlap, no
+// gaps, reproducible across runs), merge is order-insensitive and
+// rejects overlapping/incomplete shard sets, merged stable JSON is
+// byte-identical to an unsharded run, reports round-trip through their
+// JSON form, and an interrupted shard resumes from its checkpoint
+// without re-running finished jobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "engine/report_io.hpp"
+#include "engine/shard.hpp"
+
+namespace sepe::engine {
+namespace {
+
+using smt::TermRef;
+
+/// Shared counter of model-builder invocations, for asserting that a
+/// resumed run does not rebuild finished jobs.
+std::atomic<unsigned> g_builds{0};
+
+/// Counter that increments by an input-controlled step: falsified at
+/// depth `target` when target <= max_bound, bound-clean otherwise.
+JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t target,
+                    const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width, target](ts::TransitionSystem& ts) {
+    g_builds.fetch_add(1);
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef cnt = ts.add_state("cnt", width);
+    const TermRef inc = ts.add_input("inc", 1);
+    ts.set_init(cnt, mgr.mk_const(width, 0));
+    ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(width, 1)), cnt));
+    ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(width, target)), "cnt-target");
+  };
+  return job;
+}
+
+/// Frozen register: proved by k-induction at k = 1.
+JobSpec frozen_job(const std::string& name, unsigned width, const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width](ts::TransitionSystem& ts) {
+    g_builds.fetch_add(1);
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef x = ts.add_state("x", width);
+    ts.set_init(x, mgr.mk_const(width, 0));
+    ts.set_next(x, x);
+    ts.add_bad(mgr.mk_eq(x, mgr.mk_const(width, 1)), "x-one");
+  };
+  return job;
+}
+
+/// A 14-job spec covering every verdict class, with names whose
+/// lexicographic order differs from spec order (exercising the
+/// rank-based assignment).
+CampaignSpec mixed_spec() {
+  JobBudget budget;
+  budget.max_bound = 8;
+  budget.max_k = 3;
+  CampaignSpec spec;
+  spec.seed = 42;
+  for (unsigned t = 1; t <= 6; ++t)
+    spec.jobs.push_back(counter_job("cnt-" + std::to_string(t), 6 + t % 3, t, budget));
+  for (unsigned w = 4; w <= 7; ++w)
+    spec.jobs.push_back(frozen_job("frozen-" + std::to_string(w), w, budget));
+  spec.jobs.push_back(counter_job("clean-20", 8, 20, budget));
+  spec.jobs.push_back(counter_job("clean-30", 8, 30, budget));
+  spec.jobs.push_back(counter_job("a-first", 8, 2, budget));
+  spec.jobs.push_back(counter_job("z-last", 8, 30, budget));
+  return spec;
+}
+
+std::vector<CampaignReport> run_all_shards(const CampaignSpec& spec, unsigned count,
+                                           unsigned threads = 1) {
+  std::vector<CampaignReport> reports;
+  for (unsigned i = 0; i < count; ++i) {
+    ShardRunOptions options;
+    options.pool.threads = threads;
+    options.shard = ShardSpec{i, count};
+    std::string error;
+    reports.push_back(run_sharded(spec, options, &error));
+    EXPECT_TRUE(error.empty()) << error;
+  }
+  return reports;
+}
+
+TEST(ShardParse, AcceptsWellFormedRejectsMalformed) {
+  ShardSpec shard;
+  std::string error;
+  EXPECT_TRUE(parse_shard("1/4", &shard, &error));
+  EXPECT_EQ(shard.index, 1u);
+  EXPECT_EQ(shard.count, 4u);
+  EXPECT_TRUE(parse_shard("0/1", &shard, &error));
+  for (const char* bad : {"4/4", "5/4", "0/0", "a/b", "3", "/4", "1/", "-1/4",
+                          "1/4/2", "1 /4", ""}) {
+    EXPECT_FALSE(parse_shard(bad, &shard, &error)) << bad;
+    EXPECT_FALSE(error.empty());
+    error.clear();
+  }
+}
+
+TEST(ShardAssignment, DeterministicBalancedAndIdBased) {
+  const std::vector<std::string> ids = {"delta", "alpha", "echo", "bravo", "charlie"};
+  const std::vector<unsigned> a = shard_assignment(ids, 2);
+  EXPECT_EQ(a, shard_assignment(ids, 2));  // reproducible
+  // Ranks: alpha0 bravo1 charlie2 delta3 echo4 -> shard = rank % 2.
+  const std::vector<unsigned> expected = {1, 0, 0, 1, 0};
+  EXPECT_EQ(a, expected);
+  // Assignment follows the id, not the position.
+  std::vector<std::string> reversed(ids.rbegin(), ids.rend());
+  const std::vector<unsigned> r = shard_assignment(reversed, 2);
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(a[i], r[ids.size() - 1 - i]) << ids[i];
+}
+
+TEST(ShardPlanner, ShardsPartitionTheSpecExactly) {
+  const CampaignSpec spec = mixed_spec();
+  for (unsigned count : {1u, 3u, 4u, 5u}) {
+    std::vector<bool> covered(spec.jobs.size(), false);
+    std::size_t total = 0;
+    for (unsigned index = 0; index < count; ++index) {
+      const ShardPlan plan = plan_shard(spec, ShardSpec{index, count});
+      ASSERT_TRUE(plan.ok()) << plan.error;
+      EXPECT_EQ(plan.total_jobs, spec.jobs.size());
+      EXPECT_EQ(plan.spec.seed, spec.seed);
+      // Balanced to within one job.
+      EXPECT_LE(plan.spec.jobs.size(), (spec.jobs.size() + count - 1) / count);
+      ASSERT_EQ(plan.spec.jobs.size(), plan.spec_indices.size());
+      for (std::size_t k = 0; k < plan.spec_indices.size(); ++k) {
+        const std::size_t original = plan.spec_indices[k];
+        ASSERT_LT(original, spec.jobs.size());
+        EXPECT_FALSE(covered[original]) << "overlap at " << original;
+        covered[original] = true;
+        ++total;
+        EXPECT_EQ(plan.spec.jobs[k].name, spec.jobs[original].name);
+        // Spec order is preserved inside a shard.
+        if (k > 0) {
+          EXPECT_LT(plan.spec_indices[k - 1], original);
+        }
+      }
+    }
+    EXPECT_EQ(total, spec.jobs.size()) << count << " shards leave gaps";
+  }
+}
+
+TEST(ShardPlanner, RepeatedPlansAreIdentical) {
+  const CampaignSpec spec = mixed_spec();
+  const ShardSpec shard{1, 4};
+  const ShardPlan a = plan_shard(spec, shard);
+  const ShardPlan b = plan_shard(spec, shard);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.spec_indices, b.spec_indices);
+  for (std::size_t i = 0; i < a.spec.jobs.size(); ++i)
+    EXPECT_EQ(a.spec.jobs[i].name, b.spec.jobs[i].name);
+}
+
+TEST(ShardPlanner, RejectsDuplicateNamesAndBadShard) {
+  CampaignSpec spec = mixed_spec();
+  EXPECT_FALSE(plan_shard(spec, ShardSpec{4, 4}).ok());
+  EXPECT_FALSE(plan_shard(spec, ShardSpec{0, 0}).ok());
+  JobBudget budget;
+  spec.jobs.push_back(counter_job("cnt-1", 8, 1, budget));  // duplicate id
+  const ShardPlan plan = plan_shard(spec, ShardSpec{0, 2});
+  EXPECT_FALSE(plan.ok());
+  EXPECT_NE(plan.error.find("cnt-1"), std::string::npos);
+}
+
+TEST(ShardMerge, MergedStableJsonEqualsUnshardedByteForByte) {
+  const CampaignSpec spec = mixed_spec();
+  CampaignOptions seq;
+  seq.threads = 1;
+  const std::string reference = run_campaign(spec, seq).to_json(/*include_timing=*/false);
+
+  std::vector<CampaignReport> shards = run_all_shards(spec, 4, /*threads=*/2);
+  // Order-insensitive: merge a shuffled permutation.
+  std::swap(shards[0], shards[2]);
+  std::swap(shards[1], shards[3]);
+  std::string error;
+  const auto merged = CampaignReport::merge(shards, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->to_json(/*include_timing=*/false), reference);
+  EXPECT_FALSE(merged->shard.has_value());
+  EXPECT_EQ(merged->jobs.size(), spec.jobs.size());
+
+  // And again through the JSON wire format, as `sepe-run merge` does.
+  std::vector<CampaignReport> rehydrated;
+  for (const CampaignReport& r : shards) {
+    CampaignReport parsed;
+    ASSERT_TRUE(parse_report(r.to_json(/*include_timing=*/false), &parsed, &error))
+        << error;
+    rehydrated.push_back(std::move(parsed));
+  }
+  const auto merged2 = CampaignReport::merge(rehydrated, &error);
+  ASSERT_TRUE(merged2.has_value()) << error;
+  EXPECT_EQ(merged2->to_json(/*include_timing=*/false), reference);
+}
+
+TEST(ShardMerge, HandlesMoreShardsThanJobs) {
+  CampaignSpec spec;
+  spec.seed = 9;
+  JobBudget budget;
+  budget.max_bound = 4;
+  budget.max_k = 2;
+  for (unsigned t = 1; t <= 3; ++t)
+    spec.jobs.push_back(counter_job("cnt-" + std::to_string(t), 8, t, budget));
+  CampaignOptions seq;
+  seq.threads = 1;
+  const std::string reference =
+      run_campaign(spec, seq).to_json(/*include_timing=*/false);
+  const std::vector<CampaignReport> shards = run_all_shards(spec, 5);
+  unsigned empty = 0;
+  for (const CampaignReport& r : shards) empty += r.jobs.empty();
+  EXPECT_EQ(empty, 2u);  // 3 jobs over 5 shards
+  std::string error;
+  const auto merged = CampaignReport::merge(shards, &error);
+  ASSERT_TRUE(merged.has_value()) << error;
+  EXPECT_EQ(merged->to_json(/*include_timing=*/false), reference);
+}
+
+TEST(ShardMerge, RejectsOverlapIncompleteAndMismatch) {
+  const CampaignSpec spec = mixed_spec();
+  std::vector<CampaignReport> shards = run_all_shards(spec, 3);
+  std::string error;
+
+  // Missing shard.
+  std::vector<CampaignReport> two(shards.begin(), shards.begin() + 2);
+  EXPECT_FALSE(CampaignReport::merge(two, &error).has_value());
+  EXPECT_NE(error.find("incomplete"), std::string::npos);
+
+  // The same shard supplied twice.
+  std::vector<CampaignReport> doubled = {shards[0], shards[1], shards[1]};
+  EXPECT_FALSE(CampaignReport::merge(doubled, &error).has_value());
+  EXPECT_NE(error.find("twice"), std::string::npos);
+
+  // A non-shard (plain) report.
+  CampaignOptions seq;
+  seq.threads = 1;
+  std::vector<CampaignReport> plain = {run_campaign(spec, seq)};
+  EXPECT_FALSE(CampaignReport::merge(plain, &error).has_value());
+  EXPECT_NE(error.find("shard metadata"), std::string::npos);
+
+  // Seed mismatch.
+  std::vector<CampaignReport> reseeded = shards;
+  reseeded[2].seed = 7;
+  EXPECT_FALSE(CampaignReport::merge(reseeded, &error).has_value());
+  EXPECT_NE(error.find("seed"), std::string::npos);
+
+  // Overlapping job ids despite distinct shard indices.
+  std::vector<CampaignReport> stolen = shards;
+  ASSERT_FALSE(shards[0].jobs.empty());
+  stolen[1].jobs.push_back(shards[0].jobs[0]);
+  EXPECT_FALSE(CampaignReport::merge(stolen, &error).has_value());
+  EXPECT_NE(error.find("twice"), std::string::npos);
+
+  // Empty input.
+  EXPECT_FALSE(CampaignReport::merge({}, &error).has_value());
+}
+
+TEST(ShardMerge, MergeIsIdempotentOnDisjointShards) {
+  const CampaignSpec spec = mixed_spec();
+  const std::vector<CampaignReport> shards = run_all_shards(spec, 3);
+  std::string error;
+  const auto once = CampaignReport::merge(shards, &error);
+  const auto twice = CampaignReport::merge(shards, &error);
+  ASSERT_TRUE(once.has_value());
+  ASSERT_TRUE(twice.has_value());
+  EXPECT_EQ(once->to_json(false), twice->to_json(false));
+}
+
+TEST(ReportIo, TimingReportRoundTrips) {
+  const CampaignSpec spec = mixed_spec();
+  ShardRunOptions options;
+  options.shard = ShardSpec{0, 2};
+  std::string error;
+  const CampaignReport report = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  const std::string json = report.to_json(/*include_timing=*/true);
+  CampaignReport parsed;
+  ASSERT_TRUE(parse_report(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.to_json(/*include_timing=*/true), json);
+  ASSERT_TRUE(parsed.shard.has_value());
+  EXPECT_EQ(parsed.shard->total_jobs, spec.jobs.size());
+}
+
+TEST(ReportIo, RejectsMalformedInput) {
+  CampaignReport report;
+  std::string error;
+  EXPECT_FALSE(parse_report("", &report, &error));
+  EXPECT_FALSE(parse_report("{", &report, &error));
+  EXPECT_FALSE(parse_report("[]", &report, &error));
+  EXPECT_FALSE(parse_report("{\"seed\": 1}", &report, &error));  // no jobs
+  EXPECT_FALSE(parse_report(
+      "{\"seed\": 1, \"jobs\": [{\"name\": \"x\", \"mode\": \"EDDI-V\", "
+      "\"verdict\": \"NOT_A_VERDICT\"}]}",
+      &report, &error));
+  EXPECT_FALSE(parse_report(
+      "{\"seed\": 1, \"jobs\": [{\"mode\": \"EDDI-V\", \"verdict\": "
+      "\"PROVED\"}]}",
+      &report, &error));  // nameless job
+  EXPECT_FALSE(parse_report(
+      "{\"seed\": 1, \"jobs\": [{\"name\": \"x\", \"mode\": \"EDDI-V\", "
+      "\"verdict\": \"PROVED\", \"conflicts\": \"oops\"}]}",
+      &report, &error));  // non-numeric count is a hard error
+  // A corrupt file cannot drive the parser into unbounded recursion.
+  EXPECT_FALSE(parse_report(std::string(100000, '['), &report, &error));
+  EXPECT_NE(error.find("nesting"), std::string::npos);
+  EXPECT_TRUE(parse_report(
+      "{\"seed\": 1, \"jobs\": [{\"name\": \"x\", \"mode\": \"EDDI-V\", "
+      "\"verdict\": \"PROVED\", \"proved_k\": 2}]}",
+      &report, &error))
+      << error;
+  EXPECT_EQ(report.jobs[0].proved_k, 2u);
+}
+
+TEST(ShardRun, JobDoneHookReportsFullSpecPositions) {
+  const CampaignSpec spec = mixed_spec();
+  ShardRunOptions options;
+  options.shard = ShardSpec{1, 3};
+  std::vector<std::size_t> seen;
+  std::mutex seen_mutex;
+  options.pool.on_job_done = [&](std::size_t index, const JobResult& job) {
+    std::lock_guard<std::mutex> lock(seen_mutex);
+    EXPECT_EQ(job.spec_index, index);
+    EXPECT_EQ(job.name, spec.jobs[index].name);
+    seen.push_back(index);
+  };
+  std::string error;
+  const CampaignReport report = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  std::sort(seen.begin(), seen.end());
+  const ShardPlan plan = plan_shard(spec, *options.shard);
+  EXPECT_EQ(seen, plan.spec_indices);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "shard_checkpoint_test.json";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, ResumeSkipsFinishedJobsAndReproducesTheReport) {
+  const CampaignSpec spec = mixed_spec();
+  ShardRunOptions options;
+  options.shard = ShardSpec{0, 2};
+  options.checkpoint_path = path_;
+
+  std::string error;
+  g_builds.store(0);
+  const CampaignReport first = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  // Every job races two provers -> two builds each; at least one each.
+  EXPECT_GE(g_builds.load(), first.jobs.size());
+
+  // A second run against the complete checkpoint does no model building.
+  g_builds.store(0);
+  const CampaignReport resumed = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(g_builds.load(), 0u);
+  EXPECT_EQ(resumed.to_json(/*include_timing=*/false),
+            first.to_json(/*include_timing=*/false));
+
+  // Simulate an interruption: drop all but two finished jobs from the
+  // journal. Only the dropped jobs are re-run.
+  CampaignReport partial;
+  ASSERT_TRUE(parse_report(*read_text_file(path_), &partial, &error)) << error;
+  ASSERT_GT(partial.jobs.size(), 2u);
+  const std::size_t dropped = partial.jobs.size() - 2;
+  partial.jobs.resize(2);
+  ASSERT_TRUE(write_text_file_atomic(path_, partial.to_json(true)));
+  g_builds.store(0);
+  const CampaignReport recovered = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_GE(g_builds.load(), dropped);
+  EXPECT_LE(g_builds.load(), 2 * dropped);  // never more than both provers
+  EXPECT_EQ(recovered.to_json(/*include_timing=*/false),
+            first.to_json(/*include_timing=*/false));
+}
+
+TEST_F(CheckpointTest, RejectsForeignCheckpoint) {
+  const CampaignSpec spec = mixed_spec();
+  ShardRunOptions options;
+  options.shard = ShardSpec{0, 2};
+  options.checkpoint_path = path_;
+  std::string error;
+  run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  // Same file, different shard: refused rather than mis-resumed.
+  options.shard = ShardSpec{1, 2};
+  const CampaignReport report = run_sharded(spec, options, &error);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(report.jobs.empty());
+
+  // Same shard, different budgets: the spec digest refuses the resume
+  // instead of presenting stale verdicts as the new campaign's result.
+  options.shard = ShardSpec{0, 2};
+  CampaignSpec rebudgeted = mixed_spec();
+  for (JobSpec& job : rebudgeted.jobs) job.budget.max_bound += 4;
+  error.clear();
+  run_sharded(rebudgeted, options, &error);
+  EXPECT_NE(error.find("different campaign parameters"), std::string::npos);
+
+  // A caller-supplied fingerprint change (e.g. sepe-run's --xlen) is
+  // refused the same way.
+  options.fingerprint = "xlen=8";
+  error.clear();
+  run_sharded(spec, options, &error);
+  EXPECT_NE(error.find("different campaign parameters"), std::string::npos);
+  options.fingerprint.clear();
+
+  // Corrupt journal: refused with a pointer to the fix.
+  ASSERT_TRUE(write_text_file_atomic(path_, "{not json"));
+  error.clear();
+  run_sharded(spec, options, &error);
+  EXPECT_NE(error.find("delete it"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sepe::engine

@@ -96,22 +96,38 @@ TEST_P(EvalBinopTest, MatchesBitVec) {
 INSTANTIATE_TEST_SUITE_P(
     AllOps, EvalBinopTest,
     ::testing::Values(
-        OpCase{"add", &TermManager::mk_add, [](const BitVec& a, const BitVec& b) { return a + b; }},
-        OpCase{"sub", &TermManager::mk_sub, [](const BitVec& a, const BitVec& b) { return a - b; }},
-        OpCase{"mul", &TermManager::mk_mul, [](const BitVec& a, const BitVec& b) { return a * b; }},
-        OpCase{"and", &TermManager::mk_and, [](const BitVec& a, const BitVec& b) { return a & b; }},
-        OpCase{"or", &TermManager::mk_or, [](const BitVec& a, const BitVec& b) { return a | b; }},
-        OpCase{"xor", &TermManager::mk_xor, [](const BitVec& a, const BitVec& b) { return a ^ b; }},
-        OpCase{"udiv", &TermManager::mk_udiv, [](const BitVec& a, const BitVec& b) { return a.udiv(b); }},
-        OpCase{"urem", &TermManager::mk_urem, [](const BitVec& a, const BitVec& b) { return a.urem(b); }},
-        OpCase{"sdiv", &TermManager::mk_sdiv, [](const BitVec& a, const BitVec& b) { return a.sdiv(b); }},
-        OpCase{"srem", &TermManager::mk_srem, [](const BitVec& a, const BitVec& b) { return a.srem(b); }},
-        OpCase{"shl", &TermManager::mk_shl, [](const BitVec& a, const BitVec& b) { return a.shl(b); }},
-        OpCase{"lshr", &TermManager::mk_lshr, [](const BitVec& a, const BitVec& b) { return a.lshr(b); }},
-        OpCase{"ashr", &TermManager::mk_ashr, [](const BitVec& a, const BitVec& b) { return a.ashr(b); }},
-        OpCase{"ult", &TermManager::mk_ult, [](const BitVec& a, const BitVec& b) { return a.ult(b); }},
-        OpCase{"slt", &TermManager::mk_slt, [](const BitVec& a, const BitVec& b) { return a.slt(b); }},
-        OpCase{"eq", &TermManager::mk_eq, [](const BitVec& a, const BitVec& b) { return a.eq(b); }}),
+        OpCase{"add", &TermManager::mk_add,
+               [](const BitVec& a, const BitVec& b) { return a + b; }},
+        OpCase{"sub", &TermManager::mk_sub,
+               [](const BitVec& a, const BitVec& b) { return a - b; }},
+        OpCase{"mul", &TermManager::mk_mul,
+               [](const BitVec& a, const BitVec& b) { return a * b; }},
+        OpCase{"and", &TermManager::mk_and,
+               [](const BitVec& a, const BitVec& b) { return a & b; }},
+        OpCase{"or", &TermManager::mk_or,
+               [](const BitVec& a, const BitVec& b) { return a | b; }},
+        OpCase{"xor", &TermManager::mk_xor,
+               [](const BitVec& a, const BitVec& b) { return a ^ b; }},
+        OpCase{"udiv", &TermManager::mk_udiv,
+               [](const BitVec& a, const BitVec& b) { return a.udiv(b); }},
+        OpCase{"urem", &TermManager::mk_urem,
+               [](const BitVec& a, const BitVec& b) { return a.urem(b); }},
+        OpCase{"sdiv", &TermManager::mk_sdiv,
+               [](const BitVec& a, const BitVec& b) { return a.sdiv(b); }},
+        OpCase{"srem", &TermManager::mk_srem,
+               [](const BitVec& a, const BitVec& b) { return a.srem(b); }},
+        OpCase{"shl", &TermManager::mk_shl,
+               [](const BitVec& a, const BitVec& b) { return a.shl(b); }},
+        OpCase{"lshr", &TermManager::mk_lshr,
+               [](const BitVec& a, const BitVec& b) { return a.lshr(b); }},
+        OpCase{"ashr", &TermManager::mk_ashr,
+               [](const BitVec& a, const BitVec& b) { return a.ashr(b); }},
+        OpCase{"ult", &TermManager::mk_ult,
+               [](const BitVec& a, const BitVec& b) { return a.ult(b); }},
+        OpCase{"slt", &TermManager::mk_slt,
+               [](const BitVec& a, const BitVec& b) { return a.slt(b); }},
+        OpCase{"eq", &TermManager::mk_eq,
+               [](const BitVec& a, const BitVec& b) { return a.eq(b); }}),
     [](const ::testing::TestParamInfo<OpCase>& info) { return info.param.name; });
 
 TEST(Eval, DeepDagDoesNotOverflowStack) {

@@ -70,7 +70,8 @@ class TsSim {
 
 /// Input bundle driving a ProcModel for one cycle with `inst`, mirroring
 /// how the QED modules extend architectural immediates onto the datapath.
-inline smt::Assignment proc_drive(const proc::ProcModel& m, const isa::Instruction& inst) {
+inline smt::Assignment proc_drive(const proc::ProcModel& m,
+                                  const isa::Instruction& inst) {
   const unsigned xlen = m.config.xlen;
   BitVec imm = BitVec::zeros(xlen);
   if (isa::opcode_format(inst.op) == isa::Format::Shift) {
@@ -103,7 +104,8 @@ inline smt::Assignment proc_bubble(const proc::ProcModel& m) {
 /// Run a whole program through the pipeline (one instruction per cycle,
 /// then drain) on a fresh simulator whose registers/memory start from the
 /// given initial values.
-inline void proc_run_program(TsSim& sim, const proc::ProcModel& m, const isa::Program& prog) {
+inline void proc_run_program(TsSim& sim, const proc::ProcModel& m,
+                             const isa::Program& prog) {
   for (const isa::Instruction& inst : prog) sim.step(proc_drive(m, inst));
   sim.step(proc_bubble(m));
   sim.step(proc_bubble(m));  // two bubbles drain the 3-stage pipeline

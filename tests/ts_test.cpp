@@ -87,7 +87,8 @@ TEST(Btor2Serializer, EmitsOperatorsForTheWholeTermAlphabet) {
   t = mgr.mk_and(t, mgr.mk_ashr(b, mgr.mk_const(8, 2)));
   ts.set_next(a, t);
   const std::string btor = to_btor2(ts);
-  for (const char* op : {"add", "xor", "sub", "ite", "ult", "mul", "or", "sll", "sra", "and"})
+  for (const char* op :
+       {"add", "xor", "sub", "ite", "ult", "mul", "or", "sll", "sra", "and"})
     EXPECT_NE(btor.find(op), std::string::npos) << op;
 }
 

@@ -8,20 +8,34 @@
 // deterministic: --conflicts qualifies, --time-cap does not (a wall cap
 // can fire earlier under core contention) — see src/engine/campaign.hpp.
 //
+// Campaigns scale out across processes/hosts: --shard I/N runs the
+// deterministic shard I of N (see src/engine/shard.hpp), and the merge
+// subcommand folds the N shard reports back into one report whose
+// stable JSON is byte-identical to an unsharded run.
+//
 // Examples:
 //   sepe-run --bugs table1 --rows 8 --threads 4
 //   sepe-run --bugs xor_as_or,add_wrong --modes edsep --json report.json
 //   sepe-run --healthy --max-k 6 --bound 6
+//   sepe-run --bugs table1 --shard 2/4 --stable-json --json shard2.json
+//   sepe-run merge --output merged.json shard0.json shard1.json ...
+//
+// Exit codes: 0 success; 1 I/O or merge-input failure; 2 usage error;
+// 3 campaign finished with UNKNOWN verdicts.
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include "engine/campaign.hpp"
 #include "engine/pinned_table.hpp"
+#include "engine/report_io.hpp"
+#include "engine/shard.hpp"
 #include "proc/mutations.hpp"
+#include "util/parse.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace sepe;
@@ -34,6 +48,7 @@ void usage() {
       "sepe-run — parallel SEPE-SQED verification campaigns\n"
       "\n"
       "usage: sepe-run [options]\n"
+      "       sepe-run merge [--output FILE] SHARD.json...\n"
       "  --threads N      worker threads (default: hardware concurrency)\n"
       "  --xlen W         DUV datapath width (default 4)\n"
       "  --bound N        BMC bound sweep limit (default 10)\n"
@@ -49,10 +64,18 @@ void usage() {
       "  --time-cap SEC   per-job wall-clock cap (default none; verdicts under\n"
       "                   a wall cap may vary with load and --threads)\n"
       "  --seed S         RNG seed recorded in the report (default 1)\n"
+      "  --shard I/N      run only the deterministic shard I of N (0-based);\n"
+      "                   the JSON report then carries shard metadata for merge\n"
+      "  --checkpoint F   journal finished jobs to F and resume from it\n"
       "  --json FILE      write a JSON report ('-' = stdout)\n"
       "  --stable-json    JSON omits timing/race fields (byte-deterministic)\n"
       "  --witness        print the counterexample trace of falsified jobs\n"
-      "  --list-bugs      list the injectable bug catalog and exit\n");
+      "  --list-bugs      list the injectable bug catalog and exit\n"
+      "\n"
+      "merge: read N shard reports (any order), check they are disjoint and\n"
+      "complete, and write the merged report as stable JSON — byte-identical\n"
+      "to an unsharded --stable-json run of the same campaign.\n"
+      "  --output FILE    merged report destination (default '-' = stdout)\n");
 }
 
 void list_bugs() {
@@ -77,35 +100,170 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
+// --- strict option-value parsing: malformed values are usage errors
+// --- (exit 2) with a diagnostic, never silently-zero atoi results ---
+
+[[noreturn]] void die_usage(const char* flag, const char* expected, const char* got) {
+  std::fprintf(stderr, "sepe-run: %s expects %s, got '%s' — try --help\n", flag,
+               expected, got);
+  std::exit(2);
+}
+
+std::uint64_t parse_u64_arg(const char* flag, const char* text) {
+  const auto value = parse_u64_strict(text);
+  if (!value) die_usage(flag, "an unsigned integer", text);
+  return *value;
+}
+
+unsigned parse_unsigned_arg(const char* flag, const char* text, unsigned min_value,
+                            unsigned max_value = ~0u) {
+  const std::uint64_t value = parse_u64_arg(flag, text);
+  if (value < min_value || value > max_value) {
+    char expected[64];
+    std::snprintf(expected, sizeof expected, "an integer in [%u, %u]", min_value,
+                  max_value);
+    die_usage(flag, expected, text);
+  }
+  return static_cast<unsigned>(value);
+}
+
+double parse_seconds_arg(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0' || !std::isfinite(value) ||
+      value < 0.0)
+    die_usage(flag, "a non-negative number of seconds", text);
+  return value;
+}
+
+/// `sepe-run merge [--output FILE] SHARD.json...` — fan the shard
+/// reports back in. Diagnostics go to stderr so `--output -` pipes
+/// clean JSON.
+int run_merge(int argc, char** argv) {
+  std::string out_path = "-";
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--output")) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sepe-run: --output needs a value — try --help\n");
+        return 2;
+      }
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    } else if (argv[i][0] == '-') {
+      // '-' is stdout for --output but not a supported input source.
+      std::fprintf(stderr, "sepe-run: merge inputs must be shard report files, "
+                           "got '%s' — try --help\n",
+                   argv[i]);
+      return 2;
+    } else {
+      inputs.push_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "sepe-run: merge needs at least one shard report — "
+                         "try --help\n");
+    return 2;
+  }
+
+  std::vector<engine::CampaignReport> shards;
+  shards.reserve(inputs.size());
+  for (const std::string& path : inputs) {
+    const auto text = engine::read_text_file(path);
+    if (!text) {
+      std::fprintf(stderr, "sepe-run: cannot read '%s'\n", path.c_str());
+      return 1;
+    }
+    engine::CampaignReport report;
+    std::string parse_error;
+    if (!engine::parse_report(*text, &report, &parse_error)) {
+      std::fprintf(stderr, "sepe-run: '%s' is not a campaign report: %s\n",
+                   path.c_str(), parse_error.c_str());
+      return 1;
+    }
+    shards.push_back(std::move(report));
+  }
+
+  std::string merge_error;
+  const auto merged = engine::CampaignReport::merge(shards, &merge_error);
+  if (!merged) {
+    std::fprintf(stderr, "sepe-run: merge failed: %s\n", merge_error.c_str());
+    return 1;
+  }
+
+  const std::string json = merged->to_json(/*include_timing=*/false);
+  if (out_path == "-") {
+    std::printf("%s", json.c_str());
+  } else {
+    if (!engine::write_text_file_atomic(out_path, json)) {
+      std::fprintf(stderr, "sepe-run: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr,
+               "merged %zu shards -> %zu jobs: %u falsified, %u proved, "
+               "%u bound-clean, %u unknown\n",
+               shards.size(), merged->jobs.size(),
+               merged->count(engine::Verdict::Falsified),
+               merged->count(engine::Verdict::Proved),
+               merged->count(engine::Verdict::BoundClean),
+               merged->count(engine::Verdict::Unknown));
+  return merged->count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
+
   unsigned threads = 0, xlen = 4, bound = 10, max_k = 10, rows = ~0u;
   bool race = true, healthy = false, stable_json = false, print_witness = false;
   std::uint64_t conflicts = 0, seed = 1;
   double time_cap = 0.0;
-  std::string modes_arg = "both", bugs_arg = "table1", json_path;
+  std::string modes_arg = "both", bugs_arg = "table1", json_path, checkpoint_path;
+  std::optional<engine::ShardSpec> shard;
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::fprintf(stderr, "sepe-run: %s needs a value — try --help\n", flag);
         std::exit(2);
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--threads")) threads = std::atoi(next("--threads"));
-    else if (!std::strcmp(argv[i], "--xlen")) xlen = std::atoi(next("--xlen"));
-    else if (!std::strcmp(argv[i], "--bound")) bound = std::atoi(next("--bound"));
-    else if (!std::strcmp(argv[i], "--max-k")) max_k = std::atoi(next("--max-k"));
+    if (!std::strcmp(argv[i], "--threads"))
+      threads = parse_unsigned_arg("--threads", next("--threads"), 1);
+    else if (!std::strcmp(argv[i], "--xlen"))
+      xlen = parse_unsigned_arg("--xlen", next("--xlen"), 2, 32);
+    else if (!std::strcmp(argv[i], "--bound"))
+      bound = parse_unsigned_arg("--bound", next("--bound"), 0);
+    else if (!std::strcmp(argv[i], "--max-k"))
+      max_k = parse_unsigned_arg("--max-k", next("--max-k"), 0);
     else if (!std::strcmp(argv[i], "--no-race")) race = false;
     else if (!std::strcmp(argv[i], "--modes")) modes_arg = next("--modes");
     else if (!std::strcmp(argv[i], "--bugs")) bugs_arg = next("--bugs");
-    else if (!std::strcmp(argv[i], "--rows")) rows = std::atoi(next("--rows"));
+    else if (!std::strcmp(argv[i], "--rows"))
+      rows = parse_unsigned_arg("--rows", next("--rows"), 1);
     else if (!std::strcmp(argv[i], "--healthy")) healthy = true;
-    else if (!std::strcmp(argv[i], "--conflicts")) conflicts = std::atoll(next("--conflicts"));
-    else if (!std::strcmp(argv[i], "--time-cap")) time_cap = std::atof(next("--time-cap"));
-    else if (!std::strcmp(argv[i], "--seed")) seed = std::atoll(next("--seed"));
+    else if (!std::strcmp(argv[i], "--conflicts"))
+      conflicts = parse_u64_arg("--conflicts", next("--conflicts"));
+    else if (!std::strcmp(argv[i], "--time-cap"))
+      time_cap = parse_seconds_arg("--time-cap", next("--time-cap"));
+    else if (!std::strcmp(argv[i], "--seed"))
+      seed = parse_u64_arg("--seed", next("--seed"));
+    else if (!std::strcmp(argv[i], "--shard")) {
+      engine::ShardSpec parsed;
+      std::string shard_error;
+      if (!engine::parse_shard(next("--shard"), &parsed, &shard_error)) {
+        std::fprintf(stderr, "sepe-run: %s — try --help\n", shard_error.c_str());
+        return 2;
+      }
+      shard = parsed;
+    } else if (!std::strcmp(argv[i], "--checkpoint"))
+      checkpoint_path = next("--checkpoint");
     else if (!std::strcmp(argv[i], "--json")) json_path = next("--json");
     else if (!std::strcmp(argv[i], "--stable-json")) stable_json = true;
     else if (!std::strcmp(argv[i], "--witness")) print_witness = true;
@@ -114,13 +272,9 @@ int main(int argc, char** argv) {
       usage();
       return 0;
     } else {
-      std::fprintf(stderr, "unknown flag '%s' — try --help\n", argv[i]);
+      std::fprintf(stderr, "sepe-run: unknown flag '%s' — try --help\n", argv[i]);
       return 2;
     }
-  }
-  if (xlen < 2 || xlen > 32) {
-    std::fprintf(stderr, "--xlen must be in [2, 32], got %u\n", xlen);
-    return 2;
   }
 
   engine::CampaignMatrix matrix;
@@ -138,7 +292,9 @@ int main(int argc, char** argv) {
   } else if (modes_arg == "both") {
     matrix.modes = {qed::QedMode::EddiV, qed::QedMode::EdsepV};
   } else {
-    std::fprintf(stderr, "unknown --modes '%s' (eddi|edsep|both)\n", modes_arg.c_str());
+    std::fprintf(stderr, "sepe-run: unknown --modes '%s' (eddi|edsep|both) — "
+                         "try --help\n",
+                 modes_arg.c_str());
     return 2;
   }
 
@@ -165,14 +321,25 @@ int main(int argc, char** argv) {
             }
         }
         if (!found) {
-          std::fprintf(stderr, "unknown bug '%s' — try --list-bugs\n", name.c_str());
+          std::fprintf(stderr, "sepe-run: unknown bug '%s' — try --list-bugs\n",
+                       name.c_str());
           return 2;
         }
+        // Job names double as the stable shard/merge ids, so a bug may
+        // be requested only once.
+        for (std::size_t a = 0; a + 1 < selected.size(); ++a)
+          if (selected[a].name == selected.back().name) {
+            std::fprintf(stderr, "sepe-run: duplicate bug '%s' in --bugs — "
+                                 "try --help\n",
+                         name.c_str());
+            return 2;
+          }
       }
     }
     if (rows < selected.size()) selected.resize(rows);
     if (selected.empty()) {
-      std::fprintf(stderr, "no bugs selected (use --healthy for an unmutated DUV)\n");
+      std::fprintf(stderr, "sepe-run: no bugs selected (use --healthy for an "
+                           "unmutated DUV) — try --help\n");
       return 2;
     }
     matrix.mutations = std::move(selected);
@@ -195,14 +362,28 @@ int main(int argc, char** argv) {
 
   const engine::CampaignSpec spec = engine::expand(matrix, seed);
   std::printf("campaign: %zu jobs (%zu instruction classes × %zu modes), "
-              "bound=%u, max-k=%u%s\n\n",
+              "bound=%u, max-k=%u%s\n",
               spec.jobs.size(),
               matrix.mutations.empty() ? 1 : matrix.mutations.size(),
               matrix.modes.size(), bound, max_k, race ? "" : ", race disabled");
+  if (shard)
+    std::printf("shard %u/%u of the expanded job list\n", shard->index, shard->count);
+  std::printf("\n");
 
-  engine::CampaignOptions options;
-  options.threads = threads;
-  const engine::CampaignReport report = engine::run_campaign(spec, options);
+  engine::ShardRunOptions options;
+  options.pool.threads = threads;
+  options.shard = shard;
+  options.checkpoint_path = checkpoint_path;
+  // Campaign parameters the JobSpecs cannot expose (they shape the model
+  // builders): folded into the checkpoint digest so a resume under
+  // different flags is refused instead of reusing stale verdicts.
+  options.fingerprint = "xlen=" + std::to_string(xlen) + ";modes=" + modes_arg;
+  std::string run_error;
+  const engine::CampaignReport report = engine::run_sharded(spec, options, &run_error);
+  if (!run_error.empty()) {
+    std::fprintf(stderr, "sepe-run: %s\n", run_error.c_str());
+    return 1;
+  }
 
   std::printf("%s", report.to_table().c_str());
   if (print_witness) {
@@ -216,12 +397,10 @@ int main(int argc, char** argv) {
     if (json_path == "-") {
       std::printf("\n%s", json.c_str());
     } else {
-      std::ofstream out(json_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      if (!engine::write_text_file_atomic(json_path, json)) {
+        std::fprintf(stderr, "sepe-run: cannot write '%s'\n", json_path.c_str());
         return 1;
       }
-      out << json;
       std::printf("\nJSON report written to %s\n", json_path.c_str());
     }
   }
