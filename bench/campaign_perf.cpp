@@ -1,0 +1,143 @@
+// campaign_perf — deterministic perf report for the prover stack.
+//
+// Runs the Table-1 single-instruction campaign (8 instruction classes ×
+// both QED modes, the CI smoke grid) with sequential provers: BMC first,
+// then k-induction, no cancellation, default solver config. Every counter
+// in the report — SAT conflicts / propagations / decisions and CNF
+// variable / clause counts — is then a deterministic function of the
+// code, so consecutive runs (and CI runs on different machines) produce
+// identical numbers and the counters form a comparable perf trajectory
+// across commits. Wall time is reported too but is machine-dependent and
+// excluded from comparisons (this container pins 1 CPU; see README).
+//
+// Usage: campaign_perf [--json FILE] [--rows N] [--bound N] [--max-k N]
+// The default grid must stay in sync with bench/baseline.json and the CI
+// perf-report job.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "engine/report_io.hpp"
+#include "qed_bench_util.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+
+using namespace sepe;
+
+namespace {
+
+std::string perf_json(const engine::CampaignReport& report, unsigned rows,
+                      unsigned bound, unsigned max_k) {
+  std::ostringstream os;
+  os << "{\n  \"campaign\": {\"bugs\": \"table1\", \"rows\": " << rows
+     << ", \"modes\": \"both\", \"bound\": " << bound << ", \"max_k\": " << max_k
+     << ", \"xlen\": 4}";
+  std::uint64_t conflicts = 0, propagations = 0, decisions = 0;
+  std::uint64_t cnf_vars = 0, cnf_clauses = 0;
+  os << ",\n  \"jobs\": [";
+  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
+    const engine::JobResult& j = report.jobs[i];
+    conflicts += j.conflicts;
+    propagations += j.propagations;
+    decisions += j.decisions;
+    cnf_vars += j.cnf_vars;
+    cnf_clauses += j.cnf_clauses;
+    os << (i ? ",\n    {" : "\n    {") << "\"name\": ";
+    json_escape(os, j.name);
+    os << ", \"verdict\": \"" << engine::verdict_name(j.verdict) << "\"";
+    if (j.verdict == engine::Verdict::Falsified) {
+      os << ", \"trace_length\": " << j.trace_length;
+      if (!j.bad_label.empty()) {
+        os << ", \"bad_label\": ";
+        json_escape(os, j.bad_label);
+      }
+    }
+    if (j.verdict == engine::Verdict::Proved) os << ", \"proved_k\": " << j.proved_k;
+    os << ", \"conflicts\": " << j.conflicts
+       << ", \"propagations\": " << j.propagations
+       << ", \"decisions\": " << j.decisions << ", \"cnf_vars\": " << j.cnf_vars
+       << ", \"cnf_clauses\": " << j.cnf_clauses << "}";
+  }
+  os << "\n  ]";
+  os << ",\n  \"totals\": {\"conflicts\": " << conflicts
+     << ", \"propagations\": " << propagations << ", \"decisions\": " << decisions
+     << ", \"cnf_vars\": " << cnf_vars << ", \"cnf_clauses\": " << cnf_clauses
+     << "}";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", report.wall_seconds);
+  os << ",\n  \"wall_seconds\": " << buf << "\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "-";
+  unsigned rows = 8, bound = 6, max_k = 2;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "campaign_perf: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    const auto parse_count = [&](const char* flag, const char* text) {
+      const auto value = parse_u64_strict(text);
+      if (!value || *value == 0 || *value > 1000) {
+        std::fprintf(stderr, "campaign_perf: %s expects a count, got '%s'\n", flag,
+                     text);
+        std::exit(2);
+      }
+      return static_cast<unsigned>(*value);
+    };
+    if (!std::strcmp(argv[i], "--json")) json_path = next("--json");
+    else if (!std::strcmp(argv[i], "--rows"))
+      rows = parse_count("--rows", next("--rows"));
+    else if (!std::strcmp(argv[i], "--bound"))
+      bound = parse_count("--bound", next("--bound"));
+    else if (!std::strcmp(argv[i], "--max-k"))
+      max_k = parse_count("--max-k", next("--max-k"));
+    else {
+      std::fprintf(stderr,
+                   "usage: campaign_perf [--json FILE] [--rows N] [--bound N] "
+                   "[--max-k N]\n");
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "synthesizing the pinned equivalence table (xlen=4)...\n");
+  const auto pinned = bench::make_bench_table(4);
+
+  engine::CampaignMatrix matrix;
+  matrix.xlen = 4;
+  matrix.modes = {qed::QedMode::EddiV, qed::QedMode::EdsepV};
+  auto bugs = proc::table1_single_instruction_bugs();
+  if (rows < bugs.size()) bugs.resize(rows);
+  matrix.mutations = std::move(bugs);
+  matrix.equivalences = &pinned->table;
+  matrix.extra_opcodes = {isa::Opcode::ADD, isa::Opcode::ADDI};
+  matrix.budget.max_bound = bound;
+  matrix.budget.max_k = max_k;
+  matrix.budget.sequential_provers = true;
+
+  engine::CampaignOptions options;
+  options.threads = 1;
+  const engine::CampaignReport report =
+      engine::run_campaign(engine::expand(matrix, 1), options);
+
+  std::fprintf(stderr, "%s", report.to_table().c_str());
+  const std::string json = perf_json(report, rows, bound, max_k);
+  if (json_path == "-") {
+    std::printf("%s", json.c_str());
+  } else {
+    if (!engine::write_text_file_atomic(json_path, json)) {
+      std::fprintf(stderr, "campaign_perf: cannot write '%s'\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "perf report written to %s\n", json_path.c_str());
+  }
+  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+}

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare a campaign_perf report against the committed baseline.
+
+Verdict-bearing fields (job set, verdict, trace_length, proved_k,
+bad_label) must match exactly — any drift is a hard failure, because it
+means the prover stack changed answers, not just speed. The deterministic
+work counters (conflicts / propagations / decisions, CNF sizes) are
+advisory: regressions beyond the threshold are reported loudly but exit 0,
+so a deliberate trade (e.g. more conflicts for less memory) can land with
+an updated baseline rather than a red CI. Wall time is ignored entirely.
+
+usage: compare_perf.py BASELINE.json CURRENT.json [--threshold 0.10]
+"""
+import json
+import sys
+
+COUNTERS = ("conflicts", "propagations", "decisions", "cnf_vars", "cnf_clauses")
+VERDICT_FIELDS = ("verdict", "trace_length", "proved_k", "bad_label")
+
+
+def main() -> int:
+    args = []
+    threshold = 0.10
+    argv = sys.argv[1:]
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a.startswith("--threshold"):
+            if "=" in a:
+                threshold = float(a.split("=", 1)[1])
+            else:
+                i += 1
+                if i >= len(argv):
+                    print("--threshold needs a value", file=sys.stderr)
+                    return 2
+                threshold = float(argv[i])
+        elif a.startswith("--"):
+            print(f"unknown flag {a}", file=sys.stderr)
+            return 2
+        else:
+            args.append(a)
+        i += 1
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(args[0]) as f:
+        base = json.load(f)
+    with open(args[1]) as f:
+        cur = json.load(f)
+
+    drift = []
+    base_jobs = {j["name"]: j for j in base["jobs"]}
+    cur_jobs = {j["name"]: j for j in cur["jobs"]}
+    if list(base_jobs) != list(cur_jobs):
+        drift.append(f"job set changed: {sorted(set(base_jobs) ^ set(cur_jobs))}")
+    for name in base_jobs.keys() & cur_jobs.keys():
+        for field in VERDICT_FIELDS:
+            b, c = base_jobs[name].get(field), cur_jobs[name].get(field)
+            if b != c:
+                drift.append(f"{name}: {field} {b!r} -> {c!r}")
+    if drift:
+        print("VERDICT DRIFT — the prover stack changed answers:")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+
+    regressed = False
+    for counter in COUNTERS:
+        b, c = base["totals"][counter], cur["totals"][counter]
+        # A zero baseline must not mask growth: any nonzero current value
+        # counts as an (infinitely large) relative regression.
+        delta = (c - b) / b if b else (float("inf") if c else 0.0)
+        marker = ""
+        if delta > threshold:
+            marker = f"  <-- REGRESSION beyond {threshold:.0%} (advisory)"
+            regressed = True
+        elif delta < -threshold:
+            marker = "  (improvement — consider refreshing bench/baseline.json)"
+        print(f"{counter:>14}: {b:>12} -> {c:>12}  ({delta:+.1%}){marker}")
+    if regressed:
+        print(
+            "\nadvisory: deterministic counters regressed; if intentional, "
+            "refresh bench/baseline.json in the same PR"
+        )
+    else:
+        print("\nverdicts identical, counters within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

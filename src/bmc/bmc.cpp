@@ -11,7 +11,9 @@ using smt::Result;
 using smt::SubstMap;
 using smt::TermRef;
 
-Bmc::Bmc(const ts::TransitionSystem& ts) : ts_(ts), mgr_(ts.mgr()), solver_(mgr_) {
+Bmc::Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
+         bool plaisted_greenbaum)
+    : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config, plaisted_greenbaum) {
   assert(ts.complete() && "every state needs a next function");
 }
 
@@ -65,16 +67,35 @@ void Bmc::unroll_to(unsigned step) {
   }
 }
 
+void Bmc::snapshot_solver_stats() {
+  const sat::Solver& sat = solver_.sat_solver();
+  stats_.solver_conflicts = sat.num_conflicts();
+  stats_.solver_propagations = sat.num_propagations();
+  stats_.solver_decisions = sat.num_decisions();
+  stats_.cnf_vars = static_cast<std::uint64_t>(sat.num_vars());
+  stats_.cnf_clauses = sat.num_clauses();
+}
+
 std::optional<Witness> Bmc::check(const BmcOptions& options) {
   Stopwatch clock;
   stats_ = BmcStats{};
   // Lifetime-cumulative, so an early exit (stop flag, wall cap) before the
   // first solve of this call still reports the conflicts of earlier calls.
-  stats_.solver_conflicts = solver_.sat_solver().num_conflicts();
+  snapshot_solver_stats();
 
+  // Reset resource budgets before anything else: a capped earlier call
+  // must not leave its (smaller) budgets armed for an uncapped one.
+  solver_.set_conflict_budget(0);
+  solver_.set_time_budget(0.0);
   solver_.set_stop_flag(options.stop);
 
-  for (unsigned bound = 0; bound <= options.max_bound; ++bound) {
+  // Bounds below the frontier were proven violation-free by earlier
+  // calls; assertions are monotone, so those verdicts stay valid and the
+  // sweep resumes where it left off.
+  stats_.bounds_checked =
+      frontier_ > options.max_bound ? options.max_bound + 1 : frontier_;
+
+  for (unsigned bound = frontier_; bound <= options.max_bound; ++bound) {
     if (options.stop && options.stop->load(std::memory_order_relaxed)) {
       stats_.cancelled = true;
       break;
@@ -99,7 +120,7 @@ std::optional<Witness> Bmc::check(const BmcOptions& options) {
     if (options.max_seconds > 0)
       solver_.set_time_budget(options.max_seconds - clock.seconds());
     const Result r = solver_.check({any_bad});
-    stats_.solver_conflicts = solver_.sat_solver().num_conflicts();
+    snapshot_solver_stats();
     if (r == Result::Unknown) {
       if (solver_.stop_requested()) {
         stats_.cancelled = true;
@@ -131,6 +152,12 @@ std::optional<Witness> Bmc::check(const BmcOptions& options) {
       stats_.seconds = clock.seconds();
       return w;
     }
+    // Unsat: this bound is clean for good. Assert the refuted bad cone
+    // false outright — it is implied by the unrolling, so this is sound,
+    // and deeper bounds (or a later frontier-resumed call) get the
+    // refutation as a unit fact for free instead of ever revisiting it.
+    solver_.assert_formula(mgr_.mk_not(any_bad));
+    frontier_ = bound + 1;
   }
   stats_.seconds = clock.seconds();
   return std::nullopt;

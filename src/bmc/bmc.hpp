@@ -44,17 +44,39 @@ struct BmcOptions {
 };
 
 struct BmcStats {
+  /// Bounds known violation-free, including ones proven by *earlier*
+  /// check() calls on the same instance (the frontier): after
+  /// check(max_bound=3) then check(max_bound=6), the second call reports
+  /// the same stats a single check(max_bound=6) would have.
   unsigned bounds_checked = 0;
   double seconds = 0.0;
   bool hit_resource_limit = false;
   bool cancelled = false;
+  // Lifetime-cumulative solver counters (deterministic proxies) and the
+  // CNF size of the unrolled encoding so far.
   std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t cnf_vars = 0;
+  std::uint64_t cnf_clauses = 0;
 };
 
 /// The unrolling engine. One instance per (transition system, run).
+///
+/// check() is frontier-incremental: bounds proven violation-free stay
+/// proven (assertions are monotone — unrolling only ever adds
+/// constraints, and the bad condition is a retractable assumption), so a
+/// repeated or deepened call resumes from the highest clean bound instead
+/// of re-solving from 0. k-induction's base case leans on this: one new
+/// solve per k instead of k re-solves, with learned clauses carried
+/// across bounds by the incremental core.
 class Bmc {
  public:
-  explicit Bmc(const ts::TransitionSystem& ts);
+  /// `config` tunes the underlying CDCL heuristics (portfolio racing);
+  /// `plaisted_greenbaum` = true opts into polarity-split encoding (the
+  /// equivalence tests run both encodings against each other).
+  explicit Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config = {},
+               bool plaisted_greenbaum = false);
 
   /// Search for any bad state reachable within options.max_bound steps.
   /// Nullopt = no violation found up to the bound (or resource limit hit —
@@ -63,12 +85,20 @@ class Bmc {
 
   const BmcStats& stats() const { return stats_; }
 
+  /// Bounds proven violation-free so far (the resume point of the next
+  /// check() call).
+  unsigned frontier() const { return frontier_; }
+
+  /// The solver facade, for budget/stat inspection by tests and benches.
+  const smt::SmtSolver& solver() const { return solver_; }
+
   /// The timed copy of a state/input variable at a step (for inspection
   /// and tests). Valid after check() has unrolled that far.
   smt::TermRef timed(smt::TermRef var, unsigned step) const;
 
  private:
   void unroll_to(unsigned step);
+  void snapshot_solver_stats();
 
   const ts::TransitionSystem& ts_;
   smt::TermManager& mgr_;
@@ -77,6 +107,8 @@ class Bmc {
   std::vector<smt::SubstMap> time_maps_;
   std::vector<smt::SubstMap> subst_caches_;
   BmcStats stats_;
+  /// Number of leading bounds proven UNSAT across all check() calls.
+  unsigned frontier_ = 0;
 };
 
 /// Render a witness as a human-readable trace table.

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <string>
+#include <unordered_map>
 
 #include "smt/subst.hpp"
 #include "util/stopwatch.hpp"
@@ -19,8 +20,8 @@ namespace {
 /// literals. Incremental: growing the window reuses all prior clauses.
 class InductiveWindow {
  public:
-  explicit InductiveWindow(const ts::TransitionSystem& ts)
-      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_) {}
+  InductiveWindow(const ts::TransitionSystem& ts, const sat::SolverConfig& config)
+      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config) {}
 
   /// Ensure steps 0..k exist. Returns the "any bad at step k" term.
   TermRef extend_to(unsigned k) {
@@ -45,12 +46,20 @@ class InductiveWindow {
     return bads_[k];
   }
 
-  /// Pairwise state-vector disequality between steps i and j.
+  /// Pairwise state-vector disequality between steps i and j. Memoized:
+  /// the simple-path pass re-requests all O(k²) pairs every iteration,
+  /// and rebuilding each disequality cone costs a hash-cons walk over
+  /// every state even when the result node already exists.
   TermRef states_differ(unsigned i, unsigned j) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+    if (const auto it = differ_memo_.find(key); it != differ_memo_.end())
+      return it->second;
     std::vector<TermRef> diffs;
     for (TermRef s : ts_.states())
       diffs.push_back(mgr_.mk_ne(maps_[i].at(s), maps_[j].at(s)));
-    return mgr_.mk_or_many(diffs);
+    const TermRef differ = mgr_.mk_or_many(diffs);
+    differ_memo_.emplace(key, differ);
+    return differ;
   }
 
   smt::SmtSolver& solver() { return solver_; }
@@ -75,6 +84,7 @@ class InductiveWindow {
   std::vector<SubstMap> maps_;
   std::vector<SubstMap> caches_;
   std::vector<TermRef> bads_;
+  std::unordered_map<std::uint64_t, TermRef> differ_memo_;
 };
 
 }  // namespace
@@ -85,8 +95,8 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
   Stopwatch clock;
   KInductionResult result;
 
-  Bmc base(ts);
-  InductiveWindow window(ts);
+  Bmc base(ts, options.solver_config);
+  InductiveWindow window(ts, options.solver_config);
 
   const auto remaining = [&]() {
     return options.max_seconds > 0 ? options.max_seconds - clock.seconds() : 0.0;
@@ -99,8 +109,13 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     return options.stop && options.stop->load(std::memory_order_relaxed);
   };
   const auto tally_conflicts = [&]() {
-    result.solver_conflicts =
-        base.stats().solver_conflicts + window.solver().sat_solver().num_conflicts();
+    const sat::Solver& wsat = window.solver().sat_solver();
+    const BmcStats& bs = base.stats();
+    result.solver_conflicts = bs.solver_conflicts + wsat.num_conflicts();
+    result.solver_propagations = bs.solver_propagations + wsat.num_propagations();
+    result.solver_decisions = bs.solver_decisions + wsat.num_decisions();
+    result.cnf_vars = bs.cnf_vars + static_cast<std::uint64_t>(wsat.num_vars());
+    result.cnf_clauses = bs.cnf_clauses + wsat.num_clauses();
   };
 
   for (unsigned k = 1; k <= options.max_k; ++k) {

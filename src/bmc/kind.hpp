@@ -41,6 +41,8 @@ struct KInductionOptions {
   /// Cooperative cancellation, threaded into both the base-case BMC and
   /// the inductive-step solver (see BmcOptions::stop).
   const std::atomic<bool>* stop = nullptr;
+  /// CDCL heuristics of both internal solvers (portfolio racing).
+  sat::SolverConfig solver_config;
 };
 
 struct KInductionResult {
@@ -52,8 +54,13 @@ struct KInductionResult {
   bool hit_resource_limit = false;
   bool cancelled = false;
   double seconds = 0.0;
-  /// Total SAT conflicts across the base-case and inductive solvers.
+  /// Totals across the base-case and inductive solvers: SAT work
+  /// counters (deterministic proxies) and CNF sizes.
   std::uint64_t solver_conflicts = 0;
+  std::uint64_t solver_propagations = 0;
+  std::uint64_t solver_decisions = 0;
+  std::uint64_t cnf_vars = 0;
+  std::uint64_t cnf_clauses = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

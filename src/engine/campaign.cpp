@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "synth/encoding.hpp"
+#include "util/json.hpp"
 #include "util/stopwatch.hpp"
 
 namespace sepe::engine {
@@ -140,7 +141,53 @@ struct KindSide {
   std::string bad_label;
 };
 
-constexpr int kClaimNone = 0, kClaimBmc = 1, kClaimKind = 2;
+constexpr int kClaimNone = -1;
+
+/// Re-derive the canonical witness of a falsified job with the
+/// default-config BMC sweep. A witness found by a non-default portfolio
+/// member is model-shaped by that member's heuristics; replaying the
+/// deterministic default sweep up to the (member-independent) minimal
+/// violation length reproduces exactly the trace a single-config run
+/// reports, keeping reports byte-deterministic whatever the portfolio
+/// width. Costs one default-config sweep, paid only on falsified jobs.
+/// The replay deliberately runs without the job's budgets: the bound is
+/// known SAT, and a claimed violation whose witness cannot be read back
+/// is worse than a slightly-overspent cap (same rationale as the old
+/// model-extension budget lift).
+void canonical_witness(const JobSpec& job, unsigned length, BmcSide* out) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  job.build(ts);
+  bmc::Bmc checker(ts);
+  bmc::BmcOptions bo;
+  bo.max_bound = length;
+  out->found = checker.check(bo);
+  assert(out->found && out->found->length == length &&
+         "canonical replay must reproduce the claimed violation");
+  // Unbudgeted replay of a known-SAT bound cannot fail; still, never
+  // dereference an empty optional in Release if that invariant breaks.
+  if (!out->found) return;
+  out->witness_text = bmc::witness_to_string(ts, *out->found);
+  out->bad_label = out->found->bad_label;
+}
+
+/// Sum the deterministic work counters of both prover stacks into the
+/// result (sequential mode: nothing was cancelled, so this is the
+/// deterministic total-work proxy the perf trajectory tracks).
+void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r) {
+  r->conflicts = b.stats.solver_conflicts;
+  r->propagations = b.stats.solver_propagations;
+  r->decisions = b.stats.solver_decisions;
+  r->cnf_vars = b.stats.cnf_vars;
+  r->cnf_clauses = b.stats.cnf_clauses;
+  if (k.ran) {
+    r->conflicts += k.result.solver_conflicts;
+    r->propagations += k.result.solver_propagations;
+    r->decisions += k.result.solver_decisions;
+    r->cnf_vars += k.result.cnf_vars;
+    r->cnf_clauses += k.result.cnf_clauses;
+  }
+}
 
 }  // namespace
 
@@ -151,11 +198,21 @@ JobResult run_job(const JobSpec& job) {
   r.name = job.name;
   r.mode = job.mode;
 
-  // The race state: the first prover with a *definite* verdict
+  const bool with_kind = job.budget.race_k_induction && job.budget.max_k > 0;
+  const unsigned portfolio =
+      job.budget.sequential_provers ? 1 : std::max(1u, job.budget.portfolio);
+
+  // Entrants: `portfolio` BMC sweeps and (optionally) `portfolio`
+  // k-induction runs, each on its own solver configuration. Entrant 0 of
+  // each prover is always the default configuration.
+  std::vector<BmcSide> bsides(portfolio);
+  std::vector<KindSide> ksides(with_kind ? portfolio : 0);
+
+  // The race state: the first entrant with a *definite* verdict
   // (counterexample or proof) claims the job and raises the stop flag the
-  // loser's CDCL loop polls. Indefinite outcomes (clean sweep, exhausted
-  // max_k, budget) never cancel the other side — that is what keeps
-  // verdicts deterministic across thread counts.
+  // losers' CDCL loops poll. Indefinite outcomes (clean sweep, exhausted
+  // max_k, budget) never cancel anyone — that is what keeps verdicts
+  // deterministic across thread counts.
   std::atomic<bool> stop{false};
   std::atomic<int> claim{kClaimNone};
   const auto try_claim = [&](int who) {
@@ -167,31 +224,33 @@ JobResult run_job(const JobSpec& job) {
     return false;
   };
 
-  BmcSide bside;
-  KindSide kside;
-  const bool race = job.budget.race_k_induction && job.budget.max_k > 0;
-
-  const auto bmc_prover = [&]() {
-    bside.ran = true;
+  const auto bmc_prover = [&](unsigned idx, const std::atomic<bool>* stop_flag) {
+    BmcSide& side = bsides[idx];
+    side.ran = true;
     smt::TermManager mgr;
     ts::TransitionSystem ts(mgr);
     job.build(ts);
-    bmc::Bmc checker(ts);
+    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx));
     bmc::BmcOptions bo;
     bo.max_bound = job.budget.max_bound;
     bo.conflict_budget_per_bound = job.budget.conflict_budget;
     bo.max_seconds = job.budget.max_seconds;
-    bo.stop = &stop;
-    bside.found = checker.check(bo);
-    bside.stats = checker.stats();
-    if (bside.found && try_claim(kClaimBmc)) {
-      bside.witness_text = bmc::witness_to_string(ts, *bside.found);
-      bside.bad_label = bside.found->bad_label;
+    bo.stop = stop_flag;
+    side.found = checker.check(bo);
+    side.stats = checker.stats();
+    if (side.found && (!stop_flag || try_claim(static_cast<int>(idx)))) {
+      // The default-config witness is already canonical; a non-default
+      // winner's trace is re-derived after the join (canonical_witness).
+      if (idx == 0) {
+        side.witness_text = bmc::witness_to_string(ts, *side.found);
+        side.bad_label = side.found->bad_label;
+      }
     }
   };
 
-  const auto kind_prover = [&]() {
-    kside.ran = true;
+  const auto kind_prover = [&](unsigned idx, const std::atomic<bool>* stop_flag) {
+    KindSide& side = ksides[idx];
+    side.ran = true;
     smt::TermManager mgr;
     ts::TransitionSystem ts(mgr);
     job.build(ts);
@@ -199,68 +258,121 @@ JobResult run_job(const JobSpec& job) {
     ko.max_k = job.budget.max_k;
     ko.conflict_budget = job.budget.conflict_budget;
     ko.max_seconds = job.budget.max_seconds;
-    ko.stop = &stop;
-    kside.result = bmc::prove_by_k_induction(ts, ko);
-    if (kside.result.status != bmc::KInductionStatus::Unknown &&
-        try_claim(kClaimKind)) {
-      if (kside.result.witness) {
-        kside.witness_text = bmc::witness_to_string(ts, *kside.result.witness);
-        kside.bad_label = kside.result.witness->bad_label;
+    ko.stop = stop_flag;
+    ko.solver_config = sat::SolverConfig::portfolio_member(idx);
+    side.result = bmc::prove_by_k_induction(ts, ko);
+    if (side.result.status != bmc::KInductionStatus::Unknown &&
+        (!stop_flag || try_claim(static_cast<int>(portfolio + idx)))) {
+      if (side.result.witness && idx == 0) {
+        side.witness_text = bmc::witness_to_string(ts, *side.result.witness);
+        side.bad_label = side.result.witness->bad_label;
       }
     }
   };
 
-  if (race) {
-    std::thread second(kind_prover);
-    bmc_prover();
-    second.join();
+  if (job.budget.sequential_provers) {
+    // Deterministic perf mode: both provers run to completion on the
+    // calling thread, nothing is cancelled, and the claim arbitration is
+    // by fixed order (BMC's counterexample first, else k-induction's
+    // verdict) — which yields exactly the verdict fields the race
+    // produces, with fully reproducible work counters on top.
+    bmc_prover(0, nullptr);
+    if (bsides[0].found) {
+      claim.store(0);
+    } else if (with_kind) {
+      kind_prover(0, nullptr);
+      if (ksides[0].result.status != bmc::KInductionStatus::Unknown)
+        claim.store(static_cast<int>(portfolio));
+    }
   } else {
-    bmc_prover();
+    const unsigned entrants = portfolio + (with_kind ? portfolio : 0);
+    std::vector<std::thread> others;
+    others.reserve(entrants - 1);
+    for (unsigned e = 1; e < entrants; ++e) {
+      if (e < portfolio) {
+        others.emplace_back([&, e] { bmc_prover(e, &stop); });
+      } else {
+        others.emplace_back([&, e] { kind_prover(e - portfolio, &stop); });
+      }
+    }
+    bmc_prover(0, &stop);
+    for (std::thread& t : others) t.join();
   }
 
-  r.bmc_bounds_checked = bside.stats.bounds_checked;
-  switch (claim.load(std::memory_order_acquire)) {
-    case kClaimBmc:
+  const auto any_loser_cancelled = [&](int who) {
+    for (unsigned i = 0; i < bsides.size(); ++i)
+      if (bsides[i].ran && static_cast<int>(i) != who && bsides[i].stats.cancelled)
+        return true;
+    for (unsigned i = 0; i < ksides.size(); ++i)
+      if (ksides[i].ran && static_cast<int>(portfolio + i) != who &&
+          ksides[i].result.cancelled)
+        return true;
+    return false;
+  };
+
+  r.bmc_bounds_checked = bsides[0].stats.bounds_checked;
+  const int who = claim.load(std::memory_order_acquire);
+  if (who >= 0 && who < static_cast<int>(portfolio)) {
+    BmcSide& side = bsides[who];
+    r.verdict = Verdict::Falsified;
+    r.winner = Prover::Bmc;
+    r.trace_length = side.found->length;
+    if (who != 0) canonical_witness(job, side.found->length, &side);
+    r.bad_label = side.bad_label;
+    r.witness = side.witness_text;
+    r.conflicts = side.stats.solver_conflicts;
+    r.propagations = side.stats.solver_propagations;
+    r.decisions = side.stats.solver_decisions;
+    r.cnf_vars = side.stats.cnf_vars;
+    r.cnf_clauses = side.stats.cnf_clauses;
+    r.loser_cancelled = any_loser_cancelled(who);
+    if (job.budget.sequential_provers)
+      tally_sequential_counters(bsides[0], ksides.empty() ? KindSide{} : ksides[0],
+                                &r);
+  } else if (who >= static_cast<int>(portfolio)) {
+    const unsigned idx = static_cast<unsigned>(who) - portfolio;
+    KindSide& side = ksides[idx];
+    r.winner = Prover::KInduction;
+    r.conflicts = side.result.solver_conflicts;
+    r.propagations = side.result.solver_propagations;
+    r.decisions = side.result.solver_decisions;
+    r.cnf_vars = side.result.cnf_vars;
+    r.cnf_clauses = side.result.cnf_clauses;
+    r.loser_cancelled = any_loser_cancelled(who);
+    if (side.result.status == bmc::KInductionStatus::Falsified) {
       r.verdict = Verdict::Falsified;
-      r.winner = Prover::Bmc;
-      r.trace_length = bside.found->length;
-      r.bad_label = bside.bad_label;
-      r.witness = bside.witness_text;
-      r.conflicts = bside.stats.solver_conflicts;
-      r.loser_cancelled = kside.ran && kside.result.cancelled;
-      break;
-    case kClaimKind:
-      r.winner = Prover::KInduction;
-      r.conflicts = kside.result.solver_conflicts;
-      r.loser_cancelled = bside.stats.cancelled;
-      if (kside.result.status == bmc::KInductionStatus::Falsified) {
-        r.verdict = Verdict::Falsified;
-        r.trace_length = kside.result.witness ? kside.result.witness->length : 0;
-        r.bad_label = kside.bad_label;
-        r.witness = kside.witness_text;
-      } else {
-        r.verdict = Verdict::Proved;
-        r.proved_k = kside.result.k;
+      r.trace_length = side.result.witness ? side.result.witness->length : 0;
+      if (idx != 0 && side.result.witness) {
+        BmcSide canon;
+        canonical_witness(job, side.result.witness->length, &canon);
+        side.witness_text = canon.witness_text;
+        side.bad_label = canon.bad_label;
       }
-      break;
-    default:
-      // No definite verdict from either prover. A completed BMC sweep is
-      // itself a definite bounded result (BoundClean) even when the
-      // induction side ran out of budget — only BMC's own budgets can
-      // demote the verdict to Unknown. This keeps verdicts deterministic
-      // under (deterministic) conflict budgets: a budget-truncated
-      // k-induction run never changes the verdict, it only loses the
-      // chance to upgrade it to Proved.
-      r.conflicts = bside.stats.solver_conflicts +
-                    (kside.ran ? kside.result.solver_conflicts : 0);
-      if (bside.stats.hit_resource_limit || bside.stats.cancelled) {
-        r.verdict = Verdict::Unknown;
-        r.hit_resource_limit = true;
-      } else {
-        r.verdict = Verdict::BoundClean;
-        r.hit_resource_limit = kside.ran && kside.result.hit_resource_limit;
-      }
-      break;
+      r.bad_label = side.bad_label;
+      r.witness = side.witness_text;
+    } else {
+      r.verdict = Verdict::Proved;
+      r.proved_k = side.result.k;
+    }
+    if (job.budget.sequential_provers)
+      tally_sequential_counters(bsides[0], ksides[0], &r);
+  } else {
+    // No definite verdict from any entrant. A completed BMC sweep is
+    // itself a definite bounded result (BoundClean) even when the
+    // induction side ran out of budget — only BMC's own budgets can
+    // demote the verdict to Unknown. This keeps verdicts deterministic
+    // under (deterministic) conflict budgets: a budget-truncated
+    // k-induction run never changes the verdict, it only loses the
+    // chance to upgrade it to Proved.
+    tally_sequential_counters(bsides[0], ksides.empty() ? KindSide{} : ksides[0], &r);
+    if (bsides[0].stats.hit_resource_limit || bsides[0].stats.cancelled) {
+      r.verdict = Verdict::Unknown;
+      r.hit_resource_limit = true;
+    } else {
+      r.verdict = Verdict::BoundClean;
+      r.hit_resource_limit = !ksides.empty() && ksides[0].ran &&
+                             ksides[0].result.hit_resource_limit;
+    }
   }
   r.seconds = clock.seconds();
   return r;
@@ -340,31 +452,6 @@ std::string CampaignReport::to_table() const {
   os << line;
   return os.str();
 }
-
-namespace {
-
-void json_escape(std::ostringstream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-}  // namespace
 
 std::string CampaignReport::to_json(bool include_timing) const {
   std::ostringstream os;

@@ -64,6 +64,20 @@ struct JobBudget {
   std::uint64_t conflict_budget = 0;  // per-solver-call cap (0 = none)
   double max_seconds = 0.0;           // per-job wall cap (0 = none)
   bool race_k_induction = true;       // false = BMC only, no second prover
+  /// Race this many differently-configured CDCL instances per prover
+  /// (sat::SolverConfig::portfolio_member). 1 = the default config only.
+  /// Verdict-bearing fields stay deterministic: all members agree on
+  /// verdict/length/depth by construction, and a witness found by a
+  /// non-default member is re-derived with the default config before it
+  /// is reported. Under a conflict budget a wider portfolio can only
+  /// *upgrade* Unknown verdicts to definite ones, never change them.
+  unsigned portfolio = 1;
+  /// Run the provers sequentially on the calling thread with no
+  /// cancellation (and the default solver config only). Slower, but every
+  /// counter in the JobResult — not just the verdict fields — is then
+  /// deterministic: both provers always run to completion. Used by
+  /// bench/campaign_perf for the perf trajectory.
+  bool sequential_provers = false;
 };
 
 /// One verification job: a self-contained model builder plus budgets.
@@ -145,10 +159,17 @@ struct JobResult {
   std::string bad_label;      // Falsified: which bad condition fired
   std::string witness;        // Falsified: rendered trace table
   unsigned bmc_bounds_checked = 0;
-  bool loser_cancelled = false;  // losing prover observed the stop flag
+  bool loser_cancelled = false;  // a losing prover observed the stop flag
   bool hit_resource_limit = false;
-  std::uint64_t conflicts = 0;  // winning prover's SAT conflicts
-  double seconds = 0.0;         // job wall time
+  /// Race mode: the winning prover's counters (scheduling-dependent).
+  /// Sequential mode (JobBudget::sequential_provers): totals across both
+  /// provers, fully deterministic — the perf-report proxy metrics.
+  std::uint64_t conflicts = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t cnf_vars = 0;
+  std::uint64_t cnf_clauses = 0;
+  double seconds = 0.0;  // job wall time
 };
 
 struct CampaignOptions {

@@ -60,6 +60,8 @@ std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerpr
     std::memcpy(&seconds_bits, &job.budget.max_seconds, sizeof seconds_bits);
     mix_u64(seconds_bits);
     mix_byte(job.budget.race_k_induction ? 1 : 0);
+    mix_u64(job.budget.portfolio);
+    mix_byte(job.budget.sequential_provers ? 1 : 0);
   }
   char hex[17];
   std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));

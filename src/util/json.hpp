@@ -1,0 +1,35 @@
+// json.hpp — the one JSON string escaper.
+//
+// Shared by every report writer (CampaignReport::to_json, the
+// campaign_perf bench) so free-form names and labels always escape
+// identically and can never produce invalid JSON.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace sepe {
+
+inline void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace sepe

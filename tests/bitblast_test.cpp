@@ -202,6 +202,134 @@ TEST_F(BlastValidityTest, IteSelects) {
   expect_valid(m.mk_implies(m.mk_not(c), m.mk_eq(ite, b)));
 }
 
+// --- Plaisted–Greenbaum (polarity-aware) encoding vs full Tseitin ---
+
+/// Convenience: an SmtSolver using the opt-in polarity-split encoding.
+smt::SmtSolver pg_solver(TermManager& m) {
+  return smt::SmtSolver(m, sat::SolverConfig{}, /*plaisted_greenbaum=*/true);
+}
+
+TEST(PlaistedGreenbaum, AgreesOnValidities) {
+  // The BlastValidityTest identities, re-proven under the polarity-split
+  // encoding: Unsat must stay Unsat.
+  TermManager m;
+  const TermRef a = m.mk_var("a", 8), b = m.mk_var("b", 8);
+  const TermRef ones = m.mk_const(BitVec::ones(8));
+  const std::vector<TermRef> identities = {
+      m.mk_eq(m.mk_sub(a, b),
+              m.mk_xor(m.mk_add(m.mk_xor(a, ones), b), ones)),  // Listing 1
+      m.mk_eq(m.mk_add(a, b), m.mk_add(b, a)),
+      m.mk_eq(m.mk_neg(a), m.mk_add(m.mk_not(a), m.mk_const(8, 1))),
+      m.mk_eq(m.mk_not(m.mk_and(a, b)), m.mk_or(m.mk_not(a), m.mk_not(b))),
+      m.mk_or(m.mk_ult(a, b), m.mk_or(m.mk_ult(b, a), m.mk_eq(a, b))),
+  };
+  for (TermRef identity : identities) {
+    auto s = pg_solver(m);
+    s.assert_formula(m.mk_not(identity));
+    EXPECT_EQ(s.check(), Result::Unsat) << m.to_string(identity);
+  }
+}
+
+TEST(PlaistedGreenbaum, ExhaustivelyAgreesWithReferenceOps) {
+  // 4-bit exhaustive sweep of a mixed circuit under assumptions, with
+  // model read-back: exercises positive-polarity assumption cones and
+  // the evaluation-based value() under partial encodings.
+  constexpr unsigned W = 4;
+  TermManager m;
+  auto s = pg_solver(m);
+  const TermRef a = m.mk_var("a", W), b = m.mk_var("b", W);
+  const TermRef mixed =
+      m.mk_ite(m.mk_ult(a, b), m.mk_mul(a, b), m.mk_sub(a, b));
+  for (unsigned x = 0; x < 16; ++x) {
+    for (unsigned y = 0; y < 16; ++y) {
+      const TermRef ax = m.mk_eq(a, m.mk_const(W, x));
+      const TermRef by = m.mk_eq(b, m.mk_const(W, y));
+      ASSERT_EQ(s.check({ax, by}), Result::Sat);
+      const BitVec va(W, x), vb(W, y);
+      const BitVec expect = va.ult(vb).is_true() ? va * vb : va - vb;
+      EXPECT_EQ(s.value(mixed), expect) << x << ", " << y;
+    }
+  }
+}
+
+TEST(PlaistedGreenbaum, VerdictsMatchFullTseitinOnRandomFormulas) {
+  // Random Boolean-skeleton-heavy formulas solved under both encodings:
+  // Sat/Unsat must agree, and Sat models (read through value()) must
+  // evaluate the root to true in both.
+  Rng rng(0xb1a57);
+  for (int round = 0; round < 40; ++round) {
+    TermManager m;
+    const TermRef a = m.mk_var("a", 4), b = m.mk_var("b", 4), c = m.mk_var("c", 4);
+    // A random comparison tree glued with random connectives.
+    const auto atom = [&](int which) {
+      switch (which % 5) {
+        case 0: return m.mk_ult(a, b);
+        case 1: return m.mk_eq(m.mk_add(a, c), b);
+        case 2: return m.mk_slt(b, c);
+        case 3: return m.mk_ne(m.mk_and(a, b), c);
+        default: return m.mk_eq(m.mk_mul(a, m.mk_const(4, 3)), c);
+      }
+    };
+    TermRef f = atom(static_cast<int>(rng.below(5)));
+    for (int i = 0; i < 6; ++i) {
+      const TermRef g = atom(static_cast<int>(rng.below(5)));
+      switch (rng.below(4)) {
+        case 0: f = m.mk_and(f, g); break;
+        case 1: f = m.mk_or(f, g); break;
+        case 2: f = m.mk_and(f, m.mk_not(g)); break;
+        default: f = m.mk_ite(g, f, m.mk_not(f)); break;
+      }
+    }
+    smt::SmtSolver full(m);
+    auto pg = pg_solver(m);
+    full.assert_formula(f);
+    pg.assert_formula(f);
+    const Result rf = full.check();
+    const Result rp = pg.check();
+    EXPECT_EQ(rf, rp) << "round " << round;
+    if (rf == Result::Sat) {
+      EXPECT_TRUE(full.value(f).is_true());
+    }
+    if (rp == Result::Sat) {
+      EXPECT_TRUE(pg.value(f).is_true());
+    }
+  }
+}
+
+TEST(PlaistedGreenbaum, SingleSidedConeEmitsFewerClauses) {
+  // Asserting a one-sided Boolean cone must cost strictly fewer clauses
+  // under the polarity-split encoding than under full Tseitin.
+  TermManager m;
+  TermRef f = m.mk_true();
+  for (int i = 0; i < 16; ++i) {
+    const TermRef x = m.mk_var("x" + std::to_string(i), 4);
+    const TermRef y = m.mk_var("y" + std::to_string(i), 4);
+    f = m.mk_and(f, m.mk_or(m.mk_ult(x, y), m.mk_eq(x, m.mk_const(4, i))));
+  }
+  smt::SmtSolver full(m);
+  auto pg = pg_solver(m);
+  full.assert_formula(f);
+  pg.assert_formula(f);
+  EXPECT_LT(pg.sat_solver().num_clauses(), full.sat_solver().num_clauses());
+  // Same variables either way — PG prunes clauses, never literals.
+  EXPECT_EQ(pg.sat_solver().num_vars(), full.sat_solver().num_vars());
+}
+
+TEST(PlaistedGreenbaum, PolarityWideningKeepsVerdicts) {
+  // The same cached cone used positively, then negatively: the second
+  // use must add the missing clause direction, not corrupt the first.
+  TermManager m;
+  auto s = pg_solver(m);
+  const TermRef a = m.mk_var("a", 8);
+  const TermRef inside = m.mk_ult(a, m.mk_const(8, 10));
+  EXPECT_EQ(s.check({inside}), Result::Sat);
+  EXPECT_TRUE(s.value(a).ult(BitVec(8, 10)).is_true());
+  EXPECT_EQ(s.check({m.mk_not(inside)}), Result::Sat);
+  EXPECT_FALSE(s.value(a).ult(BitVec(8, 10)).is_true());
+  EXPECT_EQ(s.check({inside, m.mk_not(inside)}), Result::Unsat);
+  EXPECT_EQ(s.check({inside}), Result::Sat);  // still usable
+}
+
 TEST(BitBlasterSharing, SharedSubtermsEncodeOnce) {
   TermManager m;
   sat::Solver sat;

@@ -209,6 +209,119 @@ TEST(BmcTest, WitnessToStringMentionsStepsAndLabel) {
   EXPECT_NE(s.find("step 1"), std::string::npos);
 }
 
+// --- frontier-incremental resume ---
+
+TEST(BmcFrontier, ResumedSweepMatchesSingleSweep) {
+  // Two check() calls (max_bound 3, then 10) must end with the same
+  // verdict and stats as one call at max_bound 10 on a fresh instance.
+  CounterSystem resumed_sys;
+  resumed_sys.ts.add_bad(
+      resumed_sys.mgr.mk_eq(resumed_sys.cnt, resumed_sys.mgr.mk_const(8, 5)), "cnt-5");
+  Bmc resumed(resumed_sys.ts);
+  BmcOptions shallow;
+  shallow.max_bound = 3;
+  EXPECT_FALSE(resumed.check(shallow).has_value());
+  EXPECT_EQ(resumed.stats().bounds_checked, 4u);
+  EXPECT_EQ(resumed.frontier(), 4u);
+
+  BmcOptions deep;
+  deep.max_bound = 10;
+  const auto w2 = resumed.check(deep);
+
+  CounterSystem fresh_sys;
+  fresh_sys.ts.add_bad(fresh_sys.mgr.mk_eq(fresh_sys.cnt, fresh_sys.mgr.mk_const(8, 5)),
+                       "cnt-5");
+  Bmc fresh(fresh_sys.ts);
+  const auto w1 = fresh.check(deep);
+
+  ASSERT_TRUE(w1.has_value());
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->length, w1->length);
+  EXPECT_EQ(w2->bad_label, w1->bad_label);
+  EXPECT_EQ(resumed.stats().bounds_checked, fresh.stats().bounds_checked);
+  EXPECT_EQ(resumed.frontier(), fresh.frontier());
+}
+
+TEST(BmcFrontier, RepeatedCheckDoesNotResolveCleanBounds) {
+  CounterSystem sys;
+  sys.ts.add_bad(sys.mgr.mk_eq(sys.cnt, sys.mgr.mk_const(8, 50)), "too-far");
+  Bmc bmc(sys.ts);
+  BmcOptions o;
+  o.max_bound = 8;
+  EXPECT_FALSE(bmc.check(o).has_value());
+  EXPECT_EQ(bmc.frontier(), 9u);
+  const std::uint64_t conflicts_after_first = bmc.stats().solver_conflicts;
+  const std::uint64_t decisions_after_first = bmc.stats().solver_decisions;
+
+  // Same bound again: everything is below the frontier — no new solving.
+  EXPECT_FALSE(bmc.check(o).has_value());
+  EXPECT_EQ(bmc.stats().bounds_checked, 9u);
+  EXPECT_EQ(bmc.stats().solver_conflicts, conflicts_after_first);
+  EXPECT_EQ(bmc.stats().solver_decisions, decisions_after_first);
+
+  // A shallower bound is also already known clean.
+  BmcOptions shallow;
+  shallow.max_bound = 2;
+  EXPECT_FALSE(bmc.check(shallow).has_value());
+  EXPECT_EQ(bmc.stats().bounds_checked, 3u);
+  EXPECT_FALSE(bmc.stats().hit_resource_limit);
+}
+
+TEST(BmcFrontier, WitnessBoundIsNotAddedToTheFrontier) {
+  // A found violation must stay findable by a later call.
+  CounterSystem sys;
+  sys.ts.add_bad(sys.mgr.mk_eq(sys.cnt, sys.mgr.mk_const(8, 2)), "cnt-2");
+  Bmc bmc(sys.ts);
+  BmcOptions o;
+  o.max_bound = 6;
+  const auto w1 = bmc.check(o);
+  ASSERT_TRUE(w1.has_value());
+  EXPECT_EQ(bmc.frontier(), 2u);
+  const auto w2 = bmc.check(o);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(w2->length, w1->length);
+  EXPECT_EQ(w2->bad_label, w1->bad_label);
+}
+
+// --- per-call budget hygiene ---
+
+TEST(BmcBudgets, WallBudgetDoesNotLeakIntoUncappedCall) {
+  CounterSystem sys;
+  sys.ts.add_bad(sys.mgr.mk_eq(sys.cnt, sys.mgr.mk_const(8, 3)), "cnt-3");
+  Bmc bmc(sys.ts);
+  BmcOptions capped;
+  capped.max_bound = 1;  // stays below the violation: a clean capped sweep
+  capped.max_seconds = 500.0;
+  EXPECT_FALSE(bmc.check(capped).has_value());
+  // The solver still carries (a remainder of) the wall budget...
+  EXPECT_GT(bmc.solver().time_budget(), 0.0);
+
+  // ...which an uncapped follow-up call must clear, not inherit.
+  BmcOptions uncapped;
+  uncapped.max_bound = 6;
+  const auto w = bmc.check(uncapped);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->length, 3u);
+  EXPECT_EQ(bmc.solver().time_budget(), 0.0);
+}
+
+TEST(BmcBudgets, ConflictBudgetDoesNotLeakIntoUnbudgetedCall) {
+  CounterSystem sys;
+  sys.ts.add_bad(sys.mgr.mk_eq(sys.cnt, sys.mgr.mk_const(8, 4)), "cnt-4");
+  Bmc bmc(sys.ts);
+  BmcOptions budgeted;
+  budgeted.max_bound = 1;
+  budgeted.conflict_budget_per_bound = 7;
+  (void)bmc.check(budgeted);
+
+  BmcOptions unbudgeted;
+  unbudgeted.max_bound = 8;
+  const auto w = bmc.check(unbudgeted);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->length, 4u);
+  EXPECT_EQ(bmc.solver().conflict_budget(), 0u);
+}
+
 TEST(BmcTest, TimedMapsExposeUnrolledVariables) {
   CounterSystem sys;
   sys.ts.add_bad(sys.mgr.mk_eq(sys.cnt, sys.mgr.mk_const(8, 2)), "two");

@@ -271,6 +271,124 @@ TEST(EngineMatrix, ExpandsMutationsTimesModes) {
   for (const JobSpec& job : spec.jobs) EXPECT_TRUE(static_cast<bool>(job.build));
 }
 
+// --- portfolio racing: verdict determinism ---
+
+TEST(EnginePortfolio, VerdictsMatchSingleConfigRun) {
+  // The same mixed campaign with a 3-wide portfolio per prover: every
+  // verdict-bearing field (and hence the stable JSON byte stream) must
+  // match the single-config run, whichever entrant happens to win.
+  CampaignSpec spec = mixed_spec();
+  CampaignOptions opts;
+  opts.threads = 2;
+  const CampaignReport single = run_campaign(spec, opts);
+  for (JobSpec& job : spec.jobs) job.budget.portfolio = 3;
+  const CampaignReport wide = run_campaign(spec, opts);
+  ASSERT_EQ(single.jobs.size(), wide.jobs.size());
+  for (std::size_t i = 0; i < single.jobs.size(); ++i) {
+    EXPECT_EQ(single.jobs[i].verdict, wide.jobs[i].verdict) << single.jobs[i].name;
+    EXPECT_EQ(single.jobs[i].trace_length, wide.jobs[i].trace_length)
+        << single.jobs[i].name;
+    EXPECT_EQ(single.jobs[i].proved_k, wide.jobs[i].proved_k) << single.jobs[i].name;
+    EXPECT_EQ(single.jobs[i].bad_label, wide.jobs[i].bad_label) << single.jobs[i].name;
+    EXPECT_EQ(single.jobs[i].witness, wide.jobs[i].witness) << single.jobs[i].name;
+  }
+  EXPECT_EQ(single.to_json(/*include_timing=*/false),
+            wide.to_json(/*include_timing=*/false));
+}
+
+TEST(EnginePortfolio, WideFalsifiedJobReportsCanonicalWitness) {
+  // A falsified job under a wide portfolio must report the same trace
+  // as the default-config run even when a diversified entrant wins.
+  JobBudget budget;
+  budget.max_bound = 10;
+  budget.max_k = 4;
+  const JobResult narrow = run_job(counter_job("cnt5", 8, 5, budget));
+  budget.portfolio = 4;
+  const JobResult wide = run_job(counter_job("cnt5", 8, 5, budget));
+  EXPECT_EQ(wide.verdict, Verdict::Falsified);
+  EXPECT_EQ(wide.trace_length, narrow.trace_length);
+  EXPECT_EQ(wide.bad_label, narrow.bad_label);
+  EXPECT_EQ(wide.witness, narrow.witness);
+}
+
+// --- sequential deterministic perf mode (bench/campaign_perf) ---
+
+TEST(EngineSequential, VerdictsMatchRaceAndCountersAreDeterministic) {
+  CampaignSpec spec = mixed_spec();
+  CampaignOptions one;
+  one.threads = 1;
+  const CampaignReport raced = run_campaign(spec, one);
+  for (JobSpec& job : spec.jobs) job.budget.sequential_provers = true;
+  const CampaignReport seq_a = run_campaign(spec, one);
+  const CampaignReport seq_b = run_campaign(spec, one);
+  ASSERT_EQ(raced.jobs.size(), seq_a.jobs.size());
+  for (std::size_t i = 0; i < raced.jobs.size(); ++i) {
+    // Same verdict fields as the race...
+    EXPECT_EQ(seq_a.jobs[i].verdict, raced.jobs[i].verdict) << raced.jobs[i].name;
+    EXPECT_EQ(seq_a.jobs[i].trace_length, raced.jobs[i].trace_length);
+    EXPECT_EQ(seq_a.jobs[i].proved_k, raced.jobs[i].proved_k);
+    EXPECT_EQ(seq_a.jobs[i].bad_label, raced.jobs[i].bad_label);
+    // ...and fully reproducible work counters between runs.
+    EXPECT_EQ(seq_a.jobs[i].conflicts, seq_b.jobs[i].conflicts) << raced.jobs[i].name;
+    EXPECT_EQ(seq_a.jobs[i].propagations, seq_b.jobs[i].propagations);
+    EXPECT_EQ(seq_a.jobs[i].decisions, seq_b.jobs[i].decisions);
+    EXPECT_EQ(seq_a.jobs[i].cnf_vars, seq_b.jobs[i].cnf_vars);
+    EXPECT_EQ(seq_a.jobs[i].cnf_clauses, seq_b.jobs[i].cnf_clauses);
+    EXPECT_GT(seq_a.jobs[i].cnf_vars, 0u);
+    EXPECT_FALSE(seq_a.jobs[i].loser_cancelled);
+  }
+  // Tiny jobs can fold to zero problem clauses, but not a whole campaign.
+  std::uint64_t total_clauses = 0;
+  for (const JobResult& j : seq_a.jobs) total_clauses += j.cnf_clauses;
+  EXPECT_GT(total_clauses, 0u);
+  EXPECT_EQ(raced.to_json(false), seq_a.to_json(false));
+}
+
+// --- Plaisted–Greenbaum vs full Tseitin across the pinned QED table ---
+
+TEST(EngineQedEncoding, PlaistedGreenbaumMatchesTseitinVerdicts) {
+  // Both encodings must agree on the QED verification models themselves:
+  // one falsifiable EDSEP-V job (Sat path) and one clean EDDI-V sweep
+  // (Unsat path) per sampled Table-1 bug, driven through Bmc directly so
+  // the encoding is the only difference.
+  const auto pinned = make_pinned_table(4);
+  const auto bugs = proc::table1_single_instruction_bugs();
+  CampaignMatrix matrix;
+  matrix.xlen = 4;
+  matrix.modes = {qed::QedMode::EddiV, qed::QedMode::EdsepV};
+  matrix.equivalences = &pinned->table;
+  for (std::size_t bi = 0; bi < 2; ++bi) {
+    for (qed::QedMode mode : matrix.modes) {
+      matrix.mutations = {bugs[bi]};
+      const proc::ProcConfig config = derive_duv_config(matrix, &bugs[bi]);
+      const JobSpec job =
+          make_qed_job(bugs[bi].name, mode, config, bugs[bi], &pinned->table, {});
+      // EDDI-V misses these bugs (clean sweep); keep its bound shallow so
+      // the double encode stays unit-test sized. EDSEP-V falsifies at 6.
+      const unsigned bound = mode == qed::QedMode::EddiV ? 3 : 6;
+      std::optional<unsigned> lengths[2];
+      for (int pg = 0; pg < 2; ++pg) {
+        smt::TermManager mgr;
+        ts::TransitionSystem ts(mgr);
+        job.build(ts);
+        bmc::Bmc checker(ts, sat::SolverConfig{}, /*plaisted_greenbaum=*/pg == 1);
+        bmc::BmcOptions bo;
+        bo.max_bound = bound;
+        const auto w = checker.check(bo);
+        lengths[pg] = w ? std::optional<unsigned>(w->length) : std::nullopt;
+      }
+      EXPECT_EQ(lengths[0], lengths[1])
+          << bugs[bi].name << " " << mode_tag(mode) << ": encodings disagree";
+      if (mode == qed::QedMode::EdsepV) {
+        ASSERT_TRUE(lengths[0].has_value()) << bugs[bi].name;
+        EXPECT_EQ(*lengths[0], 6u);
+      } else {
+        EXPECT_FALSE(lengths[0].has_value()) << bugs[bi].name;
+      }
+    }
+  }
+}
+
 // End-to-end integration: a real Table-1 QED job through the engine. The
 // xor_as_or bug is invisible to EDDI-V (uniform corruption) and must be
 // falsified under EDSEP-V with the pinned equivalence table.

@@ -200,5 +200,120 @@ TEST_P(SatRandomTest, AgreesWithBruteForceOnRandom3Sat) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(1, 9));
 
+// --- SolverConfig: round-trip, portfolio members, verdict agreement ---
+
+TEST(SolverConfig, DefaultRoundTripsThroughString) {
+  const SolverConfig c;
+  const auto parsed = SolverConfig::from_string(c.to_string());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, c);
+}
+
+TEST(SolverConfig, EveryPortfolioMemberRoundTrips) {
+  for (unsigned i = 0; i < 8; ++i) {
+    const SolverConfig c = SolverConfig::portfolio_member(i);
+    const auto parsed = SolverConfig::from_string(c.to_string());
+    ASSERT_TRUE(parsed.has_value()) << c.to_string();
+    EXPECT_EQ(*parsed, c) << c.to_string();
+  }
+}
+
+TEST(SolverConfig, MemberZeroIsTheDefault) {
+  EXPECT_EQ(SolverConfig::portfolio_member(0), SolverConfig{});
+}
+
+TEST(SolverConfig, MembersAreDiverse) {
+  // The first four members must be pairwise distinct configurations.
+  for (unsigned i = 0; i < 4; ++i)
+    for (unsigned j = i + 1; j < 4; ++j)
+      EXPECT_NE(SolverConfig::portfolio_member(i), SolverConfig::portfolio_member(j))
+          << i << " vs " << j;
+}
+
+TEST(SolverConfig, FromStringRejectsMalformedText) {
+  EXPECT_FALSE(SolverConfig::from_string("").has_value());
+  EXPECT_FALSE(SolverConfig::from_string("decay=0.9").has_value());
+  EXPECT_FALSE(SolverConfig::from_string(
+                   SolverConfig{}.to_string() + ";junk")
+                   .has_value());
+  // Unknown restart policy name.
+  std::string s = SolverConfig{}.to_string();
+  const auto pos = s.find("restart=luby");
+  ASSERT_NE(pos, std::string::npos);
+  s.replace(pos, 12, "restart=never");
+  EXPECT_FALSE(SolverConfig::from_string(s).has_value());
+  // A zero reduction cadence (reduce after every conflict) is rejected.
+  std::string zero_reduce = SolverConfig{}.to_string();
+  const auto rpos = zero_reduce.find("reduce=");
+  ASSERT_NE(rpos, std::string::npos);
+  zero_reduce.replace(rpos, std::string::npos, "reduce=0+0");
+  EXPECT_FALSE(SolverConfig::from_string(zero_reduce).has_value());
+}
+
+/// Pigeonhole: n+1 pigeons into n holes (UNSAT) — every portfolio member
+/// must agree, whatever its restart/decay/phase/random-branch policy.
+void add_pigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(pigeons, std::vector<int>(holes));
+  for (int p = 0; p < pigeons; ++p)
+    for (int h = 0; h < holes; ++h) var[p][h] = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit(var[p][h], false));
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause(Lit(var[p1][h], true), Lit(var[p2][h], true));
+}
+
+TEST(SolverConfig, AllMembersRefutePigeonhole) {
+  for (unsigned i = 0; i < 4; ++i) {
+    Solver s(SolverConfig::portfolio_member(i));
+    add_pigeonhole(s, 5);
+    EXPECT_EQ(s.solve(), SolveResult::Unsat) << "member " << i;
+  }
+}
+
+TEST(SolverConfig, AllMembersAgreeOnRandom3Sat) {
+  // Random 3-SAT at the satisfiability threshold: every member must
+  // return the same verdict as the default solver, and Sat models must
+  // satisfy the clauses.
+  Rng rng(0xc0ffee);
+  for (int round = 0; round < 20; ++round) {
+    const int nvars = 14;
+    const int nclauses = 60;
+    std::vector<std::vector<Lit>> clauses;
+    for (int c = 0; c < nclauses; ++c) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k)
+        cl.push_back(Lit(static_cast<int>(rng.below(nvars)), rng.flip()));
+      clauses.push_back(cl);
+    }
+    SolveResult reference = SolveResult::Unknown;
+    for (unsigned i = 0; i < 4; ++i) {
+      Solver s(SolverConfig::portfolio_member(i));
+      for (int v = 0; v < nvars; ++v) s.new_var();
+      bool root_conflict = false;
+      for (const auto& cl : clauses)
+        if (!s.add_clause(cl)) root_conflict = true;
+      const SolveResult r = root_conflict ? SolveResult::Unsat : s.solve();
+      if (i == 0) {
+        reference = r;
+      } else {
+        EXPECT_EQ(r, reference) << "member " << i << " round " << round;
+      }
+      if (r == SolveResult::Sat) {
+        for (const auto& cl : clauses) {
+          bool sat = false;
+          for (Lit l : cl) sat |= s.model_value(l);
+          EXPECT_TRUE(sat) << "member " << i << " model violates a clause";
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sepe::sat

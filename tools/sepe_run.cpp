@@ -54,6 +54,9 @@ void usage() {
       "  --bound N        BMC bound sweep limit (default 10)\n"
       "  --max-k N        k-induction depth limit (default 10)\n"
       "  --no-race        disable the k-induction prover (BMC only)\n"
+      "  --portfolio N    race N differently-configured CDCL instances per\n"
+      "                   prover inside each job (default 1; verdicts stay\n"
+      "                   deterministic — see src/engine/campaign.hpp)\n"
       "  --modes M        eddi | edsep | both (default both)\n"
       "  --bugs LIST      comma-separated bug names, or: table1 | fig4 | all\n"
       "                   (default table1)\n"
@@ -219,7 +222,7 @@ int run_merge(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
 
-  unsigned threads = 0, xlen = 4, bound = 10, max_k = 10, rows = ~0u;
+  unsigned threads = 0, xlen = 4, bound = 10, max_k = 10, rows = ~0u, portfolio = 1;
   bool race = true, healthy = false, stable_json = false, print_witness = false;
   std::uint64_t conflicts = 0, seed = 1;
   double time_cap = 0.0;
@@ -243,6 +246,8 @@ int main(int argc, char** argv) {
     else if (!std::strcmp(argv[i], "--max-k"))
       max_k = parse_unsigned_arg("--max-k", next("--max-k"), 0);
     else if (!std::strcmp(argv[i], "--no-race")) race = false;
+    else if (!std::strcmp(argv[i], "--portfolio"))
+      portfolio = parse_unsigned_arg("--portfolio", next("--portfolio"), 1, 16);
     else if (!std::strcmp(argv[i], "--modes")) modes_arg = next("--modes");
     else if (!std::strcmp(argv[i], "--bugs")) bugs_arg = next("--bugs");
     else if (!std::strcmp(argv[i], "--rows"))
@@ -284,6 +289,7 @@ int main(int argc, char** argv) {
   matrix.budget.race_k_induction = race;
   matrix.budget.conflict_budget = conflicts;
   matrix.budget.max_seconds = time_cap;
+  matrix.budget.portfolio = portfolio;
 
   if (modes_arg == "eddi") {
     matrix.modes = {qed::QedMode::EddiV};
