@@ -12,6 +12,7 @@
 #include "bmc/bmc.hpp"
 #include "engine/campaign.hpp"
 #include "engine/pinned_table.hpp"
+#include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "qed/qed_module.hpp"
 #include "synth/cegis.hpp"

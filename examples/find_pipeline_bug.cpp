@@ -13,6 +13,7 @@
 #include <string>
 
 #include "engine/campaign.hpp"
+#include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "qed/qed_module.hpp"
 #include "synth/cegis.hpp"
@@ -125,7 +126,9 @@ int main(int argc, char** argv) {
   const engine::CampaignReport report = engine::run_campaign(spec, pool);
 
   for (const engine::JobResult& r : report.jobs) {
-    std::printf("=== %s ===\n", qed::qed_mode_name(r.mode));
+    const bool eddi = r.provenance.mode == engine::mode_tag(qed::QedMode::EddiV);
+    std::printf("=== %s ===\n",
+                qed::qed_mode_name(eddi ? qed::QedMode::EddiV : qed::QedMode::EdsepV));
     switch (r.verdict) {
       case engine::Verdict::Falsified:
         std::printf("VIOLATION at bound %u (%.2fs, %s won the race)\n%s\n",
@@ -143,7 +146,7 @@ int main(int argc, char** argv) {
       case engine::Verdict::BoundClean:
         std::printf("no violation up to bound %u (%.2fs)%s\n\n", budget.max_bound,
                     r.seconds,
-                    bug->single_instruction && r.mode == qed::QedMode::EddiV
+                    bug->single_instruction && eddi
                         ? " — the false negative the paper predicts for SQED"
                         : "");
         break;

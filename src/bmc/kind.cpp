@@ -20,8 +20,9 @@ namespace {
 /// literals. Incremental: growing the window reuses all prior clauses.
 class InductiveWindow {
  public:
-  InductiveWindow(const ts::TransitionSystem& ts, const sat::SolverConfig& config)
-      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config) {}
+  InductiveWindow(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
+                  bool plaisted_greenbaum)
+      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config, plaisted_greenbaum) {}
 
   /// Ensure steps 0..k exist. Returns the "any bad at step k" term.
   TermRef extend_to(unsigned k) {
@@ -95,8 +96,8 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
   Stopwatch clock;
   KInductionResult result;
 
-  Bmc base(ts, options.solver_config);
-  InductiveWindow window(ts, options.solver_config);
+  Bmc base(ts, options.solver_config, options.plaisted_greenbaum);
+  InductiveWindow window(ts, options.solver_config, options.plaisted_greenbaum);
 
   const auto remaining = [&]() {
     return options.max_seconds > 0 ? options.max_seconds - clock.seconds() : 0.0;

@@ -43,6 +43,9 @@ struct KInductionOptions {
   const std::atomic<bool>* stop = nullptr;
   /// CDCL heuristics of both internal solvers (portfolio racing).
   sat::SolverConfig solver_config;
+  /// Polarity-split (Plaisted–Greenbaum) bit-blasting in both internal
+  /// solvers (see Bmc's constructor flag). Off = full Tseitin.
+  bool plaisted_greenbaum = false;
 };
 
 struct KInductionResult {

@@ -5,7 +5,6 @@
 #include <sstream>
 #include <thread>
 
-#include "synth/encoding.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
 
@@ -30,99 +29,6 @@ const char* prover_name(Prover p) {
   return "?";
 }
 
-const char* mode_tag(qed::QedMode mode) {
-  return mode == qed::QedMode::EddiV ? "EDDI-V" : "EDSEP-V";
-}
-
-JobSpec make_qed_job(std::string name, qed::QedMode mode, const proc::ProcConfig& config,
-                     std::optional<proc::Mutation> mutation,
-                     const synth::EquivalenceTable* equivalences, const JobBudget& budget,
-                     unsigned queue_capacity, unsigned counter_bits) {
-  assert((mode != qed::QedMode::EdsepV || equivalences != nullptr) &&
-         "EDSEP-V requires an equivalence table");
-  JobSpec job;
-  job.name = std::move(name);
-  job.mode = mode;
-  job.budget = budget;
-  job.build = [mode, config, mutation = std::move(mutation), equivalences,
-               queue_capacity, counter_bits](ts::TransitionSystem& ts) {
-    qed::QedOptions qo;
-    qo.mode = mode;
-    qo.queue_capacity = queue_capacity;
-    qo.counter_bits = counter_bits;
-    qo.equivalences = equivalences;
-    qed::build_qed_model(ts, config, qo, mutation ? &*mutation : nullptr);
-  };
-  return job;
-}
-
-std::vector<isa::Opcode> replay_opcodes(const synth::EquivalenceTable& table,
-                                        isa::Opcode op) {
-  const bool memory = isa::is_load(op) || isa::is_store(op);
-  const std::string key =
-      memory ? std::string(isa::opcode_name(op)) + "_ADDR" : isa::opcode_name(op);
-  std::vector<isa::Opcode> ops;
-  const synth::SynthProgram* prog = table.first(key);
-  if (!prog) return ops;
-  const auto push_unique = [&](isa::Opcode o) {
-    for (isa::Opcode existing : ops)
-      if (existing == o) return;
-    ops.push_back(o);
-  };
-  for (const synth::SynthLine& line : prog->lines)
-    for (const synth::ExpansionInstr& e : line.comp->expansion) push_unique(e.op);
-  if (memory) push_unique(op);
-  return ops;
-}
-
-proc::ProcConfig derive_duv_config(const CampaignMatrix& matrix,
-                                   const proc::Mutation* mutation) {
-  assert(matrix.xlen >= 2 && "DUV datapath needs at least 2 bits");
-  proc::ProcConfig config;
-  config.xlen = std::max(2u, matrix.xlen);
-  // Largest power-of-two memory the address space supports (cap at the
-  // requested size) — mirrors the Table-1 bench sizing.
-  config.mem_words = config.xlen >= 5
-                         ? matrix.mem_words
-                         : std::min(matrix.mem_words, 1u << (config.xlen - 2));
-  const auto add = [&](isa::Opcode op) {
-    if (!config.supports(op)) config.opcodes.push_back(op);
-  };
-  if (mutation && mutation->target != isa::Opcode::NOP) add(mutation->target);
-  for (isa::Opcode op : matrix.extra_opcodes) add(op);
-  // The DUV must also implement every opcode the EDSEP replays of its
-  // instructions issue.
-  if (matrix.equivalences) {
-    for (isa::Opcode base : std::vector<isa::Opcode>(config.opcodes))
-      for (isa::Opcode op : replay_opcodes(*matrix.equivalences, base)) add(op);
-  }
-  return config;
-}
-
-CampaignSpec expand(const CampaignMatrix& matrix, std::uint64_t seed) {
-  CampaignSpec spec;
-  spec.seed = seed;
-
-  const auto add_jobs_for = [&](const proc::Mutation* mutation,
-                                const std::string& base) {
-    const proc::ProcConfig config = derive_duv_config(matrix, mutation);
-    for (qed::QedMode mode : matrix.modes) {
-      spec.jobs.push_back(make_qed_job(
-          base + "/" + mode_tag(mode), mode, config,
-          mutation ? std::optional<proc::Mutation>(*mutation) : std::nullopt,
-          matrix.equivalences, matrix.budget, matrix.queue_capacity,
-          matrix.counter_bits));
-    }
-  };
-
-  if (matrix.mutations.empty()) {
-    add_jobs_for(nullptr, "healthy");
-  } else {
-    for (const proc::Mutation& m : matrix.mutations) add_jobs_for(&m, m.name);
-  }
-  return spec;
-}
-
 namespace {
 
 /// Outcome of one prover inside the race.
@@ -132,6 +38,7 @@ struct BmcSide {
   bmc::BmcStats stats;
   std::string witness_text;
   std::string bad_label;
+  std::string build_error;  // non-empty: the model never built
 };
 
 struct KindSide {
@@ -139,6 +46,7 @@ struct KindSide {
   bmc::KInductionResult result;
   std::string witness_text;
   std::string bad_label;
+  std::string build_error;
 };
 
 constexpr int kClaimNone = -1;
@@ -157,8 +65,13 @@ constexpr int kClaimNone = -1;
 void canonical_witness(const JobSpec& job, unsigned length, BmcSide* out) {
   smt::TermManager mgr;
   ts::TransitionSystem ts(mgr);
-  job.build(ts);
-  bmc::Bmc checker(ts);
+  std::string build_error;
+  [[maybe_unused]] const bool built = job.build(ts, &build_error);
+  assert(built && "a job that produced a witness must rebuild");
+  // Same encoding as the job's entrant 0: the canonical trace is the one
+  // a single-config run of this job reports.
+  bmc::Bmc checker(ts, sat::SolverConfig{},
+                   job.budget.plaisted_greenbaum.value_or(false));
   bmc::BmcOptions bo;
   bo.max_bound = length;
   out->found = checker.check(bo);
@@ -196,11 +109,14 @@ JobResult run_job(const JobSpec& job) {
   Stopwatch clock;
   JobResult r;
   r.name = job.name;
-  r.mode = job.mode;
+  r.provenance = job.provenance;
 
   const bool with_kind = job.budget.race_k_induction && job.budget.max_k > 0;
   const unsigned portfolio =
       job.budget.sequential_provers ? 1 : std::max(1u, job.budget.portfolio);
+  // Workload families resolve their encoding default at expansion; a
+  // spec-level nullopt means plain Tseitin.
+  const bool plaisted_greenbaum = job.budget.plaisted_greenbaum.value_or(false);
 
   // Entrants: `portfolio` BMC sweeps and (optionally) `portfolio`
   // k-induction runs, each on its own solver configuration. Entrant 0 of
@@ -229,8 +145,12 @@ JobResult run_job(const JobSpec& job) {
     side.ran = true;
     smt::TermManager mgr;
     ts::TransitionSystem ts(mgr);
-    job.build(ts);
-    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx));
+    // Build failures (e.g. a corpus file that does not parse) are
+    // deterministic: every entrant fails identically, so recording the
+    // diagnostic and returning leaves the race with no claimant and the
+    // job reports Unknown with the note attached.
+    if (!job.build(ts, &side.build_error)) return;
+    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx), plaisted_greenbaum);
     bmc::BmcOptions bo;
     bo.max_bound = job.budget.max_bound;
     bo.conflict_budget_per_bound = job.budget.conflict_budget;
@@ -253,13 +173,14 @@ JobResult run_job(const JobSpec& job) {
     side.ran = true;
     smt::TermManager mgr;
     ts::TransitionSystem ts(mgr);
-    job.build(ts);
+    if (!job.build(ts, &side.build_error)) return;
     bmc::KInductionOptions ko;
     ko.max_k = job.budget.max_k;
     ko.conflict_budget = job.budget.conflict_budget;
     ko.max_seconds = job.budget.max_seconds;
     ko.stop = stop_flag;
     ko.solver_config = sat::SolverConfig::portfolio_member(idx);
+    ko.plaisted_greenbaum = plaisted_greenbaum;
     side.result = bmc::prove_by_k_induction(ts, ko);
     if (side.result.status != bmc::KInductionStatus::Unknown &&
         (!stop_flag || try_claim(static_cast<int>(portfolio + idx)))) {
@@ -279,7 +200,7 @@ JobResult run_job(const JobSpec& job) {
     bmc_prover(0, nullptr);
     if (bsides[0].found) {
       claim.store(0);
-    } else if (with_kind) {
+    } else if (with_kind && bsides[0].build_error.empty()) {
       kind_prover(0, nullptr);
       if (ksides[0].result.status != bmc::KInductionStatus::Unknown)
         claim.store(static_cast<int>(portfolio));
@@ -312,7 +233,13 @@ JobResult run_job(const JobSpec& job) {
 
   r.bmc_bounds_checked = bsides[0].stats.bounds_checked;
   const int who = claim.load(std::memory_order_acquire);
-  if (who >= 0 && who < static_cast<int>(portfolio)) {
+  if (!bsides[0].build_error.empty()) {
+    // The model never built (deterministically — every entrant sees the
+    // same source), so there is nothing a prover could have decided.
+    // Report the diagnostic instead of aborting the campaign.
+    r.verdict = Verdict::Unknown;
+    r.note = bsides[0].build_error;
+  } else if (who >= 0 && who < static_cast<int>(portfolio)) {
     BmcSide& side = bsides[who];
     r.verdict = Verdict::Falsified;
     r.winner = Prover::Bmc;
@@ -436,11 +363,14 @@ std::string CampaignReport::to_table() const {
       std::snprintf(lenk, sizeof lenk, "%u", j.trace_length);
     else if (j.verdict == Verdict::Proved)
       std::snprintf(lenk, sizeof lenk, "k=%u", j.proved_k);
+    // The mode column doubles as the workload column for families that
+    // have no QED mode.
+    const std::string& mode =
+        j.provenance.mode.empty() ? j.provenance.family : j.provenance.mode;
     std::snprintf(line, sizeof line, "%-34s %-8s %-12s %-6s %-12s %10llu %8.2fs%s\n",
-                  j.name.c_str(), mode_tag(j.mode), verdict_name(j.verdict),
-                  lenk, prover_name(j.winner),
-                  static_cast<unsigned long long>(j.conflicts), j.seconds,
-                  j.loser_cancelled ? "  [loser cancelled]" : "");
+                  j.name.c_str(), mode.c_str(), verdict_name(j.verdict), lenk,
+                  prover_name(j.winner), static_cast<unsigned long long>(j.conflicts),
+                  j.seconds, j.loser_cancelled ? "  [loser cancelled]" : "");
     os << line;
   }
   std::snprintf(line, sizeof line,
@@ -480,7 +410,19 @@ std::string CampaignReport::to_json(bool include_timing) const {
     // Only shard reports carry the job's position in the full spec —
     // merged output must stay byte-identical to an unsharded run.
     if (shard) os << ", \"spec_index\": " << j.spec_index;
-    os << ", \"mode\": \"" << mode_tag(j.mode) << "\"";
+    // QED jobs keep the original dialect (a "mode" column) so existing
+    // campaign output stays byte-identical; other workload families
+    // report their provenance instead.
+    if (j.provenance.family == kQedFamily) {
+      os << ", \"mode\": ";
+      json_escape(os, j.provenance.mode);
+    } else {
+      os << ", \"workload\": ";
+      json_escape(os, j.provenance.family);
+      os << ", \"source\": ";
+      json_escape(os, j.provenance.source);
+      os << ", \"property\": " << j.provenance.property;
+    }
     os << ", \"verdict\": \"" << verdict_name(j.verdict) << "\"";
     if (j.verdict == Verdict::Falsified) {
       os << ", \"trace_length\": " << j.trace_length;
@@ -492,6 +434,12 @@ std::string CampaignReport::to_json(bool include_timing) const {
       }
     }
     if (j.verdict == Verdict::Proved) os << ", \"proved_k\": " << j.proved_k;
+    // A build/parse diagnostic is deterministic for a fixed spec, so it
+    // belongs in the stable form too (it explains the UNKNOWN verdict).
+    if (!j.note.empty()) {
+      os << ", \"error\": ";
+      json_escape(os, j.note);
+    }
     // Winner, conflicts and timings depend on race scheduling; keeping
     // them out makes the no-timing report byte-stable across runs and
     // thread counts for a fixed spec.

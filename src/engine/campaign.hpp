@@ -6,8 +6,12 @@
 // engine is the architectural seam those sweeps (and every future scaling
 // direction — sharding, portfolio solvers, multi-backend) plug into:
 //
-//   * a CampaignSpec is a declarative list of verification jobs, either
-//     enumerated directly or expanded from a CampaignMatrix cross-product;
+//   * a CampaignSpec is a declarative list of verification jobs; where
+//     the jobs come from is a *workload family* concern (engine/
+//     workload.hpp): the QED matrix cross-product and BTOR2 corpus
+//     directories both expand into the same JobSpec shape, and this
+//     layer never knows which family produced a job beyond the
+//     provenance tag it carries into reports;
 //   * a work-queue thread pool fans jobs out, one isolated TermManager /
 //     solver stack per job (nothing below the engine is shared, so no
 //     locking in the hot path);
@@ -33,9 +37,6 @@
 
 #include "bmc/bmc.hpp"
 #include "bmc/kind.hpp"
-#include "proc/mutations.hpp"
-#include "qed/qed_module.hpp"
-#include "synth/cegis.hpp"
 
 namespace sepe::engine {
 
@@ -45,7 +46,8 @@ enum class Verdict {
   Proved,      // k-induction closed: no violation at any depth
   BoundClean,  // BMC exhausted its bound cleanly; no proof within the
                // induction side's depth/budget limits
-  Unknown,     // a resource budget cut the BMC sweep itself short
+  Unknown,     // a resource budget cut the BMC sweep itself short, or
+               // the model itself failed to build (JobResult::note)
 };
 const char* verdict_name(Verdict v);
 
@@ -53,9 +55,30 @@ const char* verdict_name(Verdict v);
 enum class Prover { None, Bmc, KInduction };
 const char* prover_name(Prover p);
 
-/// Short QED-mode tag for job names and report columns ("EDDI-V" /
-/// "EDSEP-V"; contrast qed::qed_mode_name's long display form).
-const char* mode_tag(qed::QedMode mode);
+/// Workload-family tags (JobProvenance::family).
+inline constexpr const char* kQedFamily = "qed";
+inline constexpr const char* kBtor2Family = "btor2";
+
+/// Where a job came from: which workload family expanded it, from which
+/// source, and which of the source's properties it checks. Stamped into
+/// JobResult and the report columns, and folded into checkpoint spec
+/// digests so a resume under changed sources is refused.
+struct JobProvenance {
+  std::string family = kQedFamily;  // workload family tag
+  /// Family-specific source id — e.g. the corpus-relative file path of
+  /// a BTOR2 job. QED matrix jobs leave it empty (their names already
+  /// encode mutation × mode).
+  std::string source;
+  unsigned property = 0;  // bad-property index within the source
+  /// Hash of the source's content (corpus file bytes), covered by the
+  /// checkpoint spec digest. Empty for in-process model builders.
+  std::string content_digest;
+  /// Legacy QED report column ("EDDI-V" / "EDSEP-V"). Non-QED families
+  /// leave it empty and report workload/source/property instead; the
+  /// default keeps hand-built JobSpecs byte-compatible with the
+  /// pre-workload report dialect.
+  std::string mode = "EDDI-V";
+};
 
 /// Search budgets for one job.
 struct JobBudget {
@@ -78,26 +101,28 @@ struct JobBudget {
   /// deterministic: both provers always run to completion. Used by
   /// bench/campaign_perf for the perf trajectory.
   bool sequential_provers = false;
+  /// Bit-blasting encoding for both provers. nullopt = the workload
+  /// family's default, resolved at expansion: QED keeps full Tseitin
+  /// (Plaisted–Greenbaum measured ~7% MORE conflicts there, PR 3),
+  /// the BTOR2 corpus family turns PG on (measured ~11% FEWER conflicts
+  /// on the committed mini-corpus). Verdict-bearing report fields are
+  /// encoding-independent either way.
+  std::optional<bool> plaisted_greenbaum;
 };
 
 /// One verification job: a self-contained model builder plus budgets.
 /// `build` runs on a worker thread against a job-local TransitionSystem /
-/// TermManager, so it must not touch mutable shared state.
+/// TermManager, so it must not touch mutable shared state. It returns
+/// false and sets *error (never null) on failure — e.g. a malformed
+/// corpus file parsed on the worker — and the engine then reports the
+/// job as Verdict::Unknown with the diagnostic in JobResult::note
+/// instead of aborting the campaign.
 struct JobSpec {
   std::string name;
-  std::function<void(ts::TransitionSystem&)> build;
-  qed::QedMode mode = qed::QedMode::EddiV;  // informational (reports)
+  std::function<bool(ts::TransitionSystem&, std::string*)> build;
+  JobProvenance provenance;
   JobBudget budget;
 };
-
-/// Convenience constructor for the standard QED job: DUV(config, mutation)
-/// + QED module in `mode`. The mutation is captured by value; the
-/// equivalence table (required for EDSEP-V) is captured by pointer and
-/// must outlive the campaign — it is only ever read.
-JobSpec make_qed_job(std::string name, qed::QedMode mode, const proc::ProcConfig& config,
-                     std::optional<proc::Mutation> mutation,
-                     const synth::EquivalenceTable* equivalences, const JobBudget& budget,
-                     unsigned queue_capacity = 2, unsigned counter_bits = 3);
 
 /// A campaign: ordered jobs plus the RNG seed recorded in the report
 /// (and used by spec generators that sample, e.g. sepe-run's random
@@ -107,37 +132,6 @@ struct CampaignSpec {
   std::uint64_t seed = 1;
 };
 
-/// Declarative cross-product: one job per (mutation × mode). Instruction
-/// classes enter through the mutations (each targets one instruction) and
-/// the per-job DUV opcode set, which is derived from the mutation target
-/// plus everything its EDSEP replay issues.
-struct CampaignMatrix {
-  unsigned xlen = 4;
-  unsigned mem_words = 8;
-  std::vector<qed::QedMode> modes;
-  std::vector<proc::Mutation> mutations;
-  const synth::EquivalenceTable* equivalences = nullptr;
-  /// Opcodes always present in the DUV besides the derived ones.
-  std::vector<isa::Opcode> extra_opcodes;
-  unsigned queue_capacity = 2;
-  unsigned counter_bits = 3;
-  JobBudget budget;
-};
-CampaignSpec expand(const CampaignMatrix& matrix, std::uint64_t seed = 1);
-
-/// The DUV configuration expand() gives a job: mutation target + extra
-/// opcodes + every opcode their EDSEP replays issue, memory sized to the
-/// address space. Exposed for drivers (e.g. the Table-1 bench) that build
-/// per-job budgets expand() cannot express. Requires xlen >= 2.
-proc::ProcConfig derive_duv_config(const CampaignMatrix& matrix,
-                                   const proc::Mutation* mutation);
-
-/// Opcodes an EDSEP replay of `op` issues: the lowering of its table
-/// entry plus, for memory instructions, the shadow access itself. Used to
-/// size per-job DUV opcode sets.
-std::vector<isa::Opcode> replay_opcodes(const synth::EquivalenceTable& table,
-                                        isa::Opcode op);
-
 /// One slice of a campaign: shard `index` of `count` equal partitions of
 /// the expanded job list (see engine/shard.hpp for the planner).
 struct ShardSpec {
@@ -146,18 +140,21 @@ struct ShardSpec {
 };
 
 /// Per-job outcome. All verdict-bearing fields (verdict, trace_length,
-/// proved_k, bad_label) are deterministic for a fixed spec; timing and
-/// conflict counts are not and are excluded from stable reports.
+/// proved_k, bad_label, note) are deterministic for a fixed spec; timing
+/// and conflict counts are not and are excluded from stable reports.
 struct JobResult {
   std::string name;
   std::size_t spec_index = 0;  // position in the full (unsharded) spec
-  qed::QedMode mode = qed::QedMode::EddiV;
+  JobProvenance provenance;
   Verdict verdict = Verdict::Unknown;
   Prover winner = Prover::None;
   unsigned trace_length = 0;  // Falsified: counterexample length
   unsigned proved_k = 0;      // Proved: depth at which induction closed
   std::string bad_label;      // Falsified: which bad condition fired
   std::string witness;        // Falsified: rendered trace table
+  /// Unknown: the model-build diagnostic (e.g. a corpus parse error with
+  /// its line number). Deterministic, so it travels in stable reports.
+  std::string note;
   unsigned bmc_bounds_checked = 0;
   bool loser_cancelled = false;  // a losing prover observed the stop flag
   bool hit_resource_limit = false;
@@ -196,11 +193,12 @@ struct CampaignReport {
   unsigned threads = 0;
   double wall_seconds = 0.0;
   std::optional<ShardInfo> shard;
-  /// Digest of the spec's job names and budgets (plus caller-supplied
-  /// campaign parameters), set by the checkpointing shard runner and
-  /// emitted only in the timing report form. Resume refuses a checkpoint
-  /// whose digest disagrees, so stale verdicts recorded under different
-  /// budgets are never silently reused.
+  /// Digest of the spec's job names, budgets, and provenance (plus
+  /// caller-supplied campaign parameters), set by the checkpointing
+  /// shard runner and emitted only in the timing report form. Resume
+  /// refuses a checkpoint whose digest disagrees, so stale verdicts
+  /// recorded under different budgets — or a corpus file edited since
+  /// the journal was written — are never silently reused.
   std::string spec_digest;
 
   unsigned count(Verdict v) const;
@@ -208,7 +206,9 @@ struct CampaignReport {
   std::string to_table() const;
   /// Machine-readable report. With include_timing=false only the
   /// deterministic fields are emitted (byte-identical across runs and
-  /// thread counts for a fixed spec).
+  /// thread counts for a fixed spec). QED-family jobs keep the original
+  /// report dialect (a "mode" column); other families report
+  /// workload/source/property provenance columns instead.
   std::string to_json(bool include_timing = true) const;
 
   /// Combine per-shard reports into the report of the full campaign.

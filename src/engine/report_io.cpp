@@ -294,14 +294,10 @@ bool prover_from_name(const std::string& name, Prover* out) {
   return false;
 }
 
-bool mode_from_tag(const std::string& tag, qed::QedMode* out) {
-  for (qed::QedMode m : {qed::QedMode::EddiV, qed::QedMode::EdsepV}) {
-    if (tag == mode_tag(m)) {
-      *out = m;
-      return true;
-    }
-  }
-  return false;
+/// The QED report dialect's two mode tags (engine::mode_tag). Kept as
+/// literals so the reader stays decoupled from the QED module itself.
+bool known_mode_tag(const std::string& tag) {
+  return tag == "EDDI-V" || tag == "EDSEP-V";
 }
 
 bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
@@ -316,11 +312,31 @@ bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
   const std::string* verdict = get_string(obj, "verdict");
   if (!verdict || !verdict_from_name(*verdict, &out->verdict))
     return fail_field(error, "job '" + out->name + "' has no valid verdict");
-  const std::string* mode = get_string(obj, "mode");
-  if (!mode || !mode_from_tag(*mode, &out->mode))
-    return fail_field(error, "job '" + out->name + "' has no valid mode");
 
   std::uint64_t n = 0;
+  // Provenance: non-QED rows carry workload/source/property columns;
+  // QED rows keep the original dialect's "mode" column, which stays
+  // strictly validated.
+  if (const std::string* workload = get_string(obj, "workload")) {
+    if (workload->empty() || *workload == kQedFamily)
+      return fail_field(error, "job '" + out->name + "' has an invalid workload");
+    out->provenance.family = *workload;
+    out->provenance.mode.clear();
+    if (const std::string* source = get_string(obj, "source"))
+      out->provenance.source = *source;
+    if (obj.find("property")) {
+      if (!get_u64(obj, "property", &n, error)) return false;
+      out->provenance.property = static_cast<unsigned>(n);
+    }
+  } else {
+    const std::string* mode = get_string(obj, "mode");
+    if (!mode || !known_mode_tag(*mode))
+      return fail_field(error, "job '" + out->name + "' has no valid mode");
+    out->provenance.family = kQedFamily;
+    out->provenance.mode = *mode;
+  }
+  if (const std::string* note = get_string(obj, "error")) out->note = *note;
+
   out->spec_index = position;  // unsharded reports omit spec_index
   if (obj.find("spec_index")) {
     if (!get_u64(obj, "spec_index", &n, error)) return false;

@@ -32,9 +32,13 @@ std::optional<std::string> find_duplicate_name(const std::vector<JobSpec>& jobs)
 }
 
 /// FNV-1a digest of everything that determines a job's verdict besides
-/// the model builder itself: the job names and every budget knob, plus
+/// the model builder itself: the job names, every budget knob, and the
+/// full provenance — workload family, source id, property index, and
+/// the per-file content hash corpus sources stamp on their jobs — plus
 /// the caller's fingerprint for parameters hidden inside the builders.
-/// Guards checkpoints against silent reuse under changed flags.
+/// Guards checkpoints against silent reuse under changed flags, and
+/// refuses a resume against a corpus file edited since the journal was
+/// written (same names, different content hash).
 std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerprint) {
   std::uint64_t h = 1469598103934665603ull;
   const auto mix_byte = [&](unsigned char b) {
@@ -52,6 +56,11 @@ std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerpr
   mix_u64(spec.jobs.size());
   for (const JobSpec& job : spec.jobs) {
     mix_string(job.name);
+    mix_string(job.provenance.family);
+    mix_string(job.provenance.source);
+    mix_u64(job.provenance.property);
+    mix_string(job.provenance.content_digest);
+    mix_string(job.provenance.mode);
     mix_u64(job.budget.max_bound);
     mix_u64(job.budget.max_k);
     mix_u64(job.budget.conflict_budget);
@@ -62,6 +71,9 @@ std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerpr
     mix_byte(job.budget.race_k_induction ? 1 : 0);
     mix_u64(job.budget.portfolio);
     mix_byte(job.budget.sequential_provers ? 1 : 0);
+    mix_byte(job.budget.plaisted_greenbaum
+                 ? (*job.budget.plaisted_greenbaum ? 2 : 1)
+                 : 0);
   }
   char hex[17];
   std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
@@ -246,7 +258,9 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
       if (saved.spec_digest != digest) {
         set_error(error, "checkpoint '" + options.checkpoint_path +
                              "' was recorded under different campaign "
-                             "parameters (budgets/flags) — delete it to "
+                             "parameters (budgets/flags, or a workload "
+                             "source — e.g. a corpus file — edited since "
+                             "the journal was written) — delete it to "
                              "start over");
         return empty;
       }

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace sepe::ts {
@@ -17,6 +18,27 @@ struct Line {
   std::vector<std::string> tokens;
   std::string label;  // text after " ; " on bad lines
 };
+
+/// Strict unsigned parse in the given base: every character must be a
+/// digit of that base and the value must fit 64 bits. Rejects empty
+/// tokens, signs, whitespace, and partial parses — corpus files are
+/// untrusted input, so nothing may be accepted "as far as it goes".
+bool parse_uint(const std::string& tok, unsigned base, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  std::uint64_t value = 0;
+  for (char c : tok) {
+    unsigned digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A' + 10);
+    else return false;
+    if (digit >= base) return false;
+    if (value > (~std::uint64_t{0} - digit) / base) return false;  // overflow
+    value = value * base + digit;
+  }
+  *out = value;
+  return true;
+}
 
 class Parser {
  public:
@@ -77,13 +99,8 @@ class Parser {
   }
 
   bool parse_id(const std::string& tok, std::uint64_t& out) {
-    try {
-      std::size_t pos = 0;
-      out = std::stoull(tok, &pos);
-      return pos == tok.size();
-    } catch (...) {
-      return fail("malformed number '" + tok + "'");
-    }
+    if (!parse_uint(tok, 10, &out)) return fail("malformed number '" + tok + "'");
+    return true;
   }
 
   bool sort_width(std::uint64_t sid, unsigned& width) {
@@ -97,6 +114,15 @@ class Parser {
     const auto it = nodes_.find(id);
     if (it == nodes_.end()) return fail("unknown node id " + std::to_string(id));
     out = it->second;
+    return true;
+  }
+
+  /// Bind a freshly produced term to its line id; every id may be
+  /// defined only once (redefinition would silently rewire every later
+  /// reference, so it is rejected).
+  bool define(std::uint64_t id, TermRef term) {
+    if (!nodes_.emplace(id, term).second)
+      return fail("node id " + std::to_string(id) + " redefined");
     return true;
   }
 
@@ -129,16 +155,21 @@ class Parser {
       std::uint64_t w = 0;
       if (!parse_id(t[3], w)) return false;
       if (w < 1 || w > 64) return fail("unsupported width " + t[3]);
-      sorts_[id] = static_cast<unsigned>(w);
+      if (!sorts_.emplace(id, static_cast<unsigned>(w)).second)
+        return fail("sort id " + std::to_string(id) + " redefined");
       return true;
     }
     if (kw == "state" || kw == "input") {
       unsigned w = 0;
       if (!arg_width(2, w)) return false;
-      const std::string name =
-          t.size() > 3 ? t[3] : (kw + std::to_string(id));
-      nodes_[id] = kw == "state" ? out_.add_state(name, w) : out_.add_input(name, w);
-      return true;
+      const std::string name = t.size() > 3 ? t[3] : (kw + std::to_string(id));
+      // Distinct states/inputs must be distinct variables: the term
+      // manager interns variables by name, so a reused symbol would
+      // alias two declarations (and asserts on a width clash).
+      if (!names_.insert(name).second)
+        return fail("symbol '" + name + "' declared twice");
+      return define(id, kw == "state" ? out_.add_state(name, w)
+                                      : out_.add_input(name, w));
     }
     if (kw == "init" || kw == "next") {
       TermRef state, value;
@@ -147,10 +178,15 @@ class Parser {
       if (!arg_node(3, state)) return false;
       if (!arg_node(4, value)) return false;
       if (!out_.is_state(state)) return fail(kw + " on a non-state node");
+      if (mgr.width(state) != w) return fail(kw + " sort disagrees with the state");
       if (mgr.width(value) != w) return fail(kw + " width mismatch");
       if (kw == "init") {
+        if (out_.init_of(state) != smt::kNullTerm)
+          return fail("duplicate init for state '" + mgr.node(state).name + "'");
         out_.set_init(state, value);
       } else {
+        if (out_.next_of(state) != smt::kNullTerm)
+          return fail("duplicate next for state '" + mgr.node(state).name + "'");
         out_.set_next(state, value);
       }
       return true;
@@ -181,16 +217,28 @@ class Parser {
         value = BitVec::mask(w);
       } else {
         if (t.size() < 4) return fail("missing constant payload");
-        try {
-          if (kw == "constd") value = std::stoull(t[3]);
-          if (kw == "const") value = std::stoull(t[3], nullptr, 2);
-          if (kw == "consth") value = std::stoull(t[3], nullptr, 16);
-        } catch (...) {
-          return fail("malformed constant '" + t[3] + "'");
+        std::string payload = t[3];
+        // constd accepts a negative decimal (two's complement of the
+        // magnitude at the sort width), matching the standard.
+        bool negate = false;
+        if (kw == "constd" && payload.size() > 1 && payload[0] == '-') {
+          negate = true;
+          payload = payload.substr(1);
         }
+        const unsigned base = kw == "constd" ? 10 : (kw == "const" ? 2 : 16);
+        if (!parse_uint(payload, base, &value))
+          return fail("malformed constant '" + t[3] + "'");
+        // Range checks before any wrapping: unsigned forms must fit the
+        // sort, a negated decimal must not drop below the two's-
+        // complement minimum (-2^(w-1)).
+        const std::uint64_t limit =
+            negate ? BitVec::mask(w - 1) + 1 : BitVec::mask(w);
+        if (value > limit)
+          return fail("constant '" + t[3] + "' does not fit " + std::to_string(w) +
+                      " bits");
+        if (negate) value = (~value + 1) & BitVec::mask(w);
       }
-      nodes_[id] = mgr.mk_const(BitVec(w, value));
-      return true;
+      return define(id, mgr.mk_const(BitVec(w, value)));
     }
 
     // --- indexed operators ---
@@ -201,11 +249,10 @@ class Parser {
       if (!arg_width(2, w) || !arg_node(3, a) || !arg_id(4, hi) || !arg_id(5, lo))
         return false;
       if (hi < lo || hi >= mgr.width(a)) return fail("slice bounds out of range");
-      const TermRef r = mgr.mk_extract(a, static_cast<unsigned>(hi),
-                                       static_cast<unsigned>(lo));
+      const TermRef r =
+          mgr.mk_extract(a, static_cast<unsigned>(hi), static_cast<unsigned>(lo));
       if (mgr.width(r) != w) return fail("slice sort mismatch");
-      nodes_[id] = r;
-      return true;
+      return define(id, r);
     }
     if (kw == "uext" || kw == "sext") {
       unsigned w = 0;
@@ -213,8 +260,7 @@ class Parser {
       std::uint64_t by = 0;
       if (!arg_width(2, w) || !arg_node(3, a) || !arg_id(4, by)) return false;
       if (mgr.width(a) + by != w) return fail(kw + " width arithmetic mismatch");
-      nodes_[id] = kw == "uext" ? mgr.mk_zext(a, w) : mgr.mk_sext(a, w);
-      return true;
+      return define(id, kw == "uext" ? mgr.mk_zext(a, w) : mgr.mk_sext(a, w));
     }
 
     // --- regular operators: <id> <op> <sort> <args...> ---
@@ -229,26 +275,38 @@ class Parser {
     struct BinOp {
       const char* name;
       TermRef (smt::TermManager::*fn)(TermRef, TermRef);
+      bool same_width;  // operands must agree (everything but concat)
     };
     static const BinOp kBinary[] = {
-        {"and", &smt::TermManager::mk_and},   {"or", &smt::TermManager::mk_or},
-        {"xor", &smt::TermManager::mk_xor},   {"add", &smt::TermManager::mk_add},
-        {"sub", &smt::TermManager::mk_sub},   {"mul", &smt::TermManager::mk_mul},
-        {"udiv", &smt::TermManager::mk_udiv}, {"urem", &smt::TermManager::mk_urem},
-        {"sdiv", &smt::TermManager::mk_sdiv}, {"srem", &smt::TermManager::mk_srem},
-        {"sll", &smt::TermManager::mk_shl},   {"srl", &smt::TermManager::mk_lshr},
-        {"sra", &smt::TermManager::mk_ashr},  {"ult", &smt::TermManager::mk_ult},
-        {"ulte", &smt::TermManager::mk_ule},  {"slt", &smt::TermManager::mk_slt},
-        {"slte", &smt::TermManager::mk_sle},  {"eq", &smt::TermManager::mk_eq},
-        {"neq", &smt::TermManager::mk_ne},    {"concat", &smt::TermManager::mk_concat},
+        {"and", &smt::TermManager::mk_and, true},
+        {"or", &smt::TermManager::mk_or, true},
+        {"xor", &smt::TermManager::mk_xor, true},
+        {"add", &smt::TermManager::mk_add, true},
+        {"sub", &smt::TermManager::mk_sub, true},
+        {"mul", &smt::TermManager::mk_mul, true},
+        {"udiv", &smt::TermManager::mk_udiv, true},
+        {"urem", &smt::TermManager::mk_urem, true},
+        {"sdiv", &smt::TermManager::mk_sdiv, true},
+        {"srem", &smt::TermManager::mk_srem, true},
+        {"sll", &smt::TermManager::mk_shl, true},
+        {"srl", &smt::TermManager::mk_lshr, true},
+        {"sra", &smt::TermManager::mk_ashr, true},
+        {"ult", &smt::TermManager::mk_ult, true},
+        {"ulte", &smt::TermManager::mk_ule, true},
+        {"slt", &smt::TermManager::mk_slt, true},
+        {"slte", &smt::TermManager::mk_sle, true},
+        {"eq", &smt::TermManager::mk_eq, true},
+        {"neq", &smt::TermManager::mk_ne, true},
+        {"concat", &smt::TermManager::mk_concat, false},
     };
     for (const UnOp& u : kUnary) {
       if (kw == u.name) {
         unsigned w = 0;
         TermRef a;
         if (!arg_width(2, w) || !arg_node(3, a)) return false;
-        nodes_[id] = (mgr.*u.fn)(a);
-        return true;
+        const TermRef r = (mgr.*u.fn)(a);
+        if (mgr.width(r) != w) return fail(std::string(u.name) + " sort mismatch");
+        return define(id, r);
       }
     }
     for (const BinOp& b : kBinary) {
@@ -256,10 +314,14 @@ class Parser {
         unsigned w = 0;
         TermRef a1, a2;
         if (!arg_width(2, w) || !arg_node(3, a1) || !arg_node(4, a2)) return false;
+        // Operand widths are validated *before* the term constructor
+        // runs: the constructors assert their preconditions, and a
+        // malformed corpus line must produce a diagnostic, not a crash.
+        if (b.same_width && mgr.width(a1) != mgr.width(a2))
+          return fail(std::string(b.name) + " operand width mismatch");
         const TermRef r = (mgr.*b.fn)(a1, a2);
         if (mgr.width(r) != w) return fail(std::string(b.name) + " sort mismatch");
-        nodes_[id] = r;
-        return true;
+        return define(id, r);
       }
     }
     if (kw == "ite") {
@@ -267,16 +329,20 @@ class Parser {
       TermRef c, a, b;
       if (!arg_width(2, w) || !arg_node(3, c) || !arg_node(4, a) || !arg_node(5, b))
         return false;
-      nodes_[id] = mgr.mk_ite(c, a, b);
-      return true;
+      if (mgr.width(c) != 1) return fail("ite needs a 1-bit condition");
+      if (mgr.width(a) != mgr.width(b)) return fail("ite branch width mismatch");
+      const TermRef r = mgr.mk_ite(c, a, b);
+      if (mgr.width(r) != w) return fail("ite sort mismatch");
+      return define(id, r);
     }
     return fail("unsupported keyword '" + kw + "'");
   }
 
   const std::string& text_;
   TransitionSystem& out_;
-  std::unordered_map<std::uint64_t, unsigned> sorts_;   // sort id -> width
-  std::unordered_map<std::uint64_t, TermRef> nodes_;    // node id -> term
+  std::unordered_map<std::uint64_t, unsigned> sorts_;  // sort id -> width
+  std::unordered_map<std::uint64_t, TermRef> nodes_;   // node id -> term
+  std::unordered_set<std::string> names_;              // declared symbols
   std::string error_;
 };
 

@@ -59,6 +59,14 @@ void TransitionSystem::add_bad(TermRef cond, const std::string& label) {
   bad_labels_.push_back(label);
 }
 
+void TransitionSystem::retain_bad(std::size_t index) {
+  assert(index < bads_.size() && "retain_bad index out of range");
+  const TermRef bad = bads_[index];
+  std::string label = std::move(bad_labels_[index]);
+  bads_.assign(1, bad);
+  bad_labels_.assign(1, std::move(label));
+}
+
 bool TransitionSystem::is_state(TermRef t) const {
   return std::find(states_.begin(), states_.end(), t) != states_.end();
 }
@@ -118,6 +126,30 @@ class Btor2Writer {
     for (TermRef c : ts_.constraints()) {
       const unsigned v = emit(c);
       os_ << next_id_++ << " constraint " << v << "\n";
+    }
+    // BTOR2 has no init-only constraint; encode ours with the standard
+    // flag-state trick: a 1-bit state that starts 1 and drops to 0
+    // forever, guarding each condition as `constraint flag -> cond`. A
+    // parser reads this back as a plain state + constraint with the
+    // same bad-state reachability.
+    if (!ts_.init_constraints().empty()) {
+      const unsigned bit = sort_id(1);
+      const unsigned flag = next_id_++;
+      os_ << flag << " state " << bit << " __sepe_at_init\n";
+      const unsigned one = next_id_++;
+      os_ << one << " one " << bit << "\n";
+      os_ << next_id_++ << " init " << bit << " " << flag << " " << one << "\n";
+      const unsigned zero = next_id_++;
+      os_ << zero << " zero " << bit << "\n";
+      os_ << next_id_++ << " next " << bit << " " << flag << " " << zero << "\n";
+      const unsigned not_flag = next_id_++;
+      os_ << not_flag << " not " << bit << " " << flag << "\n";
+      for (TermRef c : ts_.init_constraints()) {
+        const unsigned v = emit(c);
+        const unsigned guarded = next_id_++;
+        os_ << guarded << " or " << bit << " " << not_flag << " " << v << "\n";
+        os_ << next_id_++ << " constraint " << guarded << "\n";
+      }
     }
     for (std::size_t i = 0; i < ts_.bads().size(); ++i) {
       const unsigned v = emit(ts_.bads()[i]);

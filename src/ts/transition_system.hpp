@@ -51,6 +51,10 @@ class TransitionSystem {
   /// register file.
   void add_init_constraint(smt::TermRef cond);
   void add_bad(smt::TermRef cond, const std::string& label = "");
+  /// Drop every bad condition (and label) except `index`. Used by
+  /// multi-property workloads (e.g. BTOR2 corpus files) that fan one
+  /// parsed model out into one verification job per property.
+  void retain_bad(std::size_t index);
 
   bool is_state(smt::TermRef t) const;
   bool is_input(smt::TermRef t) const;

@@ -109,6 +109,71 @@ TEST(Btor2Parser, RejectsUnsupportedKeywords) {
   EXPECT_FALSE(r.ok);
 }
 
+// Fuzz-ish negative battery for untrusted corpus input: every snippet
+// must come back as a line-numbered diagnostic — never an assert, a
+// crash, or a silent partial parse.
+TEST(Btor2Parser, RejectsMalformedUntrustedInput) {
+  const char* cases[] = {
+      "x sort bitvec 4\n",                    // non-numeric id
+      "-1 sort bitvec 4\n",                   // negative id
+      "18446744073709551616 sort bitvec 4\n", // id overflows 64 bits
+      "1 sort bitvec 0\n",                    // zero width
+      "1 sort bitvec 65\n",                   // width beyond 64
+      "1 sort bitvec 4\n1 sort bitvec 8\n",   // sort id redefined
+      "1 sort\n",                             // truncated sort
+      "1\n",                                  // id with no keyword
+      "1 sort bitvec 4\n10 state 1 s\n10 input 1 t\n",  // node id redefined
+      "1 sort bitvec 4\n10 state 1 s\n11 state 1 s\n",  // symbol reused
+      "1 sort bitvec 4\n10 state 9 s\n",      // unknown sort id
+      "1 sort bitvec 4\n2 sort bitvec 8\n10 state 1 a\n11 state 2 b\n"
+      "12 add 1 10 11\n",                     // operand width mismatch
+      "1 sort bitvec 4\n10 state 1 a\n11 sll 1 10\n",   // missing operand
+      "1 sort bitvec 4\n10 state 1 c\n11 ite 1 10 10 10\n",  // cond not 1-bit
+      "1 sort bitvec 4\n2 sort bitvec 1\n10 input 2 c\n11 state 1 a\n"
+      "12 input 2 b\n13 ite 1 10 11 12\n",    // ite branch width mismatch
+      "1 sort bitvec 4\n10 constd 1 99\n",    // constant exceeds the sort
+      "1 sort bitvec 4\n10 constd 1 -9\n",    // below two's-complement min
+      "1 sort bitvec 4\n10 constd 1 1x\n",    // garbage decimal payload
+      "1 sort bitvec 4\n10 const 1 12\n",     // non-binary digit in const
+      "1 sort bitvec 4\n10 consth 1 fg\n",    // non-hex digit in consth
+      "1 sort bitvec 4\n10 constd 1\n",       // missing payload
+      "1 sort bitvec 4\n2 sort bitvec 8\n10 state 2 s\n11 zero 1\n"
+      "12 init 1 10 11\n",                    // init sort disagrees with state
+      "1 sort bitvec 4\n10 state 1 s\n11 next 1 10 10\n"
+      "12 next 1 10 10\n",                    // duplicate next
+      "1 sort bitvec 4\n10 state 1 s\n11 init 1 10 10\n"
+      "12 init 1 10 10\n",                    // duplicate init
+      "1 sort bitvec 4\n10 input 1 i\n11 init 1 10 10\n",  // init on an input
+      "1 sort bitvec 4\n10 state 1 s\n11 slice 1 10 9 0\n",  // slice too wide
+      "1 sort bitvec 4\n10 state 1 s\n11 uext 1 10 4\n",  // uext width arithmetic
+      "1 sort bitvec 4\n10 state 1 s\n11 bad 10\n",       // bad not 1-bit
+      "1 sort bitvec 4\n10 add 1 98 99\n",    // unknown operand nodes
+  };
+  for (const char* text : cases) {
+    TermManager mgr;
+    TransitionSystem ts(mgr);
+    const Btor2ParseResult r = parse_btor2(text, ts);
+    EXPECT_FALSE(r.ok) << "accepted:\n" << text;
+    EXPECT_NE(r.error.find("line "), std::string::npos)
+        << "no line number in: " << r.error;
+  }
+}
+
+TEST(Btor2Parser, NegativeConstdIsTwosComplementAtTheSortWidth) {
+  const std::string text = R"(
+1 sort bitvec 4
+10 state 1 s
+11 constd 1 -1
+12 init 1 10 11
+13 next 1 10 10
+)";
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const Btor2ParseResult r = parse_btor2(text, ts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(ts.init_of(ts.states()[0]), mgr.mk_const(4, 0xF));
+}
+
 TEST(Btor2Parser, RejectsWidthMismatches) {
   const std::string text = R"(
 1 sort bitvec 4
@@ -188,6 +253,23 @@ TEST(Btor2RoundTrip, SystemWithConstraintsAndRichOperators) {
   if (w1) {
     EXPECT_EQ(w1->length, w2->length);
   }
+}
+
+TEST(Btor2RoundTrip, InitConstraintsSurviveViaTheFlagState) {
+  // Init-only constraints have no direct BTOR2 form; the writer encodes
+  // them through a one-shot flag state (`__sepe_at_init`) guarding a
+  // plain constraint. The pinned QED models all rely on this: their
+  // QED-consistent initial state is an init constraint over a symbolic
+  // register file. Here: cnt starts unconstrained but the init
+  // constraint pins it to 2, so the violation (cnt == 4) is at depth 2 —
+  // without the constraint it would be at depth 0.
+  TermManager mgr;
+  TransitionSystem ts(mgr);
+  const TermRef cnt = ts.add_state("cnt", 8);
+  ts.set_next(cnt, mgr.mk_add(cnt, mgr.mk_const(8, 1)));
+  ts.add_init_constraint(mgr.mk_eq(cnt, mgr.mk_const(8, 2)));
+  ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(8, 4)), "cnt-4");
+  expect_roundtrip_preserves_depth(ts, 2);
 }
 
 TEST(Btor2RoundTrip, SignedOperatorsSurvive) {

@@ -8,6 +8,7 @@
 
 #include "engine/campaign.hpp"
 #include "engine/pinned_table.hpp"
+#include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "sat/solver.hpp"
 #include "smt/smt_solver.hpp"
@@ -26,13 +27,14 @@ JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t targe
   JobSpec job;
   job.name = name;
   job.budget = budget;
-  job.build = [width, target](ts::TransitionSystem& ts) {
+  job.build = [width, target](ts::TransitionSystem& ts, std::string*) {
     smt::TermManager& mgr = ts.mgr();
     const TermRef cnt = ts.add_state("cnt", width);
     const TermRef inc = ts.add_input("inc", 1);
     ts.set_init(cnt, mgr.mk_const(width, 0));
     ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(width, 1)), cnt));
     ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(width, target)), "cnt-target");
+    return true;
   };
   return job;
 }
@@ -44,12 +46,13 @@ JobSpec frozen_job(const std::string& name, unsigned width, const JobBudget& bud
   JobSpec job;
   job.name = name;
   job.budget = budget;
-  job.build = [width](ts::TransitionSystem& ts) {
+  job.build = [width](ts::TransitionSystem& ts, std::string*) {
     smt::TermManager& mgr = ts.mgr();
     const TermRef x = ts.add_state("x", width);
     ts.set_init(x, mgr.mk_const(width, 0));
     ts.set_next(x, x);
     ts.add_bad(mgr.mk_eq(x, mgr.mk_const(width, 1)), "x-one");
+    return true;
   };
   return job;
 }
@@ -267,7 +270,9 @@ TEST(EngineMatrix, ExpandsMutationsTimesModes) {
   EXPECT_EQ(spec.seed, 7u);
   EXPECT_EQ(spec.jobs[0].name, bugs[0].name + "/EDDI-V");
   EXPECT_EQ(spec.jobs[1].name, bugs[0].name + "/EDSEP-V");
-  EXPECT_EQ(spec.jobs[1].mode, qed::QedMode::EdsepV);
+  EXPECT_EQ(spec.jobs[1].provenance.family, kQedFamily);
+  EXPECT_EQ(spec.jobs[1].provenance.mode, "EDSEP-V");
+  EXPECT_EQ(spec.jobs[1].provenance.source, bugs[0].name);
   for (const JobSpec& job : spec.jobs) EXPECT_TRUE(static_cast<bool>(job.build));
 }
 
@@ -370,7 +375,8 @@ TEST(EngineQedEncoding, PlaistedGreenbaumMatchesTseitinVerdicts) {
       for (int pg = 0; pg < 2; ++pg) {
         smt::TermManager mgr;
         ts::TransitionSystem ts(mgr);
-        job.build(ts);
+        std::string build_error;
+        ASSERT_TRUE(job.build(ts, &build_error)) << build_error;
         bmc::Bmc checker(ts, sat::SolverConfig{}, /*plaisted_greenbaum=*/pg == 1);
         bmc::BmcOptions bo;
         bo.max_bound = bound;

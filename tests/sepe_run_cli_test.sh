@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CLI contract test for sepe-run: malformed arguments are usage errors
-# (exit 2, diagnostic on stderr), and the shard/merge round trip
-# reproduces the unsharded stable JSON byte-for-byte.
+# (exit 2, diagnostic on stderr), the shard/merge round trip reproduces
+# the unsharded stable JSON byte-for-byte, and the BTOR2 corpus workload
+# (sepe-run corpus DIR) is deterministic, shardable, and survives
+# malformed files as per-job diagnostic rows.
 #
-# Usage: sepe_run_cli_test.sh /path/to/sepe-run
+# Usage: sepe_run_cli_test.sh /path/to/sepe-run [/path/to/tests/corpus]
 set -u
 
-SEPE_RUN=${1:?usage: sepe_run_cli_test.sh /path/to/sepe-run}
+SEPE_RUN=${1:?usage: sepe_run_cli_test.sh /path/to/sepe-run [corpus-dir]}
+COMMITTED_CORPUS=${2:-}
 WORK=$(mktemp -d)
 trap 'rm -rf "$WORK"' EXIT
 FAILURES=0
@@ -50,6 +53,10 @@ expect_usage_error portfolio_zero    -- --portfolio 0
 expect_usage_error portfolio_huge    -- --portfolio 99
 expect_usage_error unknown_flag      -- --frobnicate
 expect_usage_error merge_no_inputs   -- merge
+expect_usage_error corpus_no_dir     -- corpus
+expect_usage_error corpus_two_dirs   -- corpus a b
+expect_usage_error corpus_bad_flag   -- corpus dir --frobnicate
+expect_usage_error corpus_bad_shard  -- corpus dir --shard 9/9
 
 # --help and --list-bugs succeed.
 for flag in --help --list-bugs; do
@@ -134,6 +141,138 @@ if cmp -s "$WORK/first.json" "$WORK/second.json"; then
 else
   echo "FAIL: resumed report differs from the original"
   FAILURES=$((FAILURES + 1))
+fi
+
+# --- BTOR2 corpus workload ---
+
+# A nonexistent corpus directory is an I/O failure (exit 1).
+"$SEPE_RUN" corpus "$WORK/no-such-dir" >/dev/null 2>&1
+if [ $? -eq 1 ]; then
+  echo "ok: corpus rejects a missing directory with exit 1"
+else
+  echo "FAIL: corpus of a missing directory should exit 1"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Temp corpus: a single-property file, a multi-property file (fans out)
+# and a malformed file (must become an UNKNOWN row, not an abort).
+CORPUS="$WORK/corpus"
+mkdir -p "$CORPUS"
+cat > "$CORPUS/counter.btor2" <<'EOF'
+1 sort bitvec 4
+2 sort bitvec 1
+10 state 1 cnt
+11 constd 1 0
+12 init 1 10 11
+13 constd 1 1
+14 add 1 10 13
+15 next 1 10 14
+16 constd 1 5
+17 eq 2 10 16
+18 bad 17 ; cnt-five
+EOF
+cat > "$CORPUS/multi.btor2" <<'EOF'
+1 sort bitvec 4
+2 sort bitvec 1
+10 state 1 cnt
+11 constd 1 0
+12 init 1 10 11
+13 constd 1 1
+14 add 1 10 13
+15 next 1 10 14
+16 constd 1 3
+17 eq 2 10 16
+18 bad 17 ; cnt-three
+20 state 2 frozen
+21 zero 2
+22 init 2 20 21
+23 next 2 20 20
+24 one 2
+25 eq 2 20 24
+26 bad 25 ; frozen-one
+EOF
+cat > "$CORPUS/broken.btor2" <<'EOF'
+1 sort bitvec 4
+10 state 1 s
+11 frobnicate 1 10
+EOF
+
+CORPUS_RUN=(corpus "$CORPUS" --bound 8 --max-k 3 --stable-json)
+"$SEPE_RUN" "${CORPUS_RUN[@]}" --threads 1 --json "$WORK/corpus-ref.json" >/dev/null
+status=$?
+if [ "$status" -eq 3 ]; then
+  echo "ok: corpus campaign with a malformed file exits 3 (UNKNOWN rows)"
+else
+  echo "FAIL: corpus campaign should exit 3, got $status"
+  FAILURES=$((FAILURES + 1))
+fi
+if grep -q '"workload": "btor2"' "$WORK/corpus-ref.json" \
+    && grep -q '"name": "multi.btor2:b1"' "$WORK/corpus-ref.json" \
+    && grep -q '"error": "line 3' "$WORK/corpus-ref.json"; then
+  echo "ok: corpus report carries workload provenance, fan-out, and the parse error"
+else
+  echo "FAIL: corpus stable JSON is missing expected rows:"
+  cat "$WORK/corpus-ref.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Byte-determinism across thread counts.
+"$SEPE_RUN" "${CORPUS_RUN[@]}" --threads 4 --json "$WORK/corpus-t4.json" >/dev/null
+if cmp -s "$WORK/corpus-ref.json" "$WORK/corpus-t4.json"; then
+  echo "ok: corpus stable JSON is byte-identical across thread counts"
+else
+  echo "FAIL: corpus report differs across thread counts"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Shard/merge round trip on the corpus campaign.
+for i in 0 1; do
+  "$SEPE_RUN" "${CORPUS_RUN[@]}" --shard "$i/2" \
+    --json "$WORK/corpus-shard$i.json" >/dev/null
+done
+if "$SEPE_RUN" merge --output "$WORK/corpus-merged.json" \
+    "$WORK/corpus-shard1.json" "$WORK/corpus-shard0.json" 2>/dev/null; then
+  : # merge exits 3 on UNKNOWN rows, caught below via the byte diff
+fi
+if cmp -s "$WORK/corpus-ref.json" "$WORK/corpus-merged.json"; then
+  echo "ok: merged corpus shards are byte-identical to the unsharded run"
+else
+  echo "FAIL: merged corpus report differs from the unsharded reference:"
+  diff "$WORK/corpus-ref.json" "$WORK/corpus-merged.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Editing a corpus file invalidates the checkpoint (content digests are
+# part of the spec digest): the resume is refused with exit 1.
+"$SEPE_RUN" "${CORPUS_RUN[@]}" --checkpoint "$WORK/corpus-ckpt.json" >/dev/null 2>&1
+sed -i 's/constd 1 5/constd 1 4/' "$CORPUS/counter.btor2"
+"$SEPE_RUN" "${CORPUS_RUN[@]}" --checkpoint "$WORK/corpus-ckpt.json" \
+    >/dev/null 2>"$WORK/corpus-ckpt.stderr"
+status=$?
+if [ "$status" -eq 1 ] && grep -q "corpus file" "$WORK/corpus-ckpt.stderr"; then
+  echo "ok: resume against an edited corpus file is refused"
+else
+  echo "FAIL: edited-corpus resume should exit 1 with a diagnostic, got $status"
+  cat "$WORK/corpus-ckpt.stderr"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# The committed mini-corpus (QED dumps included) must expand and stay
+# deterministic too; a shallow bound keeps this Debug-build friendly.
+if [ -n "$COMMITTED_CORPUS" ] && [ -d "$COMMITTED_CORPUS" ]; then
+  MINI=(corpus "$COMMITTED_CORPUS" --bound 2 --max-k 1 --stable-json)
+  "$SEPE_RUN" "${MINI[@]}" --threads 1 --json "$WORK/mini-ref.json" >/dev/null \
+    || { echo "FAIL: committed mini-corpus run"; FAILURES=$((FAILURES + 1)); }
+  "$SEPE_RUN" "${MINI[@]}" --threads 2 --json "$WORK/mini-t2.json" >/dev/null \
+    || { echo "FAIL: committed mini-corpus threaded run"; FAILURES=$((FAILURES + 1)); }
+  if cmp -s "$WORK/mini-ref.json" "$WORK/mini-t2.json" \
+      && grep -q '"source": "qed_edsep_xor_as_or.btor2"' "$WORK/mini-ref.json"; then
+    echo "ok: committed mini-corpus is deterministic and includes the QED dumps"
+  else
+    echo "FAIL: committed mini-corpus report is wrong:"
+    cat "$WORK/mini-ref.json"
+    FAILURES=$((FAILURES + 1))
+  fi
 fi
 
 if [ "$FAILURES" -ne 0 ]; then

@@ -34,7 +34,7 @@ JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t targe
   JobSpec job;
   job.name = name;
   job.budget = budget;
-  job.build = [width, target](ts::TransitionSystem& ts) {
+  job.build = [width, target](ts::TransitionSystem& ts, std::string*) {
     g_builds.fetch_add(1);
     smt::TermManager& mgr = ts.mgr();
     const TermRef cnt = ts.add_state("cnt", width);
@@ -42,6 +42,7 @@ JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t targe
     ts.set_init(cnt, mgr.mk_const(width, 0));
     ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(width, 1)), cnt));
     ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(width, target)), "cnt-target");
+    return true;
   };
   return job;
 }
@@ -51,13 +52,14 @@ JobSpec frozen_job(const std::string& name, unsigned width, const JobBudget& bud
   JobSpec job;
   job.name = name;
   job.budget = budget;
-  job.build = [width](ts::TransitionSystem& ts) {
+  job.build = [width](ts::TransitionSystem& ts, std::string*) {
     g_builds.fetch_add(1);
     smt::TermManager& mgr = ts.mgr();
     const TermRef x = ts.add_state("x", width);
     ts.set_init(x, mgr.mk_const(width, 0));
     ts.set_next(x, x);
     ts.add_bad(mgr.mk_eq(x, mgr.mk_const(width, 1)), "x-one");
+    return true;
   };
   return job;
 }

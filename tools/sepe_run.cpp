@@ -1,12 +1,20 @@
 // sepe-run — CLI driver for the parallel verification-campaign engine.
 //
-// Expands a declarative campaign (instruction classes × QED mode ×
-// injected mutation) into jobs, fans them out over a worker pool (each
-// job racing BMC against k-induction), and prints per-job stats plus an
-// optional machine-readable JSON report. Verdicts are deterministic for
-// a fixed spec whatever --threads says, as long as budgets are
-// deterministic: --conflicts qualifies, --time-cap does not (a wall cap
-// can fire earlier under core contention) — see src/engine/campaign.hpp.
+// Campaigns come from *workload families* (src/engine/workload.hpp):
+//
+//   * the default QED mode expands a declarative cross-product
+//     (instruction classes × QED mode × injected mutation);
+//   * `sepe-run corpus DIR` runs every `.btor2` file under DIR
+//     (HWMCC-style corpora, the paper's §6.2 interchange format), one
+//     job per bad property — malformed files become per-job parse-error
+//     rows, not campaign aborts.
+//
+// Either way the jobs fan out over a worker pool (each job racing BMC
+// against k-induction), and per-job stats plus an optional JSON report
+// come back. Verdicts are deterministic for a fixed spec whatever
+// --threads says, as long as budgets are deterministic: --conflicts
+// qualifies, --time-cap does not (a wall cap can fire earlier under
+// core contention) — see src/engine/campaign.hpp.
 //
 // Campaigns scale out across processes/hosts: --shard I/N runs the
 // deterministic shard I of N (see src/engine/shard.hpp), and the merge
@@ -18,10 +26,11 @@
 //   sepe-run --bugs xor_as_or,add_wrong --modes edsep --json report.json
 //   sepe-run --healthy --max-k 6 --bound 6
 //   sepe-run --bugs table1 --shard 2/4 --stable-json --json shard2.json
+//   sepe-run corpus tests/corpus --bound 6 --max-k 2 --stable-json --json -
 //   sepe-run merge --output merged.json shard0.json shard1.json ...
 //
 // Exit codes: 0 success; 1 I/O or merge-input failure; 2 usage error;
-// 3 campaign finished with UNKNOWN verdicts.
+// 3 campaign finished with UNKNOWN verdicts (including parse-error rows).
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +43,7 @@
 #include "engine/pinned_table.hpp"
 #include "engine/report_io.hpp"
 #include "engine/shard.hpp"
+#include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "util/parse.hpp"
 #include "util/stopwatch.hpp"
@@ -47,21 +57,21 @@ void usage() {
   std::printf(
       "sepe-run — parallel SEPE-SQED verification campaigns\n"
       "\n"
-      "usage: sepe-run [options]\n"
+      "usage: sepe-run [options]                 QED workload (matrix expansion)\n"
+      "       sepe-run corpus DIR [options]      BTOR2 corpus workload\n"
       "       sepe-run merge [--output FILE] SHARD.json...\n"
+      "\n"
+      "common options (both workload families):\n"
       "  --threads N      worker threads (default: hardware concurrency)\n"
-      "  --xlen W         DUV datapath width (default 4)\n"
       "  --bound N        BMC bound sweep limit (default 10)\n"
       "  --max-k N        k-induction depth limit (default 10)\n"
       "  --no-race        disable the k-induction prover (BMC only)\n"
       "  --portfolio N    race N differently-configured CDCL instances per\n"
       "                   prover inside each job (default 1; verdicts stay\n"
       "                   deterministic — see src/engine/campaign.hpp)\n"
-      "  --modes M        eddi | edsep | both (default both)\n"
-      "  --bugs LIST      comma-separated bug names, or: table1 | fig4 | all\n"
-      "                   (default table1)\n"
-      "  --rows N         only the first N instruction classes of the catalog\n"
-      "  --healthy        verify the unmutated DUV instead of injecting bugs\n"
+      "  --encoding E     bit-blasting encoding: auto | tseitin | pg\n"
+      "                   (default auto = the workload family's default:\n"
+      "                   Tseitin for QED, Plaisted-Greenbaum for corpus)\n"
       "  --conflicts N    per-solver-call conflict budget (default none;\n"
       "                   deterministic, unlike --time-cap)\n"
       "  --time-cap SEC   per-job wall-clock cap (default none; verdicts under\n"
@@ -73,7 +83,19 @@ void usage() {
       "  --json FILE      write a JSON report ('-' = stdout)\n"
       "  --stable-json    JSON omits timing/race fields (byte-deterministic)\n"
       "  --witness        print the counterexample trace of falsified jobs\n"
+      "\n"
+      "QED workload options:\n"
+      "  --xlen W         DUV datapath width (default 4)\n"
+      "  --modes M        eddi | edsep | both (default both)\n"
+      "  --bugs LIST      comma-separated bug names, or: table1 | fig4 | all\n"
+      "                   (default table1)\n"
+      "  --rows N         only the first N instruction classes of the catalog\n"
+      "  --healthy        verify the unmutated DUV instead of injecting bugs\n"
       "  --list-bugs      list the injectable bug catalog and exit\n"
+      "\n"
+      "corpus: every .btor2 file under DIR, one job per bad property\n"
+      "(multi-property files fan out; malformed files become UNKNOWN rows\n"
+      "with the parse diagnostic instead of aborting the campaign).\n"
       "\n"
       "merge: read N shard reports (any order), check they are disjoint and\n"
       "complete, and write the merged report as stable JSON — byte-identical\n"
@@ -138,6 +160,138 @@ double parse_seconds_arg(const char* flag, const char* text) {
       value < 0.0)
     die_usage(flag, "a non-negative number of seconds", text);
   return value;
+}
+
+/// Options shared by every workload family's campaign run.
+struct CommonOptions {
+  unsigned threads = 0;
+  unsigned bound = 10;
+  unsigned max_k = 10;
+  unsigned portfolio = 1;
+  bool race = true;
+  bool stable_json = false;
+  bool print_witness = false;
+  std::uint64_t conflicts = 0;
+  std::uint64_t seed = 1;
+  double time_cap = 0.0;
+  std::string json_path;
+  std::string checkpoint_path;
+  std::optional<engine::ShardSpec> shard;
+  std::optional<bool> plaisted_greenbaum;  // nullopt = workload default
+
+  engine::JobBudget budget() const {
+    engine::JobBudget b;
+    b.max_bound = bound;
+    b.max_k = max_k;
+    b.race_k_induction = race;
+    b.conflict_budget = conflicts;
+    b.max_seconds = time_cap;
+    b.portfolio = portfolio;
+    b.plaisted_greenbaum = plaisted_greenbaum;
+    return b;
+  }
+};
+
+/// Consume argv[i] (advancing i past a value argument) when it is one of
+/// the family-independent campaign flags. Malformed values exit 2.
+bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
+  const auto next = [&](const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "sepe-run: %s needs a value — try --help\n", flag);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  if (!std::strcmp(argv[i], "--threads"))
+    o->threads = parse_unsigned_arg("--threads", next("--threads"), 1);
+  else if (!std::strcmp(argv[i], "--bound"))
+    o->bound = parse_unsigned_arg("--bound", next("--bound"), 0);
+  else if (!std::strcmp(argv[i], "--max-k"))
+    o->max_k = parse_unsigned_arg("--max-k", next("--max-k"), 0);
+  else if (!std::strcmp(argv[i], "--no-race"))
+    o->race = false;
+  else if (!std::strcmp(argv[i], "--portfolio"))
+    o->portfolio = parse_unsigned_arg("--portfolio", next("--portfolio"), 1, 16);
+  else if (!std::strcmp(argv[i], "--encoding")) {
+    const char* value = next("--encoding");
+    if (!std::strcmp(value, "auto"))
+      o->plaisted_greenbaum.reset();
+    else if (!std::strcmp(value, "tseitin"))
+      o->plaisted_greenbaum = false;
+    else if (!std::strcmp(value, "pg"))
+      o->plaisted_greenbaum = true;
+    else
+      die_usage("--encoding", "auto | tseitin | pg", value);
+  } else if (!std::strcmp(argv[i], "--conflicts"))
+    o->conflicts = parse_u64_arg("--conflicts", next("--conflicts"));
+  else if (!std::strcmp(argv[i], "--time-cap"))
+    o->time_cap = parse_seconds_arg("--time-cap", next("--time-cap"));
+  else if (!std::strcmp(argv[i], "--seed"))
+    o->seed = parse_u64_arg("--seed", next("--seed"));
+  else if (!std::strcmp(argv[i], "--shard")) {
+    engine::ShardSpec parsed;
+    std::string shard_error;
+    if (!engine::parse_shard(next("--shard"), &parsed, &shard_error)) {
+      std::fprintf(stderr, "sepe-run: %s — try --help\n", shard_error.c_str());
+      std::exit(2);
+    }
+    o->shard = parsed;
+  } else if (!std::strcmp(argv[i], "--checkpoint"))
+    o->checkpoint_path = next("--checkpoint");
+  else if (!std::strcmp(argv[i], "--json"))
+    o->json_path = next("--json");
+  else if (!std::strcmp(argv[i], "--stable-json"))
+    o->stable_json = true;
+  else if (!std::strcmp(argv[i], "--witness"))
+    o->print_witness = true;
+  else
+    return false;
+  return true;
+}
+
+/// Run the expanded spec (sharded/checkpointed as requested) and emit
+/// the table + optional JSON report. Shared campaign epilogue of both
+/// workload families.
+int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common,
+                   const std::string& fingerprint) {
+  engine::ShardRunOptions options;
+  options.pool.threads = common.threads;
+  options.shard = common.shard;
+  options.checkpoint_path = common.checkpoint_path;
+  // Campaign parameters the JobSpecs cannot expose (they shape the model
+  // builders): folded into the checkpoint digest so a resume under
+  // different flags is refused instead of reusing stale verdicts.
+  options.fingerprint = fingerprint;
+  std::string run_error;
+  const engine::CampaignReport report = engine::run_sharded(spec, options, &run_error);
+  if (!run_error.empty()) {
+    std::fprintf(stderr, "sepe-run: %s\n", run_error.c_str());
+    return 1;
+  }
+
+  std::printf("%s", report.to_table().c_str());
+  if (common.print_witness) {
+    for (const engine::JobResult& j : report.jobs)
+      if (j.verdict == engine::Verdict::Falsified && !j.witness.empty())
+        std::printf("\n[%s]\n%s", j.name.c_str(), j.witness.c_str());
+  }
+
+  if (!common.json_path.empty()) {
+    const std::string json = report.to_json(/*include_timing=*/!common.stable_json);
+    if (common.json_path == "-") {
+      std::printf("\n%s", json.c_str());
+    } else {
+      if (!engine::write_text_file_atomic(common.json_path, json)) {
+        std::fprintf(stderr, "sepe-run: cannot write '%s'\n",
+                     common.json_path.c_str());
+        return 1;
+      }
+      std::printf("\nJSON report written to %s\n", common.json_path.c_str());
+    }
+  }
+
+  // Exit status: 0 when every job reached a definite or clean verdict.
+  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
 }
 
 /// `sepe-run merge [--output FILE] SHARD.json...` — fan the shard
@@ -217,17 +371,65 @@ int run_merge(int argc, char** argv) {
   return merged->count(engine::Verdict::Unknown) == 0 ? 0 : 3;
 }
 
+/// `sepe-run corpus DIR [options]` — the BTOR2 corpus workload family.
+int run_corpus(int argc, char** argv) {
+  CommonOptions common;
+  std::string directory;
+  for (int i = 2; i < argc; ++i) {
+    if (parse_common_flag(i, argc, argv, &common)) continue;
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr, "sepe-run: unknown corpus flag '%s' — try --help\n",
+                   argv[i]);
+      return 2;
+    }
+    if (!directory.empty()) {
+      std::fprintf(stderr, "sepe-run: corpus takes one directory, got '%s' and "
+                           "'%s' — try --help\n",
+                   directory.c_str(), argv[i]);
+      return 2;
+    }
+    directory = argv[i];
+  }
+  if (directory.empty()) {
+    std::fprintf(stderr, "sepe-run: corpus needs a directory — try --help\n");
+    return 2;
+  }
+
+  const engine::Btor2CorpusSource source(directory, common.budget());
+  std::string expand_error;
+  const auto spec = engine::expand_source(source, common.seed, &expand_error);
+  if (!spec) {
+    std::fprintf(stderr, "sepe-run: %s\n", expand_error.c_str());
+    return 1;
+  }
+
+  std::printf("corpus campaign: %zu jobs from '%s', bound=%u, max-k=%u%s\n",
+              spec->jobs.size(), directory.c_str(), common.bound, common.max_k,
+              common.race ? "" : ", race disabled");
+  if (common.shard)
+    std::printf("shard %u/%u of the expanded job list\n", common.shard->index,
+                common.shard->count);
+  std::printf("\n");
+
+  // Budgets and per-file content hashes are covered by the spec digest
+  // already; the fingerprint pins the family.
+  return run_and_report(*spec, common, "workload=btor2");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
+  if (argc > 1 && !std::strcmp(argv[1], "corpus")) return run_corpus(argc, argv);
 
-  unsigned threads = 0, xlen = 4, bound = 10, max_k = 10, rows = ~0u, portfolio = 1;
-  bool race = true, healthy = false, stable_json = false, print_witness = false;
-  std::uint64_t conflicts = 0, seed = 1;
-  double time_cap = 0.0;
-  std::string modes_arg = "both", bugs_arg = "table1", json_path, checkpoint_path;
-  std::optional<engine::ShardSpec> shard;
+  CommonOptions common;
+  unsigned xlen = 4, rows = ~0u;
+  bool healthy = false;
+  std::string modes_arg = "both", bugs_arg = "table1";
 
   for (int i = 1; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
@@ -237,41 +439,14 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (!std::strcmp(argv[i], "--threads"))
-      threads = parse_unsigned_arg("--threads", next("--threads"), 1);
-    else if (!std::strcmp(argv[i], "--xlen"))
+    if (parse_common_flag(i, argc, argv, &common)) continue;
+    if (!std::strcmp(argv[i], "--xlen"))
       xlen = parse_unsigned_arg("--xlen", next("--xlen"), 2, 32);
-    else if (!std::strcmp(argv[i], "--bound"))
-      bound = parse_unsigned_arg("--bound", next("--bound"), 0);
-    else if (!std::strcmp(argv[i], "--max-k"))
-      max_k = parse_unsigned_arg("--max-k", next("--max-k"), 0);
-    else if (!std::strcmp(argv[i], "--no-race")) race = false;
-    else if (!std::strcmp(argv[i], "--portfolio"))
-      portfolio = parse_unsigned_arg("--portfolio", next("--portfolio"), 1, 16);
     else if (!std::strcmp(argv[i], "--modes")) modes_arg = next("--modes");
     else if (!std::strcmp(argv[i], "--bugs")) bugs_arg = next("--bugs");
     else if (!std::strcmp(argv[i], "--rows"))
       rows = parse_unsigned_arg("--rows", next("--rows"), 1);
     else if (!std::strcmp(argv[i], "--healthy")) healthy = true;
-    else if (!std::strcmp(argv[i], "--conflicts"))
-      conflicts = parse_u64_arg("--conflicts", next("--conflicts"));
-    else if (!std::strcmp(argv[i], "--time-cap"))
-      time_cap = parse_seconds_arg("--time-cap", next("--time-cap"));
-    else if (!std::strcmp(argv[i], "--seed"))
-      seed = parse_u64_arg("--seed", next("--seed"));
-    else if (!std::strcmp(argv[i], "--shard")) {
-      engine::ShardSpec parsed;
-      std::string shard_error;
-      if (!engine::parse_shard(next("--shard"), &parsed, &shard_error)) {
-        std::fprintf(stderr, "sepe-run: %s — try --help\n", shard_error.c_str());
-        return 2;
-      }
-      shard = parsed;
-    } else if (!std::strcmp(argv[i], "--checkpoint"))
-      checkpoint_path = next("--checkpoint");
-    else if (!std::strcmp(argv[i], "--json")) json_path = next("--json");
-    else if (!std::strcmp(argv[i], "--stable-json")) stable_json = true;
-    else if (!std::strcmp(argv[i], "--witness")) print_witness = true;
     else if (!std::strcmp(argv[i], "--list-bugs")) { list_bugs(); return 0; }
     else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage();
@@ -284,12 +459,7 @@ int main(int argc, char** argv) {
 
   engine::CampaignMatrix matrix;
   matrix.xlen = xlen;
-  matrix.budget.max_bound = bound;
-  matrix.budget.max_k = max_k;
-  matrix.budget.race_k_induction = race;
-  matrix.budget.conflict_budget = conflicts;
-  matrix.budget.max_seconds = time_cap;
-  matrix.budget.portfolio = portfolio;
+  matrix.budget = common.budget();
 
   if (modes_arg == "eddi") {
     matrix.modes = {qed::QedMode::EddiV};
@@ -366,51 +536,18 @@ int main(int argc, char** argv) {
     matrix.equivalences = &pinned->table;
   }
 
-  const engine::CampaignSpec spec = engine::expand(matrix, seed);
+  const engine::CampaignSpec spec = engine::expand(matrix, common.seed);
   std::printf("campaign: %zu jobs (%zu instruction classes × %zu modes), "
               "bound=%u, max-k=%u%s\n",
               spec.jobs.size(),
               matrix.mutations.empty() ? 1 : matrix.mutations.size(),
-              matrix.modes.size(), bound, max_k, race ? "" : ", race disabled");
-  if (shard)
-    std::printf("shard %u/%u of the expanded job list\n", shard->index, shard->count);
+              matrix.modes.size(), common.bound, common.max_k,
+              common.race ? "" : ", race disabled");
+  if (common.shard)
+    std::printf("shard %u/%u of the expanded job list\n", common.shard->index,
+                common.shard->count);
   std::printf("\n");
 
-  engine::ShardRunOptions options;
-  options.pool.threads = threads;
-  options.shard = shard;
-  options.checkpoint_path = checkpoint_path;
-  // Campaign parameters the JobSpecs cannot expose (they shape the model
-  // builders): folded into the checkpoint digest so a resume under
-  // different flags is refused instead of reusing stale verdicts.
-  options.fingerprint = "xlen=" + std::to_string(xlen) + ";modes=" + modes_arg;
-  std::string run_error;
-  const engine::CampaignReport report = engine::run_sharded(spec, options, &run_error);
-  if (!run_error.empty()) {
-    std::fprintf(stderr, "sepe-run: %s\n", run_error.c_str());
-    return 1;
-  }
-
-  std::printf("%s", report.to_table().c_str());
-  if (print_witness) {
-    for (const engine::JobResult& j : report.jobs)
-      if (j.verdict == engine::Verdict::Falsified && !j.witness.empty())
-        std::printf("\n[%s]\n%s", j.name.c_str(), j.witness.c_str());
-  }
-
-  if (!json_path.empty()) {
-    const std::string json = report.to_json(/*include_timing=*/!stable_json);
-    if (json_path == "-") {
-      std::printf("\n%s", json.c_str());
-    } else {
-      if (!engine::write_text_file_atomic(json_path, json)) {
-        std::fprintf(stderr, "sepe-run: cannot write '%s'\n", json_path.c_str());
-        return 1;
-      }
-      std::printf("\nJSON report written to %s\n", json_path.c_str());
-    }
-  }
-
-  // Exit status: 0 when every job reached a definite or clean verdict.
-  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+  return run_and_report(spec, common,
+                        "xlen=" + std::to_string(xlen) + ";modes=" + modes_arg);
 }
