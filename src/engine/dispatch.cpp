@@ -1,0 +1,486 @@
+#include "engine/dispatch.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "engine/report_io.hpp"
+
+namespace sepe::engine {
+
+// --- LocalProcessLauncher: fork/exec on this host ---
+
+long LocalProcessLauncher::launch(const std::vector<std::string>& argv,
+                                  std::string* error) {
+  if (argv.empty()) {
+    if (error) *error = "empty worker command";
+    return -1;
+  }
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) cargv.push_back(const_cast<char*>(arg.c_str()));
+  cargv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    if (error) *error = std::string("fork failed: ") + std::strerror(errno);
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. The dispatcher owns the terminal: workers talk through
+    // their report files, so drop their stdout; keep stderr visible for
+    // diagnostics (a usage error must reach the user).
+    const int null_fd = ::open("/dev/null", O_WRONLY);
+    if (null_fd >= 0) {
+      ::dup2(null_fd, STDOUT_FILENO);
+      ::close(null_fd);
+    }
+    ::execvp(cargv[0], cargv.data());
+    // exec failed; the shell's conventions: 127 = command not found,
+    // 126 = found but not executable. The dispatcher treats both as
+    // fatal (deterministic) rather than retryable.
+    ::_exit(errno == ENOENT ? 127 : 126);
+  }
+  return static_cast<long>(pid);
+}
+
+WorkerLauncher::Exit LocalProcessLauncher::poll(long handle) {
+  int status = 0;
+  const pid_t r = ::waitpid(static_cast<pid_t>(handle), &status, WNOHANG);
+  if (r == 0) return {Exit::Status::Running, 0};
+  if (r < 0) return {Exit::Status::Lost, errno};
+  if (WIFEXITED(status)) return {Exit::Status::Exited, WEXITSTATUS(status)};
+  if (WIFSIGNALED(status)) return {Exit::Status::Signalled, WTERMSIG(status)};
+  return {Exit::Status::Lost, 0};
+}
+
+void LocalProcessLauncher::terminate(long handle) {
+  ::kill(static_cast<pid_t>(handle), SIGKILL);
+  ::waitpid(static_cast<pid_t>(handle), nullptr, 0);
+}
+
+// --- the dispatcher ---
+
+namespace {
+
+/// One in-flight worker attempt.
+struct Attempt {
+  unsigned shard = 0;
+  unsigned ordinal = 0;  // per-shard attempt number (1-based, for paths)
+  long handle = -1;
+  std::string checkpoint_path;
+  std::string report_path;
+  bool stolen = false;
+  std::uint64_t launch_seq = 0;  // global launch order, for stable polling
+  std::chrono::steady_clock::time_point launched_at;
+  unsigned observed_running = 0;  // polls that found the attempt alive
+};
+
+/// Book-keeping for one shard of the campaign.
+struct ShardState {
+  unsigned attempts = 0;    // launches so far (names the next attempt's files)
+  unsigned failures = 0;    // failed attempts (reporting only)
+  unsigned relaunches = 0;  // retries actually spent, measured against `retries`
+  bool completed = false;
+  /// Attempt 1's checkpoint path held a file this dispatcher never
+  /// wrote — a journal from a previous run in a reused work dir. A
+  /// valid one is the cross-run resume feature; one the worker refuses
+  /// must be discarded before the retry, not re-seeded forever.
+  bool preexisting_journal = false;
+  CampaignReport report;                   // the winning attempt's report
+  std::vector<std::string> journal_paths;  // every attempt's checkpoint file
+};
+
+std::string shard_arg(unsigned index, unsigned count) {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+/// Jobs recorded in a checkpoint journal file; nullopt when the file is
+/// absent or not a parseable report.
+std::optional<std::size_t> journal_job_count(const std::string& path) {
+  const auto text = read_text_file(path);
+  if (!text) return std::nullopt;
+  CampaignReport report;
+  std::string error;
+  if (!parse_report(*text, &report, &error)) return std::nullopt;
+  return report.jobs.size();
+}
+
+class Dispatcher {
+ public:
+  Dispatcher(const DispatchOptions& options, WorkerLauncher* launcher)
+      : options_(options),
+        launcher_(launcher),
+        shard_count_(options.shards != 0 ? options.shards : options.workers),
+        shards_(shard_count_) {
+    for (unsigned i = 0; i < shard_count_; ++i) pending_.push_back(i);
+  }
+
+  DispatchResult run() {
+    while (completed_ < shard_count_ && result_.error.empty()) {
+      bool progress = fill_worker_slots();
+      progress |= poll_running();
+      if (!progress && result_.error.empty())
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(options_.poll_seconds));
+    }
+    // Whatever ended the loop (success or a fatal error), leave no
+    // workers behind.
+    for (const Attempt& attempt : running_) launcher_->terminate(attempt.handle);
+    running_.clear();
+
+    if (!result_.error.empty()) return std::move(result_);
+
+    std::vector<CampaignReport> reports;
+    reports.reserve(shard_count_);
+    for (ShardState& shard : shards_) reports.push_back(std::move(shard.report));
+    std::string merge_error;
+    const auto merged = CampaignReport::merge(reports, &merge_error);
+    if (!merged) {
+      // Per-shard validation should make this unreachable; report it
+      // rather than trusting that.
+      result_.error = "merging the completed shard reports failed: " + merge_error;
+      return std::move(result_);
+    }
+    result_.merged = std::move(*merged);
+    result_.ok = true;
+    return std::move(result_);
+  }
+
+ private:
+  void event(const std::string& line) {
+    if (options_.on_event) options_.on_event(line);
+  }
+
+  void fail(std::string what) {
+    if (result_.error.empty()) result_.error = std::move(what);
+  }
+
+  unsigned attempts_in_flight(unsigned shard) const {
+    unsigned n = 0;
+    for (const Attempt& attempt : running_) n += (attempt.shard == shard);
+    return n;
+  }
+
+  std::string aggregate_line() const {
+    // The live aggregate: verdict tallies over every shard folded in so
+    // far. Totals come from shard metadata, so the line is meaningful
+    // before all shards have reported.
+    unsigned counts[4] = {0, 0, 0, 0};
+    std::size_t jobs = 0;
+    std::uint64_t total = 0;
+    for (const ShardState& shard : shards_) {
+      if (!shard.completed) continue;
+      jobs += shard.report.jobs.size();
+      if (shard.report.shard) total = shard.report.shard->total_jobs;
+      for (Verdict v : {Verdict::Falsified, Verdict::Proved, Verdict::BoundClean,
+                        Verdict::Unknown})
+        counts[static_cast<int>(v)] += shard.report.count(v);
+    }
+    return std::to_string(jobs) + "/" + std::to_string(total) +
+           " jobs aggregated: " + std::to_string(counts[0]) + " falsified, " +
+           std::to_string(counts[1]) + " proved, " + std::to_string(counts[2]) +
+           " bound-clean, " + std::to_string(counts[3]) + " unknown";
+  }
+
+  /// Seed a new attempt's checkpoint from the best journal any earlier
+  /// attempt of the shard left behind, so a retry (or a thief) resumes
+  /// instead of re-solving finished jobs. Returns the resumed job count.
+  std::size_t seed_checkpoint(unsigned shard, const std::string& attempt_path) {
+    const std::string* best = nullptr;
+    std::size_t best_jobs = 0;
+    for (const std::string& path : shards_[shard].journal_paths) {
+      const auto jobs = journal_job_count(path);
+      if (jobs && (!best || *jobs > best_jobs)) {
+        best = &path;
+        best_jobs = *jobs;
+      }
+    }
+    if (!best || best_jobs == 0) return 0;
+    const auto text = read_text_file(*best);
+    if (!text || !write_text_file_atomic(attempt_path, *text)) return 0;
+    return best_jobs;
+  }
+
+  /// Launch the next attempt of `shard` on a free worker slot.
+  bool launch_attempt(unsigned shard, bool stolen) {
+    ShardState& state = shards_[shard];
+    Attempt attempt;
+    attempt.shard = shard;
+    attempt.ordinal = ++state.attempts;
+    attempt.stolen = stolen;
+    attempt.launch_seq = launch_seq_++;
+    attempt.launched_at = std::chrono::steady_clock::now();
+    const std::string stem = options_.work_dir + "/shard-" + std::to_string(shard) +
+                             ".a" + std::to_string(attempt.ordinal);
+    attempt.checkpoint_path = stem + ".ckpt.json";
+    attempt.report_path = stem + ".report.json";
+    const std::size_t resumed = seed_checkpoint(shard, attempt.checkpoint_path);
+    if (attempt.ordinal == 1 && resumed == 0) {
+      std::error_code exists_error;
+      state.preexisting_journal =
+          std::filesystem::exists(attempt.checkpoint_path, exists_error);
+    }
+    state.journal_paths.push_back(attempt.checkpoint_path);
+
+    std::vector<std::string> argv = options_.worker_command;
+    argv.insert(argv.end(),
+                {"--shard", shard_arg(shard, shard_count_), "--checkpoint",
+                 attempt.checkpoint_path, "--stable-json", "--json",
+                 attempt.report_path});
+    std::string launch_error;
+    attempt.handle = launcher_->launch(argv, &launch_error);
+    if (attempt.handle < 0) {
+      fail("cannot launch a worker for shard " + shard_arg(shard, shard_count_) +
+           ": " + launch_error);
+      return false;
+    }
+    ++result_.launches;
+    if (stolen) ++result_.steals;
+    event((stolen ? "steal: shard " : "shard ") + shard_arg(shard, shard_count_) +
+          " -> attempt " + std::to_string(attempt.ordinal) +
+          (resumed ? " (resuming " + std::to_string(resumed) + " journaled jobs)"
+                   : ""));
+    running_.push_back(std::move(attempt));
+    return true;
+  }
+
+  /// Keep every worker slot busy: drain the pending queue first, then
+  /// steal the longest-running straggler rather than idling.
+  bool fill_worker_slots() {
+    bool progress = false;
+    while (running_.size() < options_.workers && !pending_.empty() &&
+           result_.error.empty()) {
+      const unsigned shard = pending_.front();
+      pending_.pop_front();
+      // A queued relaunch can be overtaken by a thief completing the
+      // shard first; never re-solve a shard that is already won.
+      if (shards_[shard].completed) continue;
+      progress |= launch_attempt(shard, /*stolen=*/false);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    while (options_.steal && running_.size() < options_.workers &&
+           pending_.empty() && result_.error.empty()) {
+      // Straggler = the oldest-running shard that has no thief yet (at
+      // most two concurrent attempts per shard keeps stealing bounded)
+      // and has actually been seen running past the steal threshold —
+      // never a shard whose attempt was launched moments ago. The
+      // total-attempt cap bounds steal churn on a shard whose thieves
+      // keep dying while the original never finishes.
+      const Attempt* straggler = nullptr;
+      for (const Attempt& attempt : running_) {
+        if (shards_[attempt.shard].completed) continue;
+        if (attempts_in_flight(attempt.shard) != 1) continue;
+        if (shards_[attempt.shard].attempts > options_.retries + 1) continue;
+        if (attempt.observed_running == 0 ||
+            std::chrono::duration<double>(now - attempt.launched_at).count() <
+                options_.steal_after_seconds)
+          continue;
+        if (!straggler || attempt.launch_seq < straggler->launch_seq)
+          straggler = &attempt;
+      }
+      if (!straggler) break;
+      progress |= launch_attempt(straggler->shard, /*stolen=*/true);
+    }
+    return progress;
+  }
+
+  /// Read the report a finished attempt wrote; nullopt + *why when it
+  /// is missing, unparseable, or not the shard it was asked to run.
+  std::optional<CampaignReport> load_report(const Attempt& attempt,
+                                            std::string* why) const {
+    const auto text = read_text_file(attempt.report_path);
+    if (!text) {
+      *why = "wrote no report";
+      return std::nullopt;
+    }
+    CampaignReport report;
+    std::string parse_error;
+    if (!parse_report(*text, &report, &parse_error)) {
+      *why = "wrote an unreadable report (" + parse_error + ")";
+      return std::nullopt;
+    }
+    if (!report.shard || report.shard->shard.index != attempt.shard ||
+        report.shard->shard.count != shard_count_) {
+      *why = "reported the wrong shard";
+      return std::nullopt;
+    }
+    return report;
+  }
+
+  void on_attempt_succeeded(const Attempt& attempt, CampaignReport report) {
+    ShardState& state = shards_[attempt.shard];
+    if (state.completed) {
+      // A sibling already won this shard (the race a steal sets up);
+      // the duplicate rows are reconciled by keeping exactly one report
+      // per shard index — precisely what the merge contract requires.
+      ++result_.duplicates;
+      event("shard " + shard_arg(attempt.shard, shard_count_) + " attempt " +
+            std::to_string(attempt.ordinal) + " finished second; discarded");
+      return;
+    }
+    state.completed = true;
+    state.report = std::move(report);
+    ++completed_;
+    event("shard " + shard_arg(attempt.shard, shard_count_) + " complete (attempt " +
+          std::to_string(attempt.ordinal) + ", " +
+          std::to_string(state.report.jobs.size()) + " jobs) — " + aggregate_line());
+  }
+
+  void on_attempt_failed(const Attempt& attempt, const std::string& why,
+                         bool exited_cleanly = false) {
+    ++result_.failures;
+    ShardState& state = shards_[attempt.shard];
+    event("shard " + shard_arg(attempt.shard, shard_count_) + " attempt " +
+          std::to_string(attempt.ordinal) + " " + why);
+    if (state.completed) return;  // a sibling already delivered the shard
+    if (exited_cleanly && attempt.ordinal == 1 && state.preexisting_journal) {
+      // A worker that *exits* (rather than crashes) on its first
+      // attempt most likely refused the journal a reused work dir left
+      // at its checkpoint path (spec-digest rules). Re-seeding retries
+      // from that same stale file would burn the whole budget on
+      // identical refusals — discard it and let the retry start clean.
+      std::error_code remove_error;
+      std::filesystem::remove(attempt.checkpoint_path, remove_error);
+      state.preexisting_journal = false;
+      event("shard " + shard_arg(attempt.shard, shard_count_) +
+            ": discarded the pre-existing journal the worker refused");
+    }
+    ++state.failures;
+    // A sibling attempt (or an already-queued relaunch) is still in the
+    // game: this failure costs nothing from the retry budget — losing a
+    // stolen copy must never fail a dispatch that has not actually
+    // retried anything yet.
+    if (attempts_in_flight(attempt.shard) > 0) return;
+    if (std::find(pending_.begin(), pending_.end(), attempt.shard) !=
+        pending_.end())
+      return;
+    if (state.relaunches < options_.retries) {
+      ++state.relaunches;
+      pending_.push_front(attempt.shard);  // relaunch promptly, resuming
+      return;
+    }
+    fail("shard " + shard_arg(attempt.shard, shard_count_) + " failed " +
+         std::to_string(state.failures) + " time(s) (last attempt " + why +
+         ") — retry budget " + std::to_string(options_.retries) + " exhausted");
+  }
+
+  /// One scheduler pass over the fleet: poll everything, prune the
+  /// running set down to the attempts still alive (so the retry logic
+  /// sees live siblings only), then settle the exits in launch order —
+  /// the oldest attempt of a shard wins a same-pass photo finish — and
+  /// finally put down siblings out-raced by this pass's winners.
+  bool poll_running() {
+    std::vector<std::pair<Attempt, WorkerLauncher::Exit>> exited;
+    std::vector<Attempt> alive;
+    for (Attempt& attempt : running_) {
+      const WorkerLauncher::Exit status = launcher_->poll(attempt.handle);
+      if (status.status == WorkerLauncher::Exit::Status::Running) {
+        ++attempt.observed_running;
+        alive.push_back(attempt);
+      } else {
+        exited.emplace_back(attempt, status);
+      }
+    }
+    running_ = std::move(alive);
+
+    for (const auto& [attempt, status] : exited) {
+      using Status = WorkerLauncher::Exit::Status;
+      if (status.status == Status::Signalled) {
+        on_attempt_failed(attempt,
+                          "crashed (signal " + std::to_string(status.code) + ")");
+        continue;
+      }
+      if (status.status == Status::Lost) {
+        on_attempt_failed(attempt, "was lost by the launcher");
+        continue;
+      }
+      const int code = status.code;
+      if (code == 0 || code == 3) {
+        // 3 = the campaign completed with UNKNOWN rows (e.g. corpus
+        // parse errors) — a deterministic result, not a failure.
+        std::string why;
+        if (auto report = load_report(attempt, &why)) {
+          on_attempt_succeeded(attempt, std::move(*report));
+        } else {
+          on_attempt_failed(attempt,
+                            "exited " + std::to_string(code) + " but " + why);
+        }
+      } else if (code == 2) {
+        // A usage error is fatal: every retry would be rejected the
+        // same way (the worker's stderr has the diagnostic).
+        fail("worker rejected the command line (exit 2) — see its "
+             "stderr diagnostic");
+      } else if (code == 126 || code == 127) {
+        // exec failure: the worker command cannot be found (127) or
+        // executed (126) — as deterministic as a usage error.
+        fail("worker command '" + options_.worker_command[0] +
+             "' cannot be executed (exit " + std::to_string(code) + ")");
+      } else {
+        on_attempt_failed(attempt, "failed (exit " + std::to_string(code) + ")",
+                          /*exited_cleanly=*/true);
+      }
+    }
+
+    // Terminate siblings out-raced in this pass. Attempts that exited in
+    // the same pass were already settled above (as duplicates), so only
+    // still-running losers are put down.
+    std::vector<Attempt> keep;
+    for (const Attempt& attempt : running_) {
+      if (shards_[attempt.shard].completed) {
+        launcher_->terminate(attempt.handle);
+        event("shard " + shard_arg(attempt.shard, shard_count_) + " attempt " +
+              std::to_string(attempt.ordinal) + " terminated (shard already won)");
+      } else {
+        keep.push_back(attempt);
+      }
+    }
+    const bool progress = !exited.empty() || keep.size() != running_.size();
+    running_ = std::move(keep);
+    return progress;
+  }
+
+  const DispatchOptions& options_;
+  WorkerLauncher* launcher_;
+  const unsigned shard_count_;
+  std::vector<ShardState> shards_;
+  std::deque<unsigned> pending_;
+  std::vector<Attempt> running_;  // launch order (launch_seq ascending)
+  unsigned completed_ = 0;
+  std::uint64_t launch_seq_ = 0;
+  DispatchResult result_;
+};
+
+}  // namespace
+
+DispatchResult run_dispatch(const DispatchOptions& options) {
+  DispatchResult invalid;
+  if (options.worker_command.empty()) {
+    invalid.error = "dispatch needs a worker command";
+    return invalid;
+  }
+  if (options.workers == 0) {
+    invalid.error = "dispatch needs at least one worker";
+    return invalid;
+  }
+  if (options.work_dir.empty()) {
+    invalid.error = "dispatch needs a work directory";
+    return invalid;
+  }
+  LocalProcessLauncher local;
+  WorkerLauncher* launcher = options.launcher ? options.launcher : &local;
+  return Dispatcher(options, launcher).run();
+}
+
+}  // namespace sepe::engine

@@ -182,6 +182,11 @@ std::optional<CampaignReport> CampaignReport::merge(
   merged.jobs.resize(first.total_jobs);
   std::vector<bool> job_seen(first.total_jobs, false);
   std::unordered_set<std::string> names;
+  // Collect every duplicated job id before rejecting: when a shard set
+  // overlaps (e.g. a stolen shard's report hand-merged next to the
+  // original attempt's), naming all the offending ids pinpoints which
+  // legs collided instead of forcing a re-merge per duplicate.
+  std::vector<std::string> duplicated;
   for (const CampaignReport& r : shards) {
     merged.wall_seconds += r.wall_seconds;
     for (const JobResult& job : r.jobs) {
@@ -189,11 +194,26 @@ std::optional<CampaignReport> CampaignReport::merge(
         return reject("job '" + job.name + "' has spec_index " +
                       std::to_string(job.spec_index) + " outside the campaign (" +
                       std::to_string(first.total_jobs) + " jobs)");
-      if (job_seen[job.spec_index] || !names.insert(job.name).second)
-        return reject("overlapping shards: job '" + job.name + "' appears twice");
+      if (job_seen[job.spec_index] || !names.insert(job.name).second) {
+        duplicated.push_back(job.name);
+        continue;
+      }
       job_seen[job.spec_index] = true;
       merged.jobs[job.spec_index] = job;
     }
+  }
+  if (!duplicated.empty()) {
+    std::sort(duplicated.begin(), duplicated.end());
+    duplicated.erase(std::unique(duplicated.begin(), duplicated.end()),
+                     duplicated.end());
+    constexpr std::size_t kListed = 8;
+    std::string what = "overlapping shards: " + std::to_string(duplicated.size()) +
+                       " job id(s) appear in more than one report:";
+    for (std::size_t i = 0; i < duplicated.size() && i < kListed; ++i)
+      what += (i ? ", '" : " '") + duplicated[i] + "'";
+    if (duplicated.size() > kListed)
+      what += ", ... (+" + std::to_string(duplicated.size() - kListed) + " more)";
+    return reject(std::move(what));
   }
   for (std::size_t i = 0; i < merged.jobs.size(); ++i)
     if (!job_seen[i])

@@ -57,6 +57,11 @@ expect_usage_error corpus_no_dir     -- corpus
 expect_usage_error corpus_two_dirs   -- corpus a b
 expect_usage_error corpus_bad_flag   -- corpus dir --frobnicate
 expect_usage_error corpus_bad_shard  -- corpus dir --shard 9/9
+expect_usage_error dispatch_workers_zero    -- dispatch --workers 0
+expect_usage_error dispatch_workers_bad     -- dispatch --workers abc
+expect_usage_error dispatch_owns_shard      -- dispatch --shard 0/2
+expect_usage_error dispatch_owns_checkpoint -- dispatch --checkpoint f
+expect_usage_error dispatch_steal_after_bad -- dispatch --steal-after -1
 
 # --help and --list-bugs succeed.
 for flag in --help --list-bugs; do
@@ -140,6 +145,75 @@ if cmp -s "$WORK/first.json" "$WORK/second.json"; then
   echo "ok: checkpoint resume reproduces the report"
 else
   echo "FAIL: resumed report differs from the original"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- the multi-process dispatcher ---
+
+# Dispatching the campaign over worker processes merges byte-identically
+# to the unsharded reference.
+if ! "$SEPE_RUN" dispatch --workers 2 --shards 3 "${CAMPAIGN[@]}" \
+    --json "$WORK/dispatched.json" >/dev/null 2>"$WORK/dispatch.log"; then
+  echo "FAIL: dispatch run"
+  cat "$WORK/dispatch.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/reference.json" "$WORK/dispatched.json"; then
+  echo "ok: dispatched stable JSON is byte-identical to the unsharded run"
+else
+  echo "FAIL: dispatched JSON differs from the unsharded reference:"
+  diff "$WORK/reference.json" "$WORK/dispatched.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A worker killed mid-shard (SIGKILL after its first journaled job, via
+# the claim-once fault token) is retried from its checkpoint journal and
+# the merged report is still byte-identical to the reference.
+touch "$WORK/kill.token"
+if ! SEPE_RUN_KILL_TOKEN="$WORK/kill.token" "$SEPE_RUN" dispatch \
+    --workers 1 --shards 1 "${CAMPAIGN[@]}" \
+    --json "$WORK/dispatched-kill.json" >/dev/null 2>"$WORK/dispatch-kill.log"; then
+  echo "FAIL: dispatch run with a killed worker"
+  cat "$WORK/dispatch-kill.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if [ ! -e "$WORK/kill.token.claimed" ]; then
+  echo "FAIL: no worker claimed the kill token"
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "crashed (signal 9)" "$WORK/dispatch-kill.log" \
+    || ! grep -q "resuming 1 journaled jobs" "$WORK/dispatch-kill.log"; then
+  echo "FAIL: dispatcher log is missing the crash/resume trail:"
+  cat "$WORK/dispatch-kill.log"
+  FAILURES=$((FAILURES + 1))
+elif cmp -s "$WORK/reference.json" "$WORK/dispatched-kill.json"; then
+  echo "ok: a killed worker is retried from its journal, byte-identical merge"
+else
+  echo "FAIL: post-kill merged JSON differs from the unsharded reference:"
+  diff "$WORK/reference.json" "$WORK/dispatched-kill.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A hung worker (claim-once hang token) is out-raced: its shard is
+# stolen from a journal snapshot by the idle worker, the straggler is
+# terminated, and the merge is still byte-identical.
+touch "$WORK/hang.token"
+if ! SEPE_RUN_HANG_TOKEN="$WORK/hang.token" "$SEPE_RUN" dispatch \
+    --workers 2 --steal-after 0.2 "${CAMPAIGN[@]}" \
+    --json "$WORK/dispatched-hang.json" >/dev/null 2>"$WORK/dispatch-hang.log"; then
+  echo "FAIL: dispatch run with a hung worker"
+  cat "$WORK/dispatch-hang.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q "steal:" "$WORK/dispatch-hang.log" \
+    || ! grep -q "terminated (shard already won)" "$WORK/dispatch-hang.log"; then
+  echo "FAIL: dispatcher log is missing the steal/termination trail:"
+  cat "$WORK/dispatch-hang.log"
+  FAILURES=$((FAILURES + 1))
+elif cmp -s "$WORK/reference.json" "$WORK/dispatched-hang.json"; then
+  echo "ok: a hung worker's shard is stolen, byte-identical merge"
+else
+  echo "FAIL: post-hang merged JSON differs from the unsharded reference:"
+  diff "$WORK/reference.json" "$WORK/dispatched-hang.json"
   FAILURES=$((FAILURES + 1))
 fi
 
@@ -239,6 +313,24 @@ if cmp -s "$WORK/corpus-ref.json" "$WORK/corpus-merged.json"; then
 else
   echo "FAIL: merged corpus report differs from the unsharded reference:"
   diff "$WORK/corpus-ref.json" "$WORK/corpus-merged.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# The dispatcher is workload-family agnostic: dispatching the corpus
+# campaign (UNKNOWN parse-error row included, hence exit 3) merges
+# byte-identically too.
+"$SEPE_RUN" dispatch --workers 2 --shards 3 "${CORPUS_RUN[@]}" \
+    --json "$WORK/corpus-dispatched.json" >/dev/null 2>&1
+status=$?
+if [ "$status" -ne 3 ]; then
+  echo "FAIL: corpus dispatch should exit 3 (UNKNOWN rows), got $status"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/corpus-ref.json" "$WORK/corpus-dispatched.json"; then
+  echo "ok: dispatched corpus campaign is byte-identical to the unsharded run"
+else
+  echo "FAIL: dispatched corpus JSON differs from the unsharded reference:"
+  diff "$WORK/corpus-ref.json" "$WORK/corpus-dispatched.json"
   FAILURES=$((FAILURES + 1))
 fi
 

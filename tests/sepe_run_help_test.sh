@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Help-text drift guard: `sepe-run --help` must match the committed
+# reference byte for byte. docs/CLI.md is audited against the same
+# reference, so a flag change that forgets the docs fails here first.
+#
+# Usage: sepe_run_help_test.sh /path/to/sepe-run /path/to/sepe_run_help.txt
+set -u
+
+SEPE_RUN=${1:?usage: sepe_run_help_test.sh /path/to/sepe-run /path/to/reference}
+REFERENCE=${2:?usage: sepe_run_help_test.sh /path/to/sepe-run /path/to/reference}
+
+if ! "$SEPE_RUN" --help | diff -u "$REFERENCE" -; then
+  echo "FAIL: sepe-run --help drifted from the committed reference."
+  echo "If the change is intentional, regenerate with"
+  echo "  sepe-run --help > tests/sepe_run_help.txt"
+  echo "and bring docs/CLI.md back in sync in the same commit."
+  exit 1
+fi
+echo "ok: sepe-run --help matches tests/sepe_run_help.txt"

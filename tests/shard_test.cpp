@@ -264,10 +264,29 @@ TEST(ShardMerge, RejectsOverlapIncompleteAndMismatch) {
   ASSERT_FALSE(shards[0].jobs.empty());
   stolen[1].jobs.push_back(shards[0].jobs[0]);
   EXPECT_FALSE(CampaignReport::merge(stolen, &error).has_value());
-  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_NE(error.find("more than one report"), std::string::npos);
 
   // Empty input.
   EXPECT_FALSE(CampaignReport::merge({}, &error).has_value());
+}
+
+TEST(ShardMerge, OverlapDiagnosticNamesEveryOffendingJobId) {
+  // Dispatcher debugging aid: when shard sets overlap (e.g. a stolen
+  // attempt's report hand-merged next to the original's), the
+  // diagnostic must name all the colliding job ids, not just the first.
+  const CampaignSpec spec = mixed_spec();
+  std::vector<CampaignReport> shards = run_all_shards(spec, 3);
+  ASSERT_GE(shards[0].jobs.size(), 2u);
+  std::vector<CampaignReport> stolen = shards;
+  stolen[1].jobs.push_back(shards[0].jobs[0]);
+  stolen[2].jobs.push_back(shards[0].jobs[1]);
+  std::string error;
+  EXPECT_FALSE(CampaignReport::merge(stolen, &error).has_value());
+  EXPECT_NE(error.find("2 job id(s)"), std::string::npos) << error;
+  EXPECT_NE(error.find("'" + shards[0].jobs[0].name + "'"), std::string::npos)
+      << error;
+  EXPECT_NE(error.find("'" + shards[0].jobs[1].name + "'"), std::string::npos)
+      << error;
 }
 
 TEST(ShardMerge, MergeIsIdempotentOnDisjointShards) {
@@ -281,6 +300,9 @@ TEST(ShardMerge, MergeIsIdempotentOnDisjointShards) {
   EXPECT_EQ(once->to_json(false), twice->to_json(false));
 }
 
+// The report dialects, the checkpoint-journal layout, and the
+// spec-digest refusal rules these tests pin are specified field by
+// field in docs/FORMATS.md — keep the two in sync.
 TEST(ReportIo, TimingReportRoundTrips) {
   const CampaignSpec spec = mixed_spec();
   ShardRunOptions options;

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation set.
+
+Verifies that every relative link target in the given markdown files
+exists on disk (files or directories). External links (http/https/
+mailto) are listed but not fetched — CI runners should not depend on
+the network for a docs check, so the job that runs this is advisory
+for everything it cannot decide locally.
+
+Usage: check_links.py FILE.md [FILE.md ...]
+Exit codes: 0 all relative links resolve; 1 at least one is broken;
+2 usage error.
+"""
+
+import os
+import re
+import sys
+
+# Inline links: [text](target) — tolerates titles ("...") and trims
+# anchors; reference definitions: [label]: target.
+INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def targets(text):
+    for match in INLINE.finditer(text):
+        yield match.group(1)
+    for match in REFDEF.finditer(text):
+        yield match.group(1)
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    broken = []
+    external = 0
+    checked = 0
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            broken.append((path, "<self>", str(error)))
+            continue
+        base = os.path.dirname(path)
+        for target in targets(text):
+            if target.startswith(EXTERNAL):
+                external += 1
+                continue
+            if target.startswith("#"):  # intra-document anchor
+                continue
+            checked += 1
+            relative = target.split("#", 1)[0]
+            resolved = os.path.normpath(os.path.join(base, relative))
+            if not os.path.exists(resolved):
+                broken.append((path, target, f"missing: {resolved}"))
+    for path, target, why in broken:
+        print(f"BROKEN  {path}: ({target}) -> {why}")
+    print(
+        f"{checked} relative link(s) checked, {len(broken)} broken, "
+        f"{external} external link(s) not fetched"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

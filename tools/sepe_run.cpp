@@ -17,9 +17,12 @@
 // core contention) — see src/engine/campaign.hpp.
 //
 // Campaigns scale out across processes/hosts: --shard I/N runs the
-// deterministic shard I of N (see src/engine/shard.hpp), and the merge
+// deterministic shard I of N (see src/engine/shard.hpp), the merge
 // subcommand folds the N shard reports back into one report whose
-// stable JSON is byte-identical to an unsharded run.
+// stable JSON is byte-identical to an unsharded run, and the dispatch
+// subcommand schedules all N shards onto a fleet of worker processes
+// (src/engine/dispatch.hpp: checkpoint-journal retries, straggler
+// stealing, live aggregation) and merges for you.
 //
 // Examples:
 //   sepe-run --bugs table1 --rows 8 --threads 4
@@ -27,19 +30,29 @@
 //   sepe-run --healthy --max-k 6 --bound 6
 //   sepe-run --bugs table1 --shard 2/4 --stable-json --json shard2.json
 //   sepe-run corpus tests/corpus --bound 6 --max-k 2 --stable-json --json -
+//   sepe-run dispatch --workers 4 --bugs table1 --rows 8 --json merged.json
+//   sepe-run dispatch --workers 2 corpus tests/corpus --json -
 //   sepe-run merge --output merged.json shard0.json shard1.json ...
 //
-// Exit codes: 0 success; 1 I/O or merge-input failure; 2 usage error;
-// 3 campaign finished with UNKNOWN verdicts (including parse-error rows).
+// Exit codes: 0 success; 1 I/O, merge-input, or dispatch failure;
+// 2 usage error; 3 campaign finished with UNKNOWN verdicts (including
+// parse-error rows). The full CLI contract lives in docs/CLI.md.
 #include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "engine/campaign.hpp"
+#include "engine/dispatch.hpp"
 #include "engine/pinned_table.hpp"
 #include "engine/report_io.hpp"
 #include "engine/shard.hpp"
@@ -59,6 +72,7 @@ void usage() {
       "\n"
       "usage: sepe-run [options]                 QED workload (matrix expansion)\n"
       "       sepe-run corpus DIR [options]      BTOR2 corpus workload\n"
+      "       sepe-run dispatch [options] [workload args...]\n"
       "       sepe-run merge [--output FILE] SHARD.json...\n"
       "\n"
       "common options (both workload families):\n"
@@ -97,10 +111,31 @@ void usage() {
       "(multi-property files fan out; malformed files become UNKNOWN rows\n"
       "with the parse diagnostic instead of aborting the campaign).\n"
       "\n"
+      "dispatch: shard the campaign across worker processes spawned by this\n"
+      "one, retry crashed shards from their checkpoint journals, re-issue\n"
+      "stragglers to idle workers (first completion wins), and merge — the\n"
+      "merged stable JSON is byte-identical to an unsharded run. Every flag\n"
+      "not listed below (and an optional leading 'corpus DIR') is forwarded\n"
+      "to the workers verbatim; --threads defaults to 1 per worker, and\n"
+      "--shard/--checkpoint are owned by the dispatcher and rejected.\n"
+      "  --workers N      concurrent worker processes (default 2)\n"
+      "  --shards M       shard count (default: the worker count)\n"
+      "  --retries R      re-launches per shard after a failure (default 1)\n"
+      "  --no-steal       never re-issue straggler shards to idle workers\n"
+      "  --steal-after S  seconds a shard must run before an idle worker\n"
+      "                   may steal it (default 1)\n"
+      "  --work-dir D     keep per-attempt journals and reports in D\n"
+      "                   (default: a temp directory, removed on success)\n"
+      "  --json FILE      merged report destination ('-' = stdout; always\n"
+      "                   stable JSON, like merge)\n"
+      "\n"
       "merge: read N shard reports (any order), check they are disjoint and\n"
       "complete, and write the merged report as stable JSON — byte-identical\n"
       "to an unsharded --stable-json run of the same campaign.\n"
-      "  --output FILE    merged report destination (default '-' = stdout)\n");
+      "  --output FILE    merged report destination (default '-' = stdout)\n"
+      "\n"
+      "exit codes: 0 success; 1 I/O, merge, or dispatch failure; 2 usage\n"
+      "error; 3 the campaign finished with UNKNOWN verdicts.\n");
 }
 
 void list_bugs() {
@@ -249,6 +284,30 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
   return true;
 }
 
+/// Fault injection for the dispatcher test battery: SEPE_RUN_KILL_TOKEN
+/// and SEPE_RUN_HANG_TOKEN name a token file; the one worker that claims
+/// it (atomic rename — exactly one claimant across a dispatcher fleet)
+/// dies by SIGKILL, or stalls for minutes, right after its first
+/// completed job has been journaled. Retried and thieving attempts find
+/// the token spent and behave normally. Documented in docs/CLI.md.
+void arm_fault_injection(engine::ShardRunOptions* options) {
+  const auto claim = [](const char* var) {
+    const char* path = std::getenv(var);
+    if (!path || !*path) return false;
+    const std::string claimed = std::string(path) + ".claimed";
+    return std::rename(path, claimed.c_str()) == 0;
+  };
+  if (claim("SEPE_RUN_KILL_TOKEN")) {
+    options->pool.on_job_done = [](std::size_t, const engine::JobResult&) {
+      ::raise(SIGKILL);
+    };
+  } else if (claim("SEPE_RUN_HANG_TOKEN")) {
+    options->pool.on_job_done = [](std::size_t, const engine::JobResult&) {
+      std::this_thread::sleep_for(std::chrono::minutes(10));
+    };
+  }
+}
+
 /// Run the expanded spec (sharded/checkpointed as requested) and emit
 /// the table + optional JSON report. Shared campaign epilogue of both
 /// workload families.
@@ -258,6 +317,7 @@ int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common
   options.pool.threads = common.threads;
   options.shard = common.shard;
   options.checkpoint_path = common.checkpoint_path;
+  arm_fault_injection(&options);
   // Campaign parameters the JobSpecs cannot expose (they shape the model
   // builders): folded into the checkpoint digest so a resume under
   // different flags is refused instead of reusing stale verdicts.
@@ -371,6 +431,129 @@ int run_merge(int argc, char** argv) {
   return merged->count(engine::Verdict::Unknown) == 0 ? 0 : 3;
 }
 
+/// The absolute path of this binary, for spawning workers that survive
+/// a changed working directory. /proc/self/exe is authoritative on
+/// Linux; argv[0] is the portable fallback.
+std::string self_exe_path(const char* argv0) {
+  std::error_code ec;
+  const std::filesystem::path exe = std::filesystem::read_symlink("/proc/self/exe", ec);
+  if (!ec) return exe.string();
+  return argv0;
+}
+
+/// `sepe-run dispatch [dispatch flags] [workload args...]` — shard the
+/// campaign over a fleet of worker processes (each one a `sepe-run
+/// --shard I/M` child), with checkpoint-journal retries and straggler
+/// stealing; print and optionally write the merged report.
+int run_dispatch_cli(int argc, char** argv) {
+  engine::DispatchOptions options;
+  std::string json_path;
+  std::string work_dir_flag;
+  std::vector<std::string> forwarded;
+  bool forwards_threads = false;
+  for (int i = 2; i < argc; ++i) {
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "sepe-run: %s needs a value — try --help\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--workers"))
+      options.workers = parse_unsigned_arg("--workers", next("--workers"), 1, 256);
+    else if (!std::strcmp(argv[i], "--shards"))
+      options.shards = parse_unsigned_arg("--shards", next("--shards"), 1, 4096);
+    else if (!std::strcmp(argv[i], "--retries"))
+      options.retries = parse_unsigned_arg("--retries", next("--retries"), 0, 1000);
+    else if (!std::strcmp(argv[i], "--no-steal"))
+      options.steal = false;
+    else if (!std::strcmp(argv[i], "--steal-after"))
+      options.steal_after_seconds =
+          parse_seconds_arg("--steal-after", next("--steal-after"));
+    else if (!std::strcmp(argv[i], "--work-dir"))
+      work_dir_flag = next("--work-dir");
+    else if (!std::strcmp(argv[i], "--json"))
+      json_path = next("--json");
+    else if (!std::strcmp(argv[i], "--stable-json")) {
+      // The merged report is always stable JSON (like merge); accepted
+      // so dispatch invocations read like their single-process twins.
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    } else if (!std::strcmp(argv[i], "--shard") ||
+               !std::strcmp(argv[i], "--checkpoint")) {
+      std::fprintf(stderr,
+                   "sepe-run: %s is owned by the dispatcher (it plans the shards "
+                   "and journals every attempt) — try --help\n",
+                   argv[i]);
+      return 2;
+    } else {
+      if (!std::strcmp(argv[i], "--threads")) forwards_threads = true;
+      forwarded.push_back(argv[i]);
+    }
+  }
+
+  options.worker_command.push_back(self_exe_path(argv[0]));
+  options.worker_command.insert(options.worker_command.end(), forwarded.begin(),
+                                forwarded.end());
+  if (!forwards_threads) {
+    // The process fleet is the parallelism; workers solve single-threaded
+    // unless the caller explicitly sizes them.
+    options.worker_command.push_back("--threads");
+    options.worker_command.push_back("1");
+  }
+
+  const bool auto_work_dir = work_dir_flag.empty();
+  std::error_code ec;
+  const std::filesystem::path work_dir =
+      auto_work_dir ? std::filesystem::temp_directory_path(ec) /
+                          ("sepe-dispatch." + std::to_string(::getpid()))
+                    : std::filesystem::path(work_dir_flag);
+  std::filesystem::create_directories(work_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "sepe-run: cannot create work directory '%s': %s\n",
+                 work_dir.string().c_str(), ec.message().c_str());
+    return 1;
+  }
+  options.work_dir = work_dir.string();
+  options.on_event = [](const std::string& line) {
+    std::fprintf(stderr, "[dispatch] %s\n", line.c_str());
+  };
+
+  const engine::DispatchResult result = engine::run_dispatch(options);
+  if (!result.ok) {
+    std::fprintf(stderr, "sepe-run: dispatch failed: %s\n", result.error.c_str());
+    // Keep the journals of a failed dispatch — they are the resume and
+    // the post-mortem material.
+    std::fprintf(stderr, "sepe-run: worker journals kept in %s\n",
+                 options.work_dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[dispatch] done: %u worker launches, %u failed attempts, %u "
+               "steals, %u duplicate completions discarded\n",
+               result.launches, result.failures, result.steals, result.duplicates);
+
+  std::printf("%s", result.merged.to_table().c_str());
+  if (!json_path.empty()) {
+    const std::string json = result.merged.to_json(/*include_timing=*/false);
+    if (json_path == "-") {
+      std::printf("\n%s", json.c_str());
+    } else if (!engine::write_text_file_atomic(json_path, json)) {
+      std::fprintf(stderr, "sepe-run: cannot write '%s'\n", json_path.c_str());
+      // The campaign itself succeeded; keep the journals so rerunning
+      // with --work-dir can re-merge without re-solving anything.
+      std::fprintf(stderr, "sepe-run: worker journals kept in %s\n",
+                   options.work_dir.c_str());
+      return 1;
+    } else {
+      std::printf("\nJSON report written to %s\n", json_path.c_str());
+    }
+  }
+  if (auto_work_dir) std::filesystem::remove_all(work_dir, ec);
+  return result.merged.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+}
+
 /// `sepe-run corpus DIR [options]` — the BTOR2 corpus workload family.
 int run_corpus(int argc, char** argv) {
   CommonOptions common;
@@ -425,6 +608,7 @@ int run_corpus(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
   if (argc > 1 && !std::strcmp(argv[1], "corpus")) return run_corpus(argc, argv);
+  if (argc > 1 && !std::strcmp(argv[1], "dispatch")) return run_dispatch_cli(argc, argv);
 
   CommonOptions common;
   unsigned xlen = 4, rows = ~0u;
