@@ -10,16 +10,33 @@
 // across commits. Wall time is reported too but is machine-dependent and
 // excluded from comparisons (this container pins 1 CPU; see README).
 //
+// The campaign runs TWICE against the two-level campaign cache:
+//
+//   cold — fresh cone cache + empty verdict-cache directory. The cone
+//          counters (lookups / hits / clauses replayed, the "blast
+//          avoided" metric) measure intra-campaign cone sharing; all
+//          still deterministic at 1 thread with sequential provers.
+//   warm — same cone cache, same verdict-cache directory. Every job is
+//          served from the verdict journal, so the warm totals (solver
+//          conflicts, blasted clauses, jobs solved) drop to zero — the
+//          headline saving the cache exists for. The bench hard-fails if
+//          any warm verdict field differs from its cold twin: the cache
+//          must never change answers, only skip work.
+//
 // Usage: campaign_perf [--json FILE] [--rows N] [--bound N] [--max-k N]
 // The default grid must stay in sync with bench/baseline.json and the CI
 // perf-report job.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <sstream>
 #include <string>
 
+#include <unistd.h>
+
 #include "engine/report_io.hpp"
+#include "engine/shard.hpp"
 #include "qed_bench_util.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
@@ -28,22 +45,39 @@ using namespace sepe;
 
 namespace {
 
-std::string perf_json(const engine::CampaignReport& report, unsigned rows,
+struct Totals {
+  std::uint64_t conflicts = 0, propagations = 0, decisions = 0;
+  std::uint64_t cnf_vars = 0, cnf_clauses = 0;
+  std::uint64_t cone_lookups = 0, cone_hits = 0, cone_clauses_replayed = 0;
+  std::uint64_t jobs_from_cache = 0;
+};
+
+Totals tally(const engine::CampaignReport& report) {
+  Totals t;
+  for (const engine::JobResult& j : report.jobs) {
+    t.conflicts += j.conflicts;
+    t.propagations += j.propagations;
+    t.decisions += j.decisions;
+    t.cnf_vars += j.cnf_vars;
+    t.cnf_clauses += j.cnf_clauses;
+    t.cone_lookups += j.cone_lookups;
+    t.cone_hits += j.cone_hits;
+    t.cone_clauses_replayed += j.cone_clauses_replayed;
+    if (j.from_cache) ++t.jobs_from_cache;
+  }
+  return t;
+}
+
+std::string perf_json(const engine::CampaignReport& cold,
+                      const engine::CampaignReport& warm, unsigned rows,
                       unsigned bound, unsigned max_k) {
   std::ostringstream os;
   os << "{\n  \"campaign\": {\"bugs\": \"table1\", \"rows\": " << rows
      << ", \"modes\": \"both\", \"bound\": " << bound << ", \"max_k\": " << max_k
      << ", \"xlen\": 4}";
-  std::uint64_t conflicts = 0, propagations = 0, decisions = 0;
-  std::uint64_t cnf_vars = 0, cnf_clauses = 0;
   os << ",\n  \"jobs\": [";
-  for (std::size_t i = 0; i < report.jobs.size(); ++i) {
-    const engine::JobResult& j = report.jobs[i];
-    conflicts += j.conflicts;
-    propagations += j.propagations;
-    decisions += j.decisions;
-    cnf_vars += j.cnf_vars;
-    cnf_clauses += j.cnf_clauses;
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i) {
+    const engine::JobResult& j = cold.jobs[i];
     os << (i ? ",\n    {" : "\n    {") << "\"name\": ";
     json_escape(os, j.name);
     os << ", \"verdict\": \"" << engine::verdict_name(j.verdict) << "\"";
@@ -58,17 +92,56 @@ std::string perf_json(const engine::CampaignReport& report, unsigned rows,
     os << ", \"conflicts\": " << j.conflicts
        << ", \"propagations\": " << j.propagations
        << ", \"decisions\": " << j.decisions << ", \"cnf_vars\": " << j.cnf_vars
-       << ", \"cnf_clauses\": " << j.cnf_clauses << "}";
+       << ", \"cnf_clauses\": " << j.cnf_clauses
+       << ", \"cone_lookups\": " << j.cone_lookups
+       << ", \"cone_hits\": " << j.cone_hits
+       << ", \"cone_clauses_replayed\": " << j.cone_clauses_replayed << "}";
   }
   os << "\n  ]";
-  os << ",\n  \"totals\": {\"conflicts\": " << conflicts
-     << ", \"propagations\": " << propagations << ", \"decisions\": " << decisions
-     << ", \"cnf_vars\": " << cnf_vars << ", \"cnf_clauses\": " << cnf_clauses
-     << "}";
+  const Totals c = tally(cold);
+  const Totals w = tally(warm);
+  os << ",\n  \"totals\": {\"conflicts\": " << c.conflicts
+     << ", \"propagations\": " << c.propagations << ", \"decisions\": " << c.decisions
+     << ", \"cnf_vars\": " << c.cnf_vars << ", \"cnf_clauses\": " << c.cnf_clauses
+     << ", \"cone_lookups\": " << c.cone_lookups << ", \"cone_hits\": " << c.cone_hits
+     << ", \"cone_clauses_replayed\": " << c.cone_clauses_replayed << "}";
+  // The warm rerun against the same cache directory: everything served
+  // from the verdict journal, zero fresh solver work. These totals are
+  // deterministic too (they must all be zero with every job cached).
+  os << ",\n  \"warm_totals\": {\"jobs_from_cache\": " << w.jobs_from_cache
+     << ", \"jobs_total\": " << warm.jobs.size() << ", \"conflicts\": " << w.conflicts
+     << ", \"cnf_clauses\": " << w.cnf_clauses << "}";
   char buf[32];
-  std::snprintf(buf, sizeof buf, "%.3f", report.wall_seconds);
+  std::snprintf(buf, sizeof buf, "%.3f", cold.wall_seconds);
   os << ",\n  \"wall_seconds\": " << buf << "\n}\n";
   return os.str();
+}
+
+/// The cache contract the warm run must prove: identical verdict-bearing
+/// fields, job by job. Returns false (and prints the offender) on drift.
+bool verdicts_match(const engine::CampaignReport& cold,
+                    const engine::CampaignReport& warm) {
+  if (cold.jobs.size() != warm.jobs.size()) {
+    std::fprintf(stderr, "campaign_perf: warm run has %zu jobs, cold %zu\n",
+                 warm.jobs.size(), cold.jobs.size());
+    return false;
+  }
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i) {
+    const engine::JobResult& a = cold.jobs[i];
+    const engine::JobResult& b = warm.jobs[i];
+    if (a.name != b.name || a.verdict != b.verdict ||
+        a.trace_length != b.trace_length || a.proved_k != b.proved_k ||
+        a.bad_label != b.bad_label || a.note != b.note) {
+      std::fprintf(stderr,
+                   "campaign_perf: VERDICT DRIFT on '%s': warm run disagrees "
+                   "with cold (%s vs %s) — the campaign cache changed an "
+                   "answer\n",
+                   a.name.c_str(), engine::verdict_name(b.verdict),
+                   engine::verdict_name(a.verdict));
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -123,13 +196,46 @@ int main(int argc, char** argv) {
   matrix.budget.max_k = max_k;
   matrix.budget.sequential_provers = true;
 
-  engine::CampaignOptions options;
-  options.threads = 1;
-  const engine::CampaignReport report =
-      engine::run_campaign(engine::expand(matrix, 1), options);
+  const engine::CampaignSpec spec = engine::expand(matrix, 1);
 
-  std::fprintf(stderr, "%s", report.to_table().c_str());
-  const std::string json = perf_json(report, rows, bound, max_k);
+  std::error_code ec;
+  const std::filesystem::path cache_dir =
+      std::filesystem::temp_directory_path(ec) /
+      ("campaign-perf-cache." + std::to_string(::getpid()));
+
+  engine::ShardRunOptions options;
+  options.pool.threads = 1;
+  options.pool.cone_cache = std::make_shared<smt::ConeCache>();
+  options.cache_dir = cache_dir.string();
+  options.fingerprint = "bench=campaign_perf;xlen=4;modes=both";
+
+  std::string run_error;
+  const engine::CampaignReport cold = engine::run_sharded(spec, options, &run_error);
+  if (!run_error.empty()) {
+    std::fprintf(stderr, "campaign_perf: cold run failed: %s\n", run_error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "%s", cold.to_table().c_str());
+
+  std::fprintf(stderr, "warm rerun against %s...\n", options.cache_dir.c_str());
+  const engine::CampaignReport warm = engine::run_sharded(spec, options, &run_error);
+  std::filesystem::remove_all(cache_dir, ec);
+  if (!run_error.empty()) {
+    std::fprintf(stderr, "campaign_perf: warm run failed: %s\n", run_error.c_str());
+    return 1;
+  }
+  if (!verdicts_match(cold, warm)) return 1;
+  const Totals w = tally(warm);
+  std::fprintf(stderr,
+               "warm run: %llu/%zu jobs from cache, %llu conflicts, %llu "
+               "blasted clauses (cold: %llu / %llu)\n",
+               static_cast<unsigned long long>(w.jobs_from_cache), warm.jobs.size(),
+               static_cast<unsigned long long>(w.conflicts),
+               static_cast<unsigned long long>(w.cnf_clauses),
+               static_cast<unsigned long long>(tally(cold).conflicts),
+               static_cast<unsigned long long>(tally(cold).cnf_clauses));
+
+  const std::string json = perf_json(cold, warm, rows, bound, max_k);
   if (json_path == "-") {
     std::printf("%s", json.c_str());
   } else {
@@ -139,5 +245,5 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr, "perf report written to %s\n", json_path.c_str());
   }
-  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+  return cold.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
 }

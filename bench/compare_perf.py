@@ -15,6 +15,10 @@ import json
 import sys
 
 COUNTERS = ("conflicts", "propagations", "decisions", "cnf_vars", "cnf_clauses")
+# Campaign-cache traffic (cone lookups/hits and clauses replayed instead
+# of re-blasted). Advisory like the work counters, and tolerated when
+# absent from a baseline recorded before the cache existed.
+CACHE_COUNTERS = ("cone_lookups", "cone_hits", "cone_clauses_replayed")
 VERDICT_FIELDS = ("verdict", "trace_length", "proved_k", "bad_label")
 
 
@@ -64,14 +68,37 @@ def main() -> int:
             print(f"  {line}")
         return 1
 
+    warm = cur.get("warm_totals")
+    if warm is not None:
+        print(
+            f"warm rerun: {warm['jobs_from_cache']}/{warm['jobs_total']} jobs "
+            f"from cache, {warm['conflicts']} conflicts, "
+            f"{warm['cnf_clauses']} blasted clauses"
+        )
+        if warm["jobs_from_cache"] < warm["jobs_total"]:
+            print(
+                "  warning: the warm rerun did not serve every job from the "
+                "verdict cache (advisory)"
+            )
+
     regressed = False
-    for counter in COUNTERS:
-        b, c = base["totals"][counter], cur["totals"][counter]
+    for counter in COUNTERS + CACHE_COUNTERS:
+        b, c = base["totals"].get(counter), cur["totals"].get(counter)
+        if b is None or c is None:
+            which = "baseline" if b is None else "current"
+            print(f"{counter:>22}: not recorded in the {which} report — skipped")
+            continue
         # A zero baseline must not mask growth: any nonzero current value
         # counts as an (infinitely large) relative regression.
         delta = (c - b) / b if b else (float("inf") if c else 0.0)
         marker = ""
-        if delta > threshold:
+        if counter in CACHE_COUNTERS:
+            # Cache traffic is informational: a higher hit / replay count
+            # is an improvement, so the regression marker logic (which
+            # assumes smaller-is-better) does not apply.
+            if abs(delta) > threshold:
+                marker = "  (cache-traffic shift — informational)"
+        elif delta > threshold:
             marker = f"  <-- REGRESSION beyond {threshold:.0%} (advisory)"
             regressed = True
         elif delta < -threshold:

@@ -12,8 +12,10 @@ using smt::SubstMap;
 using smt::TermRef;
 
 Bmc::Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
-         bool plaisted_greenbaum)
-    : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config, plaisted_greenbaum) {
+         bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache)
+    : ts_(ts),
+      mgr_(ts.mgr()),
+      solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache)) {
   assert(ts.complete() && "every state needs a next function");
 }
 
@@ -74,6 +76,10 @@ void Bmc::snapshot_solver_stats() {
   stats_.solver_decisions = sat.num_decisions();
   stats_.cnf_vars = static_cast<std::uint64_t>(sat.num_vars());
   stats_.cnf_clauses = sat.num_clauses();
+  const smt::BitBlaster::ConeStats& cone = solver_.cone_stats();
+  stats_.cone_lookups = cone.lookups;
+  stats_.cone_hits = cone.hits;
+  stats_.cone_clauses_replayed = cone.clauses_replayed;
 }
 
 std::optional<Witness> Bmc::check(const BmcOptions& options) {

@@ -59,6 +59,11 @@ struct BmcStats {
   std::uint64_t solver_decisions = 0;
   std::uint64_t cnf_vars = 0;
   std::uint64_t cnf_clauses = 0;
+  // Cone-cache traffic of this instance's blaster (zero when no campaign
+  // cache is attached; see smt/cone_cache.hpp).
+  std::uint64_t cone_lookups = 0;
+  std::uint64_t cone_hits = 0;
+  std::uint64_t cone_clauses_replayed = 0;
 };
 
 /// The unrolling engine. One instance per (transition system, run).
@@ -74,9 +79,11 @@ class Bmc {
  public:
   /// `config` tunes the underlying CDCL heuristics (portfolio racing);
   /// `plaisted_greenbaum` = true opts into polarity-split encoding (the
-  /// equivalence tests run both encodings against each other).
+  /// equivalence tests run both encodings against each other);
+  /// `cone_cache` shares bit-blasted cones campaign-wide (cone_cache.hpp).
   explicit Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config = {},
-               bool plaisted_greenbaum = false);
+               bool plaisted_greenbaum = false,
+               std::shared_ptr<smt::ConeCache> cone_cache = nullptr);
 
   /// Search for any bad state reachable within options.max_bound steps.
   /// Nullopt = no violation found up to the bound (or resource limit hit —

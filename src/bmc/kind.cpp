@@ -21,8 +21,10 @@ namespace {
 class InductiveWindow {
  public:
   InductiveWindow(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
-                  bool plaisted_greenbaum)
-      : ts_(ts), mgr_(ts.mgr()), solver_(mgr_, config, plaisted_greenbaum) {}
+                  bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache)
+      : ts_(ts),
+        mgr_(ts.mgr()),
+        solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache)) {}
 
   /// Ensure steps 0..k exist. Returns the "any bad at step k" term.
   TermRef extend_to(unsigned k) {
@@ -96,8 +98,10 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
   Stopwatch clock;
   KInductionResult result;
 
-  Bmc base(ts, options.solver_config, options.plaisted_greenbaum);
-  InductiveWindow window(ts, options.solver_config, options.plaisted_greenbaum);
+  Bmc base(ts, options.solver_config, options.plaisted_greenbaum,
+           options.cone_cache);
+  InductiveWindow window(ts, options.solver_config, options.plaisted_greenbaum,
+                         options.cone_cache);
 
   const auto remaining = [&]() {
     return options.max_seconds > 0 ? options.max_seconds - clock.seconds() : 0.0;
@@ -117,6 +121,10 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     result.solver_decisions = bs.solver_decisions + wsat.num_decisions();
     result.cnf_vars = bs.cnf_vars + static_cast<std::uint64_t>(wsat.num_vars());
     result.cnf_clauses = bs.cnf_clauses + wsat.num_clauses();
+    const smt::BitBlaster::ConeStats& wc = window.solver().cone_stats();
+    result.cone_lookups = bs.cone_lookups + wc.lookups;
+    result.cone_hits = bs.cone_hits + wc.hits;
+    result.cone_clauses_replayed = bs.cone_clauses_replayed + wc.clauses_replayed;
   };
 
   for (unsigned k = 1; k <= options.max_k; ++k) {

@@ -46,6 +46,8 @@ struct KInductionOptions {
   /// Polarity-split (Plaisted–Greenbaum) bit-blasting in both internal
   /// solvers (see Bmc's constructor flag). Off = full Tseitin.
   bool plaisted_greenbaum = false;
+  /// Campaign-wide cone sharing for both internal solvers (cone_cache.hpp).
+  std::shared_ptr<smt::ConeCache> cone_cache;
 };
 
 struct KInductionResult {
@@ -64,6 +66,10 @@ struct KInductionResult {
   std::uint64_t solver_decisions = 0;
   std::uint64_t cnf_vars = 0;
   std::uint64_t cnf_clauses = 0;
+  /// Cone-cache traffic across both solvers (zero when uncached).
+  std::uint64_t cone_lookups = 0;
+  std::uint64_t cone_hits = 0;
+  std::uint64_t cone_clauses_replayed = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

@@ -62,7 +62,9 @@ constexpr int kClaimNone = -1;
 /// known SAT, and a claimed violation whose witness cannot be read back
 /// is worse than a slightly-overspent cap (same rationale as the old
 /// model-extension budget lift).
-void canonical_witness(const JobSpec& job, unsigned length, BmcSide* out) {
+void canonical_witness(const JobSpec& job, unsigned length,
+                       const std::shared_ptr<smt::ConeCache>& cone_cache,
+                       BmcSide* out) {
   smt::TermManager mgr;
   ts::TransitionSystem ts(mgr);
   std::string build_error;
@@ -71,7 +73,7 @@ void canonical_witness(const JobSpec& job, unsigned length, BmcSide* out) {
   // Same encoding as the job's entrant 0: the canonical trace is the one
   // a single-config run of this job reports.
   bmc::Bmc checker(ts, sat::SolverConfig{},
-                   job.budget.plaisted_greenbaum.value_or(false));
+                   job.budget.plaisted_greenbaum.value_or(false), cone_cache);
   bmc::BmcOptions bo;
   bo.max_bound = length;
   out->found = checker.check(bo);
@@ -93,18 +95,25 @@ void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r
   r->decisions = b.stats.solver_decisions;
   r->cnf_vars = b.stats.cnf_vars;
   r->cnf_clauses = b.stats.cnf_clauses;
+  r->cone_lookups = b.stats.cone_lookups;
+  r->cone_hits = b.stats.cone_hits;
+  r->cone_clauses_replayed = b.stats.cone_clauses_replayed;
   if (k.ran) {
     r->conflicts += k.result.solver_conflicts;
     r->propagations += k.result.solver_propagations;
     r->decisions += k.result.solver_decisions;
     r->cnf_vars += k.result.cnf_vars;
     r->cnf_clauses += k.result.cnf_clauses;
+    r->cone_lookups += k.result.cone_lookups;
+    r->cone_hits += k.result.cone_hits;
+    r->cone_clauses_replayed += k.result.cone_clauses_replayed;
   }
 }
 
 }  // namespace
 
-JobResult run_job(const JobSpec& job) {
+JobResult run_job(const JobSpec& job,
+                  const std::shared_ptr<smt::ConeCache>& cone_cache) {
   assert(job.build && "JobSpec needs a model builder");
   Stopwatch clock;
   JobResult r;
@@ -150,7 +159,8 @@ JobResult run_job(const JobSpec& job) {
     // diagnostic and returning leaves the race with no claimant and the
     // job reports Unknown with the note attached.
     if (!job.build(ts, &side.build_error)) return;
-    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx), plaisted_greenbaum);
+    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx),
+                     plaisted_greenbaum, cone_cache);
     bmc::BmcOptions bo;
     bo.max_bound = job.budget.max_bound;
     bo.conflict_budget_per_bound = job.budget.conflict_budget;
@@ -181,6 +191,7 @@ JobResult run_job(const JobSpec& job) {
     ko.stop = stop_flag;
     ko.solver_config = sat::SolverConfig::portfolio_member(idx);
     ko.plaisted_greenbaum = plaisted_greenbaum;
+    ko.cone_cache = cone_cache;
     side.result = bmc::prove_by_k_induction(ts, ko);
     if (side.result.status != bmc::KInductionStatus::Unknown &&
         (!stop_flag || try_claim(static_cast<int>(portfolio + idx)))) {
@@ -244,7 +255,7 @@ JobResult run_job(const JobSpec& job) {
     r.verdict = Verdict::Falsified;
     r.winner = Prover::Bmc;
     r.trace_length = side.found->length;
-    if (who != 0) canonical_witness(job, side.found->length, &side);
+    if (who != 0) canonical_witness(job, side.found->length, cone_cache, &side);
     r.bad_label = side.bad_label;
     r.witness = side.witness_text;
     r.conflicts = side.stats.solver_conflicts;
@@ -252,6 +263,9 @@ JobResult run_job(const JobSpec& job) {
     r.decisions = side.stats.solver_decisions;
     r.cnf_vars = side.stats.cnf_vars;
     r.cnf_clauses = side.stats.cnf_clauses;
+    r.cone_lookups = side.stats.cone_lookups;
+    r.cone_hits = side.stats.cone_hits;
+    r.cone_clauses_replayed = side.stats.cone_clauses_replayed;
     r.loser_cancelled = any_loser_cancelled(who);
     if (job.budget.sequential_provers)
       tally_sequential_counters(bsides[0], ksides.empty() ? KindSide{} : ksides[0],
@@ -265,13 +279,16 @@ JobResult run_job(const JobSpec& job) {
     r.decisions = side.result.solver_decisions;
     r.cnf_vars = side.result.cnf_vars;
     r.cnf_clauses = side.result.cnf_clauses;
+    r.cone_lookups = side.result.cone_lookups;
+    r.cone_hits = side.result.cone_hits;
+    r.cone_clauses_replayed = side.result.cone_clauses_replayed;
     r.loser_cancelled = any_loser_cancelled(who);
     if (side.result.status == bmc::KInductionStatus::Falsified) {
       r.verdict = Verdict::Falsified;
       r.trace_length = side.result.witness ? side.result.witness->length : 0;
       if (idx != 0 && side.result.witness) {
         BmcSide canon;
-        canonical_witness(job, side.result.witness->length, &canon);
+        canonical_witness(job, side.result.witness->length, cone_cache, &canon);
         side.witness_text = canon.witness_text;
         side.bad_label = canon.bad_label;
       }
@@ -317,6 +334,12 @@ CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   report.threads = threads;
   report.jobs.resize(spec.jobs.size());
 
+  // Every job of the campaign shares one cone store: identical cones
+  // blast once, replay everywhere. Replay is exact (cone_cache.hpp), so
+  // this cannot perturb the determinism contract.
+  const std::shared_ptr<smt::ConeCache> cone_cache =
+      options.cone_cache ? options.cone_cache : std::make_shared<smt::ConeCache>();
+
   // Work queue: an atomic cursor over the job list. Each worker pops the
   // next index and runs the job in full isolation; results land in spec
   // order so the report is independent of scheduling.
@@ -325,7 +348,7 @@ CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec.jobs.size()) return;
-      report.jobs[i] = run_job(spec.jobs[i]);
+      report.jobs[i] = run_job(spec.jobs[i], cone_cache);
       report.jobs[i].spec_index = i;
       if (options.on_job_done) options.on_job_done(i, report.jobs[i]);
     }
@@ -449,6 +472,13 @@ std::string CampaignReport::to_json(bool include_timing) const {
       os << ", \"bmc_bounds_checked\": " << j.bmc_bounds_checked;
       os << ", \"loser_cancelled\": " << (j.loser_cancelled ? "true" : "false");
       os << ", \"hit_resource_limit\": " << (j.hit_resource_limit ? "true" : "false");
+      // Cache traffic is workload-dependent scheduling detail (a verdict-
+      // cache hit zeroes the solver counters entirely), so like the other
+      // counters it stays out of the stable form.
+      os << ", \"cone_lookups\": " << j.cone_lookups;
+      os << ", \"cone_hits\": " << j.cone_hits;
+      os << ", \"cone_clauses_replayed\": " << j.cone_clauses_replayed;
+      os << ", \"from_cache\": " << (j.from_cache ? "true" : "false");
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.3f", j.seconds);
       os << ", \"seconds\": " << buf;

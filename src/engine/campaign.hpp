@@ -166,6 +166,16 @@ struct JobResult {
   std::uint64_t decisions = 0;
   std::uint64_t cnf_vars = 0;
   std::uint64_t cnf_clauses = 0;
+  /// Cone-cache traffic of this job's solver stacks (campaign cache;
+  /// zero when the job ran uncached). Same determinism caveats as the
+  /// other counters: race mode reports the winner's stacks, sequential
+  /// mode the deterministic totals.
+  std::uint64_t cone_lookups = 0;
+  std::uint64_t cone_hits = 0;
+  std::uint64_t cone_clauses_replayed = 0;
+  /// True when the verdict was loaded from a campaign verdict cache
+  /// (engine/verdict_cache.hpp) instead of being solved in-process.
+  bool from_cache = false;
   double seconds = 0.0;  // job wall time
 };
 
@@ -175,6 +185,11 @@ struct CampaignOptions {
   /// Invoked from worker threads without serialization — the callback
   /// must synchronize itself. Used by the checkpointing shard runner.
   std::function<void(std::size_t, const JobResult&)> on_job_done;
+  /// Cone store shared by every job of the campaign. When null,
+  /// run_campaign creates a fresh one per call — pass one explicitly to
+  /// share blasted cones across *campaigns* in the same process (as
+  /// bench/campaign_perf's warm run does).
+  std::shared_ptr<smt::ConeCache> cone_cache;
 };
 
 struct CampaignReport {
@@ -222,7 +237,11 @@ struct CampaignReport {
 };
 
 /// Run one job on the calling thread (racing its provers internally).
-JobResult run_job(const JobSpec& job);
+/// `cone_cache` (may be null) is shared by every solver stack the job
+/// spins up — the portfolio entrants, both provers, and the canonical
+/// witness replay all hit the same store.
+JobResult run_job(const JobSpec& job,
+                  const std::shared_ptr<smt::ConeCache>& cone_cache = nullptr);
 
 /// Fan the campaign out over a worker pool and aggregate the report.
 CampaignReport run_campaign(const CampaignSpec& spec,

@@ -365,6 +365,19 @@ bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
     if (!get_u64(obj, "bmc_bounds_checked", &n, error)) return false;
     out->bmc_bounds_checked = static_cast<unsigned>(n);
   }
+  if (obj.find("cone_lookups")) {
+    if (!get_u64(obj, "cone_lookups", &n, error)) return false;
+    out->cone_lookups = n;
+  }
+  if (obj.find("cone_hits")) {
+    if (!get_u64(obj, "cone_hits", &n, error)) return false;
+    out->cone_hits = n;
+  }
+  if (obj.find("cone_clauses_replayed")) {
+    if (!get_u64(obj, "cone_clauses_replayed", &n, error)) return false;
+    out->cone_clauses_replayed = n;
+  }
+  get_bool(obj, "from_cache", &out->from_cache);
   get_bool(obj, "loser_cancelled", &out->loser_cancelled);
   get_bool(obj, "hit_resource_limit", &out->hit_resource_limit);
   get_double(obj, "seconds", &out->seconds);

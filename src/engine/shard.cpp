@@ -11,6 +11,7 @@
 #include <unordered_set>
 
 #include "engine/report_io.hpp"
+#include "engine/verdict_cache.hpp"
 #include "util/parse.hpp"
 
 namespace sepe::engine {
@@ -235,6 +236,16 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
   const CampaignReport::ShardInfo info{effective, plan.total_jobs};
   const std::string digest = spec_digest_of(full, options.fingerprint);
 
+  std::unique_ptr<VerdictCache> cache;
+  if (!options.cache_dir.empty()) {
+    std::string cache_error;
+    cache = VerdictCache::open(options.cache_dir, &cache_error);
+    if (!cache) {
+      set_error(error, "verdict cache: " + cache_error);
+      return empty;
+    }
+  }
+
   // Resume: load finished jobs from the checkpoint, keyed by name.
   std::vector<JobResult> results(plan.spec.jobs.size());
   std::vector<bool> done(plan.spec.jobs.size(), false);
@@ -298,6 +309,32 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
     }
   }
 
+  // Verdict-cache hits fill in after the checkpoint: a hit restores the
+  // stable verdict fields with solver counters zeroed and from_cache
+  // set, and — like a checkpoint-resumed job — does not fire the user's
+  // on_job_done hook: the job was not solved by this run.
+  if (cache) {
+    for (std::size_t i = 0; i < plan.spec.jobs.size(); ++i) {
+      if (done[i]) continue;
+      const JobSpec& job = plan.spec.jobs[i];
+      if (!VerdictCache::cacheable(job)) continue;
+      const auto hit = cache->lookup(VerdictCache::key_of(job, options.fingerprint));
+      if (!hit) continue;
+      JobResult r;
+      r.name = job.name;
+      r.spec_index = plan.spec_indices[i];
+      r.provenance = job.provenance;
+      r.verdict = hit->verdict;
+      r.trace_length = hit->trace_length;
+      r.bad_label = hit->bad_label;
+      r.proved_k = hit->proved_k;
+      r.note = hit->note;
+      r.from_cache = true;
+      results[i] = std::move(r);
+      done[i] = true;
+    }
+  }
+
   // The sub-spec of jobs the checkpoint does not already cover.
   CampaignSpec pending;
   pending.seed = full.seed;
@@ -312,12 +349,25 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
   std::mutex checkpoint_mutex;
   const auto user_hook = options.pool.on_job_done;
   const bool journal = !options.checkpoint_path.empty();
-  if (journal || user_hook) {
+  if (journal || user_hook || cache) {
     pool.on_job_done = [&, user_hook, journal](std::size_t pending_index,
                                                const JobResult& job) {
       const std::size_t i = pending_to_plan[pending_index];
       JobResult patched = job;
       patched.spec_index = plan.spec_indices[i];
+      // Persist freshly solved verdicts (VerdictCache serializes its own
+      // journal; no need for the checkpoint mutex). Jobs served from the
+      // cache never reach this hook — run_campaign only ran the misses.
+      if (cache && VerdictCache::cacheable(plan.spec.jobs[i])) {
+        VerdictCache::Entry entry;
+        entry.verdict = patched.verdict;
+        entry.trace_length = patched.trace_length;
+        entry.bad_label = patched.bad_label;
+        entry.proved_k = patched.proved_k;
+        entry.note = patched.note;
+        cache->append(VerdictCache::key_of(plan.spec.jobs[i], options.fingerprint),
+                      entry);
+      }
       if (journal) {
         std::lock_guard<std::mutex> lock(checkpoint_mutex);
         results[i] = patched;

@@ -80,6 +80,16 @@ struct ShardRunOptions {
   /// opaque) — e.g. sepe-run contributes the DUV xlen. A checkpoint
   /// recorded under a different fingerprint is refused on resume.
   std::string fingerprint;
+  /// When non-empty: a campaign verdict-cache directory (sepe-run
+  /// --cache DIR; engine/verdict_cache.hpp). Jobs whose key is already
+  /// journaled there are served from the cache (JobResult::from_cache,
+  /// zero solver counters, no on_job_done callback — same contract as
+  /// checkpoint-resumed jobs); freshly solved cacheable jobs are
+  /// appended. Unlike the checkpoint, the cache is shared across
+  /// campaigns and shards — keys embed the fingerprint and the full job
+  /// identity, so unrelated runs simply miss. An unusable directory is
+  /// a hard error; a corrupt journal entry is only ever a miss.
+  std::string cache_dir;
 };
 
 /// Run one shard of the campaign with optional checkpoint/resume. On

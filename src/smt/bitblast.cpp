@@ -1,16 +1,46 @@
 #include "smt/bitblast.hpp"
 
 #include <cassert>
+#include <unordered_set>
 
 namespace sepe::smt {
 
 using sat::Lit;
 
+namespace {
+
+// splitmix64 finalizer, the same diffusion the term digests use.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 BitBlaster::BitBlaster(const TermManager& mgr, sat::Solver& solver,
-                       bool plaisted_greenbaum)
-    : mgr_(mgr), solver_(solver), pg_(plaisted_greenbaum) {
+                       bool plaisted_greenbaum,
+                       std::shared_ptr<ConeCache> cone_cache)
+    : mgr_(mgr),
+      solver_(solver),
+      pg_(plaisted_greenbaum),
+      cone_cache_(std::move(cone_cache)) {
   true_lit_ = fresh();
   solver_.add_clause(true_lit_);
+  // Seed the state digest with the encoding: a Tseitin tape must never
+  // be offered to a Plaisted-Greenbaum blaster or vice versa.
+  state_.lo = mix64(0x636f6e652d763120ULL ^ (pg_ ? 2 : 1));
+  state_.hi = mix64(state_.lo);
+}
+
+TermDigest BitBlaster::advance_state(TermRef root, std::uint8_t polarity) {
+  const TermDigest& d = mgr_.digest(root);
+  TermDigest next;
+  next.lo = mix64(state_.lo ^ d.lo ^ (std::uint64_t(polarity) << 56));
+  next.hi = mix64(state_.hi ^ d.hi ^ std::uint64_t(polarity));
+  state_ = next;
+  return next;
 }
 
 Lit BitBlaster::gate_output(const GateKey& key, std::uint8_t pol,
@@ -18,11 +48,17 @@ Lit BitBlaster::gate_output(const GateKey& key, std::uint8_t pol,
   if (auto it = gate_cache_.find(key); it != gate_cache_.end()) {
     missing = pol & static_cast<std::uint8_t>(~it->second.emitted);
     it->second.emitted |= missing;
+    if (recording_ && missing != 0)
+      recording_->gate_ops.push_back(ConeTape::GateOp{
+          key.op, key.a, key.b, key.c, it->second.out.code(), missing, false});
     return it->second.out;
   }
   const Lit o = fresh();
   missing = pol;
   gate_cache_.emplace(key, GateEntry{o, pol});
+  if (recording_)
+    recording_->gate_ops.push_back(
+        ConeTape::GateOp{key.op, key.a, key.b, key.c, o.code(), pol, true});
   return o;
 }
 
@@ -37,11 +73,11 @@ Lit BitBlaster::gate_and(Lit a, Lit b, std::uint8_t pol) {
   std::uint8_t missing;
   const Lit o = gate_output(GateKey{0, a.code(), b.code(), -1}, pol, missing);
   if (missing & kPos) {  // o -> a, o -> b
-    solver_.add_clause(a, ~o);
-    solver_.add_clause(b, ~o);
+    emit(a, ~o);
+    emit(b, ~o);
   }
   if (missing & kNeg) {  // a & b -> o
-    solver_.add_clause(~a, ~b, o);
+    emit(~a, ~b, o);
   }
   return o;
 }
@@ -62,12 +98,12 @@ Lit BitBlaster::gate_xor(Lit a, Lit b, std::uint8_t pol) {
   std::uint8_t missing;
   const Lit o = gate_output(GateKey{1, a.code(), b.code(), -1}, pol, missing);
   if (missing & kPos) {  // o -> (a xor b)
-    solver_.add_clause(~a, ~b, ~o);
-    solver_.add_clause(a, b, ~o);
+    emit(~a, ~b, ~o);
+    emit(a, b, ~o);
   }
   if (missing & kNeg) {  // (a xor b) -> o
-    solver_.add_clause(~a, b, o);
-    solver_.add_clause(a, ~b, o);
+    emit(~a, b, o);
+    emit(a, ~b, o);
   }
   return o;
 }
@@ -82,12 +118,12 @@ Lit BitBlaster::gate_mux(Lit sel, Lit t, Lit e, std::uint8_t pol) {
   std::uint8_t missing;
   const Lit o = gate_output(GateKey{2, sel.code(), t.code(), e.code()}, pol, missing);
   if (missing & kPos) {  // o -> (sel ? t : e)
-    solver_.add_clause(~sel, t, ~o);
-    solver_.add_clause(sel, e, ~o);
+    emit(~sel, t, ~o);
+    emit(sel, e, ~o);
   }
   if (missing & kNeg) {  // (sel ? t : e) -> o
-    solver_.add_clause(~sel, ~t, o);
-    solver_.add_clause(sel, ~e, o);
+    emit(~sel, ~t, o);
+    emit(sel, ~e, o);
   }
   return o;
 }
@@ -279,14 +315,127 @@ void BitBlaster::propagate_polarity(TermRef t, std::uint8_t pol,
   }
 }
 
+bool BitBlaster::replay_tape(TermRef t, std::uint8_t polarity,
+                             const ConeTape& tape) {
+  // Phase 1, read-only: walk the pruned DFS exactly as the structural
+  // encoder below would, pairing each to-be-encoded node with the tape's
+  // node records by canonical digest. A mismatch means the state-digest
+  // key collided across genuinely different histories — refuse the tape
+  // before anything has been mutated.
+  std::vector<TermRef> order;
+  {
+    std::unordered_set<TermRef> planned;
+    std::vector<TermRef> stack{t};
+    while (!stack.empty()) {
+      const TermRef cur = stack.back();
+      if (cache_.count(cur) != 0 || planned.count(cur) != 0) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      for (TermRef o : mgr_.node(cur).operands) {
+        if (cache_.count(o) == 0 && planned.count(o) == 0) {
+          stack.push_back(o);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      stack.pop_back();
+      planned.insert(cur);
+      order.push_back(cur);
+    }
+  }
+  if (order.size() != tape.nodes.size()) return false;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ConeTape::Node& rec = tape.nodes[i];
+    if (rec.digest != mgr_.digest(order[i])) return false;
+    if (rec.width != mgr_.node(order[i]).width) return false;
+  }
+
+  // Phase 2: apply. The polarity walk only touches term_pol_ — the
+  // clause re-emissions its replay list stood for on the recording side
+  // are part of the tape's stream, so the list itself is discarded.
+  if (pg_) {
+    std::vector<TermRef> discard;
+    propagate_polarity(t, polarity, discard);
+  }
+
+  // Solver API call stream, verbatim and in order.
+  for (std::size_t i = 0; i < tape.stream.size();) {
+    const int v = tape.stream[i++];
+    if (v < 0) {
+      solver_.new_var();
+      continue;
+    }
+    assert(i + static_cast<std::size_t>(v) <= tape.stream.size());
+    if (v == 2) {
+      solver_.add_clause(Lit::from_code(tape.stream[i]),
+                         Lit::from_code(tape.stream[i + 1]));
+    } else if (v == 3) {
+      solver_.add_clause(Lit::from_code(tape.stream[i]),
+                         Lit::from_code(tape.stream[i + 1]),
+                         Lit::from_code(tape.stream[i + 2]));
+    } else {
+      std::vector<Lit> clause;
+      clause.reserve(v);
+      for (int j = 0; j < v; ++j)
+        clause.push_back(Lit::from_code(tape.stream[i + j]));
+      solver_.add_clause(clause);
+    }
+    i += v;
+    ++cone_stats_.clauses_replayed;
+  }
+
+  // Gate-cache mutations, so later structural encodes see the exact
+  // state the recording blaster had.
+  for (const ConeTape::GateOp& g : tape.gate_ops) {
+    const GateKey key{g.op, g.a, g.b, g.c};
+    if (g.insert) {
+      gate_cache_.emplace(key, GateEntry{Lit::from_code(g.out), g.mask});
+    } else {
+      const auto it = gate_cache_.find(key);
+      assert(it != gate_cache_.end() && "tape update of an unknown gate");
+      if (it != gate_cache_.end()) it->second.emitted |= g.mask;
+    }
+  }
+
+  // Term bits and the model support, in DFS order.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const ConeTape::Node& rec = tape.nodes[i];
+    Bits bits;
+    bits.reserve(rec.bits.size());
+    for (int code : rec.bits) bits.push_back(Lit::from_code(code));
+    if (rec.is_var) blasted_vars_.push_back(order[i]);
+    cache_.emplace(order[i], std::move(bits));
+  }
+  return true;
+}
+
 const std::vector<Lit>& BitBlaster::blast(TermRef t, std::uint8_t polarity) {
   if (!pg_) polarity = kBoth;
+  // Every top-level call — including no-ops — advances the state digest,
+  // keeping the key an exact function of the call history.
+  const TermDigest key = advance_state(t, polarity);
   if (auto it = cache_.find(t); it != cache_.end()) {
     if (!pg_) return it->second;
     const auto pit = term_pol_.find(t);
     if (pit != term_pol_.end() &&
         (polarity & static_cast<std::uint8_t>(~pit->second)) == 0)
       return it->second;
+  }
+
+  if (cone_cache_) {
+    ++cone_stats_.lookups;
+    if (const auto tape = cone_cache_->lookup(key)) {
+      if (replay_tape(t, polarity, *tape)) {
+        ++cone_stats_.hits;
+        return cache_.at(t);
+      }
+      cone_cache_->note_validation_failure();
+    } else {
+      rec_tape_ = std::make_shared<ConeTape>();
+      recording_ = rec_tape_.get();
+    }
   }
 
   std::vector<TermRef> replay;
@@ -318,7 +467,19 @@ const std::vector<Lit>& BitBlaster::blast(TermRef t, std::uint8_t polarity) {
     }
     if (!ready) continue;
     stack.pop_back();
-    cache_.emplace(cur, encode(cur));
+    Bits bits = encode(cur);
+    if (recording_) {
+      ConeTape::Node rec{mgr_.digest(cur), n.width, n.op == Op::Var, {}};
+      rec.bits.reserve(bits.size());
+      for (Lit l : bits) rec.bits.push_back(l.code());
+      recording_->nodes.push_back(std::move(rec));
+    }
+    cache_.emplace(cur, std::move(bits));
+  }
+
+  if (recording_) {
+    recording_ = nullptr;
+    cone_cache_->insert(key, std::move(rec_tape_));
   }
   return cache_.at(t);
 }

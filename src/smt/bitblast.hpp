@@ -33,10 +33,12 @@
 // gate literals.
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "sat/solver.hpp"
+#include "smt/cone_cache.hpp"
 #include "smt/term.hpp"
 
 namespace sepe::smt {
@@ -52,9 +54,13 @@ class BitBlaster {
 
   /// `plaisted_greenbaum` = true opts into polarity-split gate clauses;
   /// the default is full Tseitin (both polarities for every gate), which
-  /// measures faster on the campaign workloads.
+  /// measures faster on the campaign workloads. `cone_cache`, when
+  /// non-null, shares bit-blasted cones with every other blaster of the
+  /// campaign (see cone_cache.hpp); replay is exact, so the cache never
+  /// changes the clause stream the solver sees.
   BitBlaster(const TermManager& mgr, sat::Solver& solver,
-             bool plaisted_greenbaum = false);
+             bool plaisted_greenbaum = false,
+             std::shared_ptr<ConeCache> cone_cache = nullptr);
 
   /// Bits of `t`, least-significant first. Encodes on first use; repeated
   /// calls may add clauses when `polarity` widens an earlier requirement,
@@ -71,6 +77,14 @@ class BitBlaster {
   /// evaluation-based read-back.
   const std::vector<TermRef>& blasted_vars() const { return blasted_vars_; }
 
+  /// Per-blaster cone-cache traffic (zero when no cache is attached).
+  struct ConeStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t clauses_replayed = 0;
+  };
+  const ConeStats& cone_stats() const { return cone_stats_; }
+
  private:
   using Bits = std::vector<sat::Lit>;
 
@@ -79,8 +93,44 @@ class BitBlaster {
                                      ((pol & kNeg) ? kPos : 0));
   }
 
-  sat::Lit fresh() { return sat::Lit(solver_.new_var(), false); }
+  sat::Lit fresh() {
+    const sat::Lit l(solver_.new_var(), false);
+    if (recording_) {
+      recording_->stream.push_back(-1);
+      ++recording_->num_vars;
+    }
+    return l;
+  }
   sat::Lit const_lit(bool b) const { return b ? true_lit_ : ~true_lit_; }
+
+  // Clause emission wrappers: every gate clause goes through these so an
+  // active tape recording captures the exact solver API call stream.
+  void emit(sat::Lit a, sat::Lit b) {
+    solver_.add_clause(a, b);
+    if (recording_) {
+      recording_->stream.push_back(2);
+      recording_->stream.push_back(a.code());
+      recording_->stream.push_back(b.code());
+      ++recording_->num_clauses;
+    }
+  }
+  void emit(sat::Lit a, sat::Lit b, sat::Lit c) {
+    solver_.add_clause(a, b, c);
+    if (recording_) {
+      recording_->stream.push_back(3);
+      recording_->stream.push_back(a.code());
+      recording_->stream.push_back(b.code());
+      recording_->stream.push_back(c.code());
+      ++recording_->num_clauses;
+    }
+  }
+
+  /// Fold the next top-level blast call into the running state digest and
+  /// return the resulting value — the cone-cache key of this call.
+  TermDigest advance_state(TermRef root, std::uint8_t polarity);
+  /// Validate-then-apply `tape` for blast(t, polarity). Returns false
+  /// (touching nothing) when digest validation refuses the tape.
+  bool replay_tape(TermRef t, std::uint8_t polarity, const ConeTape& tape);
 
   struct GateKey;
   /// Gate-cache lookup shared by every gate encoder: returns the (cached
@@ -150,6 +200,15 @@ class BitBlaster {
     std::uint8_t emitted;
   };
   std::unordered_map<GateKey, GateEntry, GateKeyHash> gate_cache_;
+
+  // Campaign-wide cone sharing (see cone_cache.hpp). `state_` digests the
+  // top-level blast-call history; `recording_` is non-null while the
+  // current call is being taped for the shared store.
+  std::shared_ptr<ConeCache> cone_cache_;
+  TermDigest state_;
+  ConeTape* recording_ = nullptr;
+  std::shared_ptr<ConeTape> rec_tape_;
+  ConeStats cone_stats_;
 };
 
 }  // namespace sepe::smt

@@ -1,0 +1,47 @@
+#include "smt/cone_cache.hpp"
+
+namespace sepe::smt {
+
+std::size_t ConeTape::byte_size() const {
+  std::size_t n = sizeof(ConeTape);
+  n += stream.size() * sizeof(int);
+  n += gate_ops.size() * sizeof(GateOp);
+  for (const Node& node : nodes)
+    n += sizeof(Node) + node.bits.size() * sizeof(int);
+  return n;
+}
+
+std::shared_ptr<const ConeTape> ConeCache::lookup(const TermDigest& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  ++stats_.hits;
+  return it->second;
+}
+
+void ConeCache::insert(const TermDigest& key,
+                       std::shared_ptr<const ConeTape> tape) {
+  const std::size_t cost = tape->byte_size();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (map_.count(key) != 0) return;
+  if (stats_.bytes + cost > max_bytes_) {
+    ++stats_.store_rejects;
+    return;
+  }
+  stats_.bytes += cost;
+  ++stats_.stores;
+  map_.emplace(key, std::move(tape));
+}
+
+void ConeCache::note_validation_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.validation_failures;
+}
+
+ConeCache::Stats ConeCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sepe::smt

@@ -1,0 +1,127 @@
+// cone_cache.hpp — campaign-wide cache of bit-blasted CNF cones.
+//
+// Campaign jobs are near-duplicates (the same DUV with one mutation or
+// QED mode flipped; corpus siblings share every cone up to the property),
+// yet each job bit-blasts on an isolated solver stack. This store lets
+// every BitBlaster of a campaign share the *work* of blasting without
+// sharing any solver state.
+//
+// Design: exact-replay tapes keyed by blaster-state digest.
+//
+// A BitBlaster's entire state — solver clause/variable stream, term→bits
+// cache, gate cache, polarity table — is a deterministic function of the
+// sequence of top-level blast(root, polarity) calls it has served,
+// where each root is identified structurally by its canonical TermDigest
+// (cross-manager, see term.hpp). Each blaster therefore maintains a
+// running *state digest* over that call history (seeded with the
+// encoding flag). Two blasters with equal state digests are isomorphic:
+// same variable numbering (var 0 is always the true literal), same
+// caches, same everything.
+//
+// A tape records one top-level blast call against a given state digest:
+// the exact solver API call stream (fresh variables and clauses, in
+// order), the DFS sequence of newly encoded nodes (digest + bits), and
+// the gate-cache mutations. Replaying the tape on an isomorphic blaster
+// issues the *identical* API call sequence the structural encoder would
+// have issued — cached and uncached runs are indistinguishable to the
+// SAT core by construction, which is what makes the campaign determinism
+// contract (byte-identical stable JSON) hold trivially. The win is
+// skipping the encode() walk: circuit construction, hash-consing
+// traffic, and gate-cache probing happen once per distinct cone per
+// campaign instead of once per job.
+//
+// Replay validates before it mutates: the to-be-encoded node sequence is
+// walked read-only and digest-paired against the tape; any mismatch (a
+// state-key collision) bails out to the structural encoder. A hit can
+// therefore never corrupt a blaster.
+//
+// Thread safety: lookup/insert take a mutex; tapes are immutable after
+// insertion and handed out by shared_ptr. Counters are plain values
+// guarded by the same mutex (lookups are rare: one per top-level blast).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/term.hpp"
+
+namespace sepe::smt {
+
+/// One recorded top-level blast call. Immutable once stored.
+struct ConeTape {
+  /// A node the call encoded, in pruned-DFS post-order. `bits` are raw
+  /// literal codes — valid verbatim on any isomorphic blaster.
+  struct Node {
+    TermDigest digest;
+    unsigned width;
+    bool is_var;  // replay appends to blasted_vars_
+    std::vector<int> bits;
+  };
+  /// A gate-cache mutation: insert of a fresh entry or widening of the
+  /// emitted-polarity mask of an existing one.
+  struct GateOp {
+    int op, a, b, c;    // the structural GateKey
+    int out;            // output literal code
+    std::uint8_t mask;  // polarities emitted by this op
+    bool insert;
+  };
+
+  /// Solver API call stream: -1 = one fresh variable; n >= 1 = a clause
+  /// of n literal codes following immediately.
+  std::vector<int> stream;
+  std::vector<Node> nodes;
+  std::vector<GateOp> gate_ops;
+  std::uint64_t num_vars = 0;
+  std::uint64_t num_clauses = 0;
+
+  std::size_t byte_size() const;
+};
+
+/// Thread-safe in-process tape store, shared by every solver stack of a
+/// campaign (src/engine/campaign.cpp creates one per run_campaign).
+class ConeCache {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t store_rejects = 0;        // memory budget exceeded
+    std::uint64_t validation_failures = 0;  // key collision, replay refused
+    std::uint64_t bytes = 0;
+  };
+
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t(256) << 20;
+
+  explicit ConeCache(std::size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// The tape recorded under `key`, or null. Counts a lookup (and a hit).
+  std::shared_ptr<const ConeTape> lookup(const TermDigest& key);
+
+  /// Insert-if-absent; rejected (dropped) when over the memory budget.
+  /// Losing an insert race or a rejection is harmless: replay and
+  /// structural encoding produce identical solver states.
+  void insert(const TermDigest& key, std::shared_ptr<const ConeTape> tape);
+
+  /// A replay refused by digest validation (see BitBlaster::replay_tape).
+  void note_validation_failure();
+
+  Stats stats() const;
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const TermDigest& d) const {
+      return static_cast<std::size_t>(d.lo ^ (d.hi * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<TermDigest, std::shared_ptr<const ConeTape>, KeyHash> map_;
+  std::size_t max_bytes_;
+  Stats stats_;
+};
+
+}  // namespace sepe::smt

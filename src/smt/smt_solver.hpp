@@ -36,9 +36,14 @@ class SmtSolver {
   /// `config` tunes the CDCL heuristics (portfolio racing).
   /// `plaisted_greenbaum` = true opts into polarity-split encoding (see
   /// bitblast.hpp for why full Tseitin is the default).
+  /// `cone_cache`, when non-null, shares bit-blasted cones with the other
+  /// solver stacks of a campaign (see cone_cache.hpp).
   explicit SmtSolver(TermManager& mgr, const sat::SolverConfig& config = {},
-                     bool plaisted_greenbaum = false)
-      : mgr_(mgr), sat_(config), blaster_(mgr, sat_, plaisted_greenbaum) {}
+                     bool plaisted_greenbaum = false,
+                     std::shared_ptr<ConeCache> cone_cache = nullptr)
+      : mgr_(mgr),
+        sat_(config),
+        blaster_(mgr, sat_, plaisted_greenbaum, std::move(cone_cache)) {}
 
   TermManager& mgr() { return mgr_; }
 
@@ -72,6 +77,11 @@ class SmtSolver {
   bool stop_requested() const { return sat_.stop_requested(); }
 
   const sat::Solver& sat_solver() const { return sat_; }
+
+  /// Cone-cache traffic of this solver's blaster (zeros when uncached).
+  const BitBlaster::ConeStats& cone_stats() const {
+    return blaster_.cone_stats();
+  }
 
  private:
   TermManager& mgr_;

@@ -41,11 +41,58 @@ const char* op_name(Op op) {
 
 TermManager::TermManager() = default;
 
+namespace {
+
+// splitmix64 finalizer — the diffusion step between digest fields.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t fnv1a64(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void TermManager::stamp_digest() {
+  const TermNode& n = nodes_.back();
+  // Two independently-seeded 64-bit lanes; the second lane folds each
+  // field in through a different multiplier, so a single-lane collision
+  // does not collide the 128-bit pair.
+  std::uint64_t lo = 0x5345504544494745ULL;  // "SEPEDIGE"
+  std::uint64_t hi = 0x636f6e652d646967ULL;  // "cone-dig"
+  auto feed = [&](std::uint64_t v) {
+    lo = mix64(lo ^ v);
+    hi = mix64(hi + (v * 0xff51afd7ed558ccdULL + 0x2545f4914f6cdd1dULL));
+  };
+  feed(static_cast<std::uint64_t>(n.op));
+  feed(n.width);
+  feed(n.operands.size());
+  for (TermRef o : n.operands) {
+    feed(digests_[o].lo);
+    feed(digests_[o].hi);
+  }
+  feed(n.aux0);
+  feed(n.aux1);
+  if (n.op == Op::Const) feed(n.value.uval());
+  if (n.op == Op::Var) feed(fnv1a64(n.name));
+  digests_.push_back(TermDigest{lo, hi});
+}
+
 TermRef TermManager::intern(Key key, TermNode node) {
   auto it = table_.find(key);
   if (it != table_.end()) return it->second;
   const TermRef ref = static_cast<TermRef>(nodes_.size());
   nodes_.push_back(std::move(node));
+  stamp_digest();
   table_.emplace(std::move(key), ref);
   return ref;
 }
@@ -64,6 +111,7 @@ TermRef TermManager::mk_var(const std::string& name, unsigned width) {
   }
   const TermRef ref = static_cast<TermRef>(nodes_.size());
   nodes_.push_back(TermNode{Op::Var, width, {}, BitVec(), 0, 0, name});
+  stamp_digest();
   vars_.emplace(name, ref);
   return ref;
 }

@@ -41,6 +41,20 @@ enum class Op : std::uint8_t {
 
 const char* op_name(Op op);
 
+/// Canonical 128-bit structural digest of a term. Two terms built in
+/// *different* TermManagers get equal digests iff they are structurally
+/// identical (same op/width/aux/payload/name tree), which is what lets
+/// the campaign-wide cone cache (src/smt/cone_cache.hpp) key bit-blasted
+/// CNF by content instead of by TermRef. Digests are computed eagerly at
+/// node creation — operands always exist before their parents in the
+/// hash-consed DAG, so each node costs O(arity).
+struct TermDigest {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  bool operator==(const TermDigest& o) const { return lo == o.lo && hi == o.hi; }
+  bool operator!=(const TermDigest& o) const { return !(*this == o); }
+};
+
 /// A single DAG node. Immutable after creation.
 struct TermNode {
   Op op;
@@ -62,6 +76,11 @@ class TermManager {
   const TermNode& node(TermRef t) const { return nodes_[t]; }
   unsigned width(TermRef t) const { return nodes_[t].width; }
   std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Canonical cross-manager structural digest (see TermDigest). By
+  /// value: a reference into digests_ would dangle as soon as a caller
+  /// interned another term (the vector reallocates).
+  TermDigest digest(TermRef t) const { return digests_[t]; }
 
   TermRef mk_const(const BitVec& v);
   TermRef mk_const(unsigned width, std::uint64_t v) { return mk_const(BitVec(width, v)); }
@@ -139,8 +158,11 @@ class TermManager {
   TermRef mk_binop(Op op, TermRef a, TermRef b, unsigned result_width);
   bool is_const(TermRef t) const { return nodes_[t].op == Op::Const; }
   const BitVec& const_val(TermRef t) const { return nodes_[t].value; }
+  /// Compute and store the digest of nodes_.back() (called once per node).
+  void stamp_digest();
 
   std::vector<TermNode> nodes_;
+  std::vector<TermDigest> digests_;  // parallel to nodes_
   std::unordered_map<Key, TermRef, KeyHash> table_;
   std::unordered_map<std::string, TermRef> vars_;
 };

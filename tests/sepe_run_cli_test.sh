@@ -148,6 +148,64 @@ else
   FAILURES=$((FAILURES + 1))
 fi
 
+# --- the verdict cache ---
+
+# A warm run against the same --cache directory serves every job from
+# the journal and the stable JSON is byte-identical to the reference.
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --cache "$WORK/cache-dir" \
+    --json "$WORK/cache-cold.json" >/dev/null; then
+  echo "FAIL: cold cached run"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --cache "$WORK/cache-dir" \
+    --json "$WORK/cache-warm.json" >/dev/null; then
+  echo "FAIL: warm cached run"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/reference.json" "$WORK/cache-cold.json" \
+    && cmp -s "$WORK/reference.json" "$WORK/cache-warm.json"; then
+  echo "ok: --cache warm rerun is byte-identical to the uncached reference"
+else
+  echo "FAIL: cached report differs from the uncached reference"
+  diff "$WORK/reference.json" "$WORK/cache-warm.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A poisoned journal (hand-edited verdict, appended garbage) degrades to
+# misses with a diagnostic — the run still completes with a report that
+# is byte-identical to the reference, never a wrong verdict.
+sed -i '1s/"verdict":"./"verdict":"X/' "$WORK/cache-dir/verdicts.jsonl"
+echo 'this is not a journal line' >> "$WORK/cache-dir/verdicts.jsonl"
+if ! "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --cache "$WORK/cache-dir" \
+    --json "$WORK/cache-poisoned.json" >/dev/null 2>"$WORK/cache-poisoned.log"; then
+  echo "FAIL: run against a poisoned cache"
+  cat "$WORK/cache-poisoned.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! grep -q "verdict cache: ignoring corrupt entry" "$WORK/cache-poisoned.log"; then
+  echo "FAIL: no corrupt-entry diagnostic on stderr:"
+  cat "$WORK/cache-poisoned.log"
+  FAILURES=$((FAILURES + 1))
+elif cmp -s "$WORK/reference.json" "$WORK/cache-poisoned.json"; then
+  echo "ok: poisoned cache entries are re-solved, diagnostic printed"
+else
+  echo "FAIL: post-poisoning report differs from the reference:"
+  diff "$WORK/reference.json" "$WORK/cache-poisoned.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# An unusable cache directory is a hard error, not a silent no-cache run.
+: > "$WORK/cache-blocker"
+"$SEPE_RUN" "${CAMPAIGN[@]}" --cache "$WORK/cache-blocker/sub" \
+    >/dev/null 2>"$WORK/cache-bad.log"
+status=$?
+if [ "$status" -ne 0 ] && grep -q "verdict cache" "$WORK/cache-bad.log"; then
+  echo "ok: unusable --cache directory is a hard error"
+else
+  echo "FAIL: unusable --cache dir should fail with a diagnostic, got $status"
+  FAILURES=$((FAILURES + 1))
+fi
+
 # --- the multi-process dispatcher ---
 
 # Dispatching the campaign over worker processes merges byte-identically

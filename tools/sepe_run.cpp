@@ -94,6 +94,10 @@ void usage() {
       "  --shard I/N      run only the deterministic shard I of N (0-based);\n"
       "                   the JSON report then carries shard metadata for merge\n"
       "  --checkpoint F   journal finished jobs to F and resume from it\n"
+      "  --cache DIR      reuse verdicts journaled under DIR (verdicts.jsonl)\n"
+      "                   across runs, shards, and campaigns; stable JSON is\n"
+      "                   byte-identical warm or cold (see docs/FORMATS.md);\n"
+      "                   wall-capped jobs (--time-cap) are never cached\n"
       "  --json FILE      write a JSON report ('-' = stdout)\n"
       "  --stable-json    JSON omits timing/race fields (byte-deterministic)\n"
       "  --witness        print the counterexample trace of falsified jobs\n"
@@ -211,6 +215,7 @@ struct CommonOptions {
   double time_cap = 0.0;
   std::string json_path;
   std::string checkpoint_path;
+  std::string cache_dir;
   std::optional<engine::ShardSpec> shard;
   std::optional<bool> plaisted_greenbaum;  // nullopt = workload default
 
@@ -273,6 +278,8 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
     o->shard = parsed;
   } else if (!std::strcmp(argv[i], "--checkpoint"))
     o->checkpoint_path = next("--checkpoint");
+  else if (!std::strcmp(argv[i], "--cache"))
+    o->cache_dir = next("--cache");
   else if (!std::strcmp(argv[i], "--json"))
     o->json_path = next("--json");
   else if (!std::strcmp(argv[i], "--stable-json"))
@@ -317,6 +324,7 @@ int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common
   options.pool.threads = common.threads;
   options.shard = common.shard;
   options.checkpoint_path = common.checkpoint_path;
+  options.cache_dir = common.cache_dir;
   arm_fault_injection(&options);
   // Campaign parameters the JobSpecs cannot expose (they shape the model
   // builders): folded into the checkpoint digest so a resume under
