@@ -49,6 +49,7 @@ struct Totals {
   std::uint64_t conflicts = 0, propagations = 0, decisions = 0;
   std::uint64_t cnf_vars = 0, cnf_clauses = 0;
   std::uint64_t cone_lookups = 0, cone_hits = 0, cone_clauses_replayed = 0;
+  std::uint64_t eliminated_vars = 0, subsumed_clauses = 0, vivified_clauses = 0;
   std::uint64_t jobs_from_cache = 0;
 };
 
@@ -63,6 +64,9 @@ Totals tally(const engine::CampaignReport& report) {
     t.cone_lookups += j.cone_lookups;
     t.cone_hits += j.cone_hits;
     t.cone_clauses_replayed += j.cone_clauses_replayed;
+    t.eliminated_vars += j.eliminated_vars;
+    t.subsumed_clauses += j.subsumed_clauses;
+    t.vivified_clauses += j.vivified_clauses;
     if (j.from_cache) ++t.jobs_from_cache;
   }
   return t;
@@ -95,7 +99,10 @@ std::string perf_json(const engine::CampaignReport& cold,
        << ", \"cnf_clauses\": " << j.cnf_clauses
        << ", \"cone_lookups\": " << j.cone_lookups
        << ", \"cone_hits\": " << j.cone_hits
-       << ", \"cone_clauses_replayed\": " << j.cone_clauses_replayed << "}";
+       << ", \"cone_clauses_replayed\": " << j.cone_clauses_replayed
+       << ", \"eliminated_vars\": " << j.eliminated_vars
+       << ", \"subsumed_clauses\": " << j.subsumed_clauses
+       << ", \"vivified_clauses\": " << j.vivified_clauses << "}";
   }
   os << "\n  ]";
   const Totals c = tally(cold);
@@ -104,7 +111,10 @@ std::string perf_json(const engine::CampaignReport& cold,
      << ", \"propagations\": " << c.propagations << ", \"decisions\": " << c.decisions
      << ", \"cnf_vars\": " << c.cnf_vars << ", \"cnf_clauses\": " << c.cnf_clauses
      << ", \"cone_lookups\": " << c.cone_lookups << ", \"cone_hits\": " << c.cone_hits
-     << ", \"cone_clauses_replayed\": " << c.cone_clauses_replayed << "}";
+     << ", \"cone_clauses_replayed\": " << c.cone_clauses_replayed
+     << ", \"eliminated_vars\": " << c.eliminated_vars
+     << ", \"subsumed_clauses\": " << c.subsumed_clauses
+     << ", \"vivified_clauses\": " << c.vivified_clauses << "}";
   // The warm rerun against the same cache directory: everything served
   // from the verdict journal, zero fresh solver work. These totals are
   // deterministic too (they must all be zero with every job cached).

@@ -19,6 +19,12 @@ COUNTERS = ("conflicts", "propagations", "decisions", "cnf_vars", "cnf_clauses")
 # of re-blasted). Advisory like the work counters, and tolerated when
 # absent from a baseline recorded before the cache existed.
 CACHE_COUNTERS = ("cone_lookups", "cone_hits", "cone_clauses_replayed")
+# CDCL inprocessing work (variables eliminated, clauses subsumed or
+# strengthened, clauses vivified). Advisory and absence-tolerant like the
+# cache counters: baselines recorded before inprocessing existed simply
+# skip them. More inprocessing is not inherently better or worse, so the
+# smaller-is-better regression marker does not apply.
+INPROC_COUNTERS = ("eliminated_vars", "subsumed_clauses", "vivified_clauses")
 VERDICT_FIELDS = ("verdict", "trace_length", "proved_k", "bad_label")
 
 
@@ -82,7 +88,7 @@ def main() -> int:
             )
 
     regressed = False
-    for counter in COUNTERS + CACHE_COUNTERS:
+    for counter in COUNTERS + CACHE_COUNTERS + INPROC_COUNTERS:
         b, c = base["totals"].get(counter), cur["totals"].get(counter)
         if b is None or c is None:
             which = "baseline" if b is None else "current"
@@ -98,6 +104,9 @@ def main() -> int:
             # assumes smaller-is-better) does not apply.
             if abs(delta) > threshold:
                 marker = "  (cache-traffic shift — informational)"
+        elif counter in INPROC_COUNTERS:
+            if abs(delta) > threshold:
+                marker = "  (inprocessing shift — informational)"
         elif delta > threshold:
             marker = f"  <-- REGRESSION beyond {threshold:.0%} (advisory)"
             regressed = True

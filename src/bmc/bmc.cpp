@@ -12,10 +12,11 @@ using smt::SubstMap;
 using smt::TermRef;
 
 Bmc::Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
-         bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache)
+         bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache,
+         sat::BackendKind backend)
     : ts_(ts),
       mgr_(ts.mgr()),
-      solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache)) {
+      solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache), backend) {
   assert(ts.complete() && "every state needs a next function");
 }
 
@@ -70,12 +71,15 @@ void Bmc::unroll_to(unsigned step) {
 }
 
 void Bmc::snapshot_solver_stats() {
-  const sat::Solver& sat = solver_.sat_solver();
+  const sat::Backend& sat = solver_.sat_solver();
   stats_.solver_conflicts = sat.num_conflicts();
   stats_.solver_propagations = sat.num_propagations();
   stats_.solver_decisions = sat.num_decisions();
   stats_.cnf_vars = static_cast<std::uint64_t>(sat.num_vars());
   stats_.cnf_clauses = sat.num_clauses();
+  stats_.eliminated_vars = sat.num_eliminated_vars();
+  stats_.subsumed_clauses = sat.num_subsumed_clauses();
+  stats_.vivified_clauses = sat.num_vivified_clauses();
   const smt::BitBlaster::ConeStats& cone = solver_.cone_stats();
   stats_.cone_lookups = cone.lookups;
   stats_.cone_hits = cone.hits;

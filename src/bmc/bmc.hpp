@@ -64,6 +64,11 @@ struct BmcStats {
   std::uint64_t cone_lookups = 0;
   std::uint64_t cone_hits = 0;
   std::uint64_t cone_clauses_replayed = 0;
+  // Inprocessing counters of the underlying SAT engine (zero when
+  // inprocessing is off or the backend has none; see docs/SOLVER.md).
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t vivified_clauses = 0;
 };
 
 /// The unrolling engine. One instance per (transition system, run).
@@ -80,10 +85,12 @@ class Bmc {
   /// `config` tunes the underlying CDCL heuristics (portfolio racing);
   /// `plaisted_greenbaum` = true opts into polarity-split encoding (the
   /// equivalence tests run both encodings against each other);
-  /// `cone_cache` shares bit-blasted cones campaign-wide (cone_cache.hpp).
+  /// `cone_cache` shares bit-blasted cones campaign-wide (cone_cache.hpp);
+  /// `backend` picks the SAT engine (sat/backend.hpp).
   explicit Bmc(const ts::TransitionSystem& ts, const sat::SolverConfig& config = {},
                bool plaisted_greenbaum = false,
-               std::shared_ptr<smt::ConeCache> cone_cache = nullptr);
+               std::shared_ptr<smt::ConeCache> cone_cache = nullptr,
+               sat::BackendKind backend = sat::BackendKind::Native);
 
   /// Search for any bad state reachable within options.max_bound steps.
   /// Nullopt = no violation found up to the bound (or resource limit hit —

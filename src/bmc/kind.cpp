@@ -21,10 +21,11 @@ namespace {
 class InductiveWindow {
  public:
   InductiveWindow(const ts::TransitionSystem& ts, const sat::SolverConfig& config,
-                  bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache)
+                  bool plaisted_greenbaum, std::shared_ptr<smt::ConeCache> cone_cache,
+                  sat::BackendKind backend)
       : ts_(ts),
         mgr_(ts.mgr()),
-        solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache)) {}
+        solver_(mgr_, config, plaisted_greenbaum, std::move(cone_cache), backend) {}
 
   /// Ensure steps 0..k exist. Returns the "any bad at step k" term.
   TermRef extend_to(unsigned k) {
@@ -99,9 +100,9 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
   KInductionResult result;
 
   Bmc base(ts, options.solver_config, options.plaisted_greenbaum,
-           options.cone_cache);
+           options.cone_cache, options.backend);
   InductiveWindow window(ts, options.solver_config, options.plaisted_greenbaum,
-                         options.cone_cache);
+                         options.cone_cache, options.backend);
 
   const auto remaining = [&]() {
     return options.max_seconds > 0 ? options.max_seconds - clock.seconds() : 0.0;
@@ -114,7 +115,7 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     return options.stop && options.stop->load(std::memory_order_relaxed);
   };
   const auto tally_conflicts = [&]() {
-    const sat::Solver& wsat = window.solver().sat_solver();
+    const sat::Backend& wsat = window.solver().sat_solver();
     const BmcStats& bs = base.stats();
     result.solver_conflicts = bs.solver_conflicts + wsat.num_conflicts();
     result.solver_propagations = bs.solver_propagations + wsat.num_propagations();
@@ -125,6 +126,9 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     result.cone_lookups = bs.cone_lookups + wc.lookups;
     result.cone_hits = bs.cone_hits + wc.hits;
     result.cone_clauses_replayed = bs.cone_clauses_replayed + wc.clauses_replayed;
+    result.eliminated_vars = bs.eliminated_vars + wsat.num_eliminated_vars();
+    result.subsumed_clauses = bs.subsumed_clauses + wsat.num_subsumed_clauses();
+    result.vivified_clauses = bs.vivified_clauses + wsat.num_vivified_clauses();
   };
 
   for (unsigned k = 1; k <= options.max_k; ++k) {

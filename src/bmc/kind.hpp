@@ -48,6 +48,8 @@ struct KInductionOptions {
   bool plaisted_greenbaum = false;
   /// Campaign-wide cone sharing for both internal solvers (cone_cache.hpp).
   std::shared_ptr<smt::ConeCache> cone_cache;
+  /// SAT engine for both internal solvers (sat/backend.hpp).
+  sat::BackendKind backend = sat::BackendKind::Native;
 };
 
 struct KInductionResult {
@@ -70,6 +72,10 @@ struct KInductionResult {
   std::uint64_t cone_lookups = 0;
   std::uint64_t cone_hits = 0;
   std::uint64_t cone_clauses_replayed = 0;
+  /// Inprocessing totals across both solvers (zero when off/unsupported).
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t vivified_clauses = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

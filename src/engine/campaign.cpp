@@ -70,8 +70,10 @@ void canonical_witness(const JobSpec& job, unsigned length,
   std::string build_error;
   [[maybe_unused]] const bool built = job.build(ts, &build_error);
   assert(built && "a job that produced a witness must rebuild");
-  // Same encoding as the job's entrant 0: the canonical trace is the one
-  // a single-config run of this job reports.
+  // Same encoding as a default single-config run: the canonical trace is
+  // the one that run reports. The replay always uses the native backend —
+  // an external engine's model is solver-shaped, and re-deriving it here
+  // is what keeps stable reports backend-independent.
   bmc::Bmc checker(ts, sat::SolverConfig{},
                    job.budget.plaisted_greenbaum.value_or(false), cone_cache);
   bmc::BmcOptions bo;
@@ -98,6 +100,9 @@ void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r
   r->cone_lookups = b.stats.cone_lookups;
   r->cone_hits = b.stats.cone_hits;
   r->cone_clauses_replayed = b.stats.cone_clauses_replayed;
+  r->eliminated_vars = b.stats.eliminated_vars;
+  r->subsumed_clauses = b.stats.subsumed_clauses;
+  r->vivified_clauses = b.stats.vivified_clauses;
   if (k.ran) {
     r->conflicts += k.result.solver_conflicts;
     r->propagations += k.result.solver_propagations;
@@ -107,6 +112,9 @@ void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r
     r->cone_lookups += k.result.cone_lookups;
     r->cone_hits += k.result.cone_hits;
     r->cone_clauses_replayed += k.result.cone_clauses_replayed;
+    r->eliminated_vars += k.result.eliminated_vars;
+    r->subsumed_clauses += k.result.subsumed_clauses;
+    r->vivified_clauses += k.result.vivified_clauses;
   }
 }
 
@@ -160,7 +168,7 @@ JobResult run_job(const JobSpec& job,
     // job reports Unknown with the note attached.
     if (!job.build(ts, &side.build_error)) return;
     bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx),
-                     plaisted_greenbaum, cone_cache);
+                     plaisted_greenbaum, cone_cache, job.budget.backend);
     bmc::BmcOptions bo;
     bo.max_bound = job.budget.max_bound;
     bo.conflict_budget_per_bound = job.budget.conflict_budget;
@@ -169,9 +177,9 @@ JobResult run_job(const JobSpec& job,
     side.found = checker.check(bo);
     side.stats = checker.stats();
     if (side.found && (!stop_flag || try_claim(static_cast<int>(idx)))) {
-      // The default-config witness is already canonical; a non-default
+      // The native default-config witness is already canonical; any other
       // winner's trace is re-derived after the join (canonical_witness).
-      if (idx == 0) {
+      if (idx == 0 && job.budget.backend == sat::BackendKind::Native) {
         side.witness_text = bmc::witness_to_string(ts, *side.found);
         side.bad_label = side.found->bad_label;
       }
@@ -192,10 +200,12 @@ JobResult run_job(const JobSpec& job,
     ko.solver_config = sat::SolverConfig::portfolio_member(idx);
     ko.plaisted_greenbaum = plaisted_greenbaum;
     ko.cone_cache = cone_cache;
+    ko.backend = job.budget.backend;
     side.result = bmc::prove_by_k_induction(ts, ko);
     if (side.result.status != bmc::KInductionStatus::Unknown &&
         (!stop_flag || try_claim(static_cast<int>(portfolio + idx)))) {
-      if (side.result.witness && idx == 0) {
+      if (side.result.witness && idx == 0 &&
+          job.budget.backend == sat::BackendKind::Native) {
         side.witness_text = bmc::witness_to_string(ts, *side.result.witness);
         side.bad_label = side.result.witness->bad_label;
       }
@@ -255,7 +265,8 @@ JobResult run_job(const JobSpec& job,
     r.verdict = Verdict::Falsified;
     r.winner = Prover::Bmc;
     r.trace_length = side.found->length;
-    if (who != 0) canonical_witness(job, side.found->length, cone_cache, &side);
+    if (who != 0 || job.budget.backend != sat::BackendKind::Native)
+      canonical_witness(job, side.found->length, cone_cache, &side);
     r.bad_label = side.bad_label;
     r.witness = side.witness_text;
     r.conflicts = side.stats.solver_conflicts;
@@ -266,6 +277,9 @@ JobResult run_job(const JobSpec& job,
     r.cone_lookups = side.stats.cone_lookups;
     r.cone_hits = side.stats.cone_hits;
     r.cone_clauses_replayed = side.stats.cone_clauses_replayed;
+    r.eliminated_vars = side.stats.eliminated_vars;
+    r.subsumed_clauses = side.stats.subsumed_clauses;
+    r.vivified_clauses = side.stats.vivified_clauses;
     r.loser_cancelled = any_loser_cancelled(who);
     if (job.budget.sequential_provers)
       tally_sequential_counters(bsides[0], ksides.empty() ? KindSide{} : ksides[0],
@@ -282,11 +296,15 @@ JobResult run_job(const JobSpec& job,
     r.cone_lookups = side.result.cone_lookups;
     r.cone_hits = side.result.cone_hits;
     r.cone_clauses_replayed = side.result.cone_clauses_replayed;
+    r.eliminated_vars = side.result.eliminated_vars;
+    r.subsumed_clauses = side.result.subsumed_clauses;
+    r.vivified_clauses = side.result.vivified_clauses;
     r.loser_cancelled = any_loser_cancelled(who);
     if (side.result.status == bmc::KInductionStatus::Falsified) {
       r.verdict = Verdict::Falsified;
       r.trace_length = side.result.witness ? side.result.witness->length : 0;
-      if (idx != 0 && side.result.witness) {
+      if ((idx != 0 || job.budget.backend != sat::BackendKind::Native) &&
+          side.result.witness) {
         BmcSide canon;
         canonical_witness(job, side.result.witness->length, cone_cache, &canon);
         side.witness_text = canon.witness_text;
@@ -478,6 +496,9 @@ std::string CampaignReport::to_json(bool include_timing) const {
       os << ", \"cone_lookups\": " << j.cone_lookups;
       os << ", \"cone_hits\": " << j.cone_hits;
       os << ", \"cone_clauses_replayed\": " << j.cone_clauses_replayed;
+      os << ", \"eliminated_vars\": " << j.eliminated_vars;
+      os << ", \"subsumed_clauses\": " << j.subsumed_clauses;
+      os << ", \"vivified_clauses\": " << j.vivified_clauses;
       os << ", \"from_cache\": " << (j.from_cache ? "true" : "false");
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.3f", j.seconds);

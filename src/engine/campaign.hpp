@@ -108,6 +108,12 @@ struct JobBudget {
   /// on the committed mini-corpus). Verdict-bearing report fields are
   /// encoding-independent either way.
   std::optional<bool> plaisted_greenbaum;
+  /// SAT engine behind both provers (sat/backend.hpp). Part of the
+  /// verdict-cache key and the checkpoint spec digest: a campaign solved
+  /// by a different engine is a different campaign. Witnesses are always
+  /// re-derived with the native default-config replay, so stable JSON is
+  /// backend-independent for definite verdicts.
+  sat::BackendKind backend = sat::BackendKind::Native;
 };
 
 /// One verification job: a self-contained model builder plus budgets.
@@ -173,6 +179,11 @@ struct JobResult {
   std::uint64_t cone_lookups = 0;
   std::uint64_t cone_hits = 0;
   std::uint64_t cone_clauses_replayed = 0;
+  /// Inprocessing counters of this job's SAT engines (same determinism
+  /// caveats; zero with inprocessing off or a counter-less backend).
+  std::uint64_t eliminated_vars = 0;
+  std::uint64_t subsumed_clauses = 0;
+  std::uint64_t vivified_clauses = 0;
   /// True when the verdict was loaded from a campaign verdict cache
   /// (engine/verdict_cache.hpp) instead of being solved in-process.
   bool from_cache = false;

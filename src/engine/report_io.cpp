@@ -377,6 +377,18 @@ bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
     if (!get_u64(obj, "cone_clauses_replayed", &n, error)) return false;
     out->cone_clauses_replayed = n;
   }
+  if (obj.find("eliminated_vars")) {
+    if (!get_u64(obj, "eliminated_vars", &n, error)) return false;
+    out->eliminated_vars = n;
+  }
+  if (obj.find("subsumed_clauses")) {
+    if (!get_u64(obj, "subsumed_clauses", &n, error)) return false;
+    out->subsumed_clauses = n;
+  }
+  if (obj.find("vivified_clauses")) {
+    if (!get_u64(obj, "vivified_clauses", &n, error)) return false;
+    out->vivified_clauses = n;
+  }
   get_bool(obj, "from_cache", &out->from_cache);
   get_bool(obj, "loser_cancelled", &out->loser_cancelled);
   get_bool(obj, "hit_resource_limit", &out->hit_resource_limit);

@@ -75,6 +75,7 @@ std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerpr
     mix_byte(job.budget.plaisted_greenbaum
                  ? (*job.budget.plaisted_greenbaum ? 2 : 1)
                  : 0);
+    mix_byte(static_cast<unsigned char>(job.budget.backend));
   }
   char hex[17];
   std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));

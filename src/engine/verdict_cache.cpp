@@ -173,6 +173,10 @@ std::string VerdictCache::key_of(const JobSpec& job, const std::string& fingerpr
   mix_u64(job.budget.portfolio);
   mix_byte(job.budget.sequential_provers ? 1 : 0);
   mix_byte(job.budget.plaisted_greenbaum.value_or(false) ? 1 : 0);
+  // A campaign solved by a different SAT engine is a different campaign:
+  // mixing the backend makes stale entries *miss* (and re-solve) instead
+  // of presenting one engine's verdict as the other's.
+  mix_byte(static_cast<unsigned char>(job.budget.backend));
   return hex16(h);
 }
 

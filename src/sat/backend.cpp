@@ -1,0 +1,36 @@
+#include "sat/backend.hpp"
+
+#include "sat/dimacs_backend.hpp"
+#include "sat/solver.hpp"
+
+namespace sepe::sat {
+
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::Native:
+      return "native";
+    case BackendKind::Dimacs:
+      return "dimacs";
+  }
+  return "native";
+}
+
+std::optional<BackendKind> backend_kind_from_name(std::string_view name) {
+  if (name == "native") return BackendKind::Native;
+  if (name == "dimacs") return BackendKind::Dimacs;
+  return std::nullopt;
+}
+
+std::unique_ptr<Backend> make_backend(BackendKind kind, const SolverConfig& config) {
+  switch (kind) {
+    case BackendKind::Dimacs:
+      // The external solver runs with its own defaults; `config` only
+      // tunes the native engine.
+      return std::make_unique<DimacsBackend>();
+    case BackendKind::Native:
+      break;
+  }
+  return std::make_unique<Solver>(config);
+}
+
+}  // namespace sepe::sat

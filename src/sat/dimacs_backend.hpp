@@ -1,0 +1,77 @@
+// dimacs_backend.hpp — subprocess DIMACS bridge (sat::Backend over an
+// external solver binary).
+//
+// The backend buffers the formula as plain literal vectors; every
+// solve() writes a DIMACS CNF file (assumptions appended as unit
+// clauses), execs the external solver, and maps its exit status back
+// (10 = SAT with "v" model lines, 20 = UNSAT). This trades incremental
+// state for engine diversity: a kissat or cadical on the host races the
+// native CDCL through the same seam.
+//
+// Solver discovery: the SEPE_EXTERNAL_SOLVER environment variable (an
+// executable path or bare command name) wins; otherwise the PATH is
+// probed for kissat, then cadical. When neither resolves the backend
+// still constructs but reports available() == false — callers surface
+// that as "unavailable", never as a solver failure (docs/SOLVER.md,
+// "The DIMACS subprocess backend").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sat/backend.hpp"
+
+namespace sepe::sat {
+
+class DimacsBackend final : public Backend {
+ public:
+  /// Probes for an external solver (see file header). Never throws.
+  DimacsBackend();
+
+  BackendKind kind() const override { return BackendKind::Dimacs; }
+  /// "dimacs:<basename of the solver>" or "dimacs:unavailable".
+  std::string name() const override;
+  bool available() const override { return !solver_path_.empty(); }
+
+  /// The resolved external solver command ("" when unavailable).
+  const std::string& solver_path() const { return solver_path_; }
+
+  int new_var() override;
+  int num_vars() const override { return num_vars_; }
+
+  using Backend::add_clause;
+  bool add_clause(std::vector<Lit> lits) override;
+
+  using Backend::solve;
+  SolveResult solve(const std::vector<Lit>& assumptions) override;
+
+  using Backend::model_value;
+  bool model_value(int var) const override {
+    return var < static_cast<int>(model_.size()) && model_[var] == Value::True;
+  }
+
+  /// The subprocess reports no refutation core, so after an
+  /// assumption-based Unsat this returns all assumptions of the failing
+  /// call — a sound (maximal) core.
+  const std::vector<Lit>& failed_assumptions() const override { return core_; }
+
+  // The subprocess exposes no counters; everything reports zero (the
+  // Backend contract allows that, and campaign reports show zeros rather
+  // than fabricated numbers).
+  std::uint64_t num_conflicts() const override { return 0; }
+  std::uint64_t num_decisions() const override { return 0; }
+  std::uint64_t num_propagations() const override { return 0; }
+  std::uint64_t num_restarts() const override { return 0; }
+  std::size_t num_clauses() const override { return clauses_.size(); }
+  std::size_t num_learnts() const override { return 0; }
+
+ private:
+  std::string solver_path_;
+  int num_vars_ = 0;
+  bool root_unsat_ = false;
+  std::vector<std::vector<Lit>> clauses_;
+  std::vector<Value> model_;
+  std::vector<Lit> core_;
+};
+
+}  // namespace sepe::sat

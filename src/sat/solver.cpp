@@ -7,17 +7,20 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace sepe::sat {
 
 std::string SolverConfig::to_string() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof buf,
                 "decay=%.17g;restart=%s;base=%u;mult=%.17g;phase=%d;rand=%u;"
-                "seed=%" PRIu64 ";reduce=%" PRIu64 "+%" PRIu64,
+                "seed=%" PRIu64 ";reduce=%" PRIu64 "+%" PRIu64 ";inproc=%" PRIu64
+                ";bve=%u;vivify=%d",
                 var_decay, restart == Restart::Luby ? "luby" : "geometric",
                 restart_base, restart_mult, phase_init_true ? 1 : 0,
-                random_branch_freq, seed, reduce_base, reduce_increment);
+                random_branch_freq, seed, reduce_base, reduce_increment,
+                inprocess_interval, bve_occurrence_limit, vivify ? 1 : 0);
   return buf;
 }
 
@@ -25,15 +28,17 @@ std::optional<SolverConfig> SolverConfig::from_string(const std::string& text) {
   SolverConfig c;
   char restart_name[16] = {0};
   int phase = 0;
+  int vivify_flag = 0;
   int consumed = 0;
   const int got = std::sscanf(
       text.c_str(),
       "decay=%lg;restart=%15[a-z];base=%u;mult=%lg;phase=%d;rand=%u;"
-      "seed=%" SCNu64 ";reduce=%" SCNu64 "+%" SCNu64 "%n",
+      "seed=%" SCNu64 ";reduce=%" SCNu64 "+%" SCNu64 ";inproc=%" SCNu64
+      ";bve=%u;vivify=%d%n",
       &c.var_decay, restart_name, &c.restart_base, &c.restart_mult, &phase,
       &c.random_branch_freq, &c.seed, &c.reduce_base, &c.reduce_increment,
-      &consumed);
-  if (got != 9 || static_cast<std::size_t>(consumed) != text.size()) return std::nullopt;
+      &c.inprocess_interval, &c.bve_occurrence_limit, &vivify_flag, &consumed);
+  if (got != 12 || static_cast<std::size_t>(consumed) != text.size()) return std::nullopt;
   if (!std::strcmp(restart_name, "luby")) {
     c.restart = Restart::Luby;
   } else if (!std::strcmp(restart_name, "geometric")) {
@@ -43,6 +48,8 @@ std::optional<SolverConfig> SolverConfig::from_string(const std::string& text) {
   }
   if (phase != 0 && phase != 1) return std::nullopt;
   c.phase_init_true = phase == 1;
+  if (vivify_flag != 0 && vivify_flag != 1) return std::nullopt;
+  c.vivify = vivify_flag == 1;
   if (!(c.var_decay > 0.0 && c.var_decay <= 1.0)) return std::nullopt;
   if (!(c.restart_mult >= 1.0) || c.restart_base == 0) return std::nullopt;
   // A zero reduction cadence would purge the learnt DB on every conflict.
@@ -60,26 +67,30 @@ SolverConfig SolverConfig::portfolio_member(unsigned index) {
       c.random_branch_freq = 256;
       break;
     case 1:
-      // Slow decay + geometric restarts: long-haul UNSAT grinder.
+      // Slow decay + geometric restarts + eager inprocessing: long-haul
+      // UNSAT grinder.
       c.var_decay = 0.99;
       c.restart = Restart::Geometric;
       c.restart_base = 200;
       c.restart_mult = 1.3;
+      c.inprocess_interval = 2000;
       break;
     case 2:
-      // Phase-true init + occasional random branching: model diversity
-      // for SAT-leaning queries.
+      // Phase-true init + occasional random branching, no vivification:
+      // model diversity for SAT-leaning queries.
       c.phase_init_true = true;
       c.random_branch_freq = 128;
+      c.vivify = false;
       break;
     case 3:
       // The pre-tuning historical configuration: slower decay, longer
-      // Luby bursts, eager learnt reduction — structurally different
-      // search from the retention-heavy default.
+      // Luby bursts, eager learnt reduction, no inprocessing at all —
+      // structurally different search from the retention-heavy default.
       c.var_decay = 0.95;
       c.restart_base = 100;
       c.reduce_base = 4000;
       c.reduce_increment = 2000;
+      c.inprocess_interval = 0;
       break;
   }
   c.seed = 0x9e3779b97f4a7c15ULL * (index + 1);
@@ -106,6 +117,7 @@ int Solver::new_var() {
   activity_.push_back(0.0);
   heap_index_.push_back(-1);
   seen_.push_back(0);
+  eliminated_.push_back(0);
   watches_.emplace_back();
   watches_.emplace_back();
   heap_insert(v);
@@ -150,6 +162,13 @@ bool Solver::add_clause(std::vector<Lit> clause_lits) {
   if (root_unsat_) return false;
   assert(decision_level() == 0);
 
+  // A clause mentioning a variable eliminated by inprocessing brings that
+  // variable back first (restoring its removed clauses), so elimination
+  // stays invisible to incremental callers.
+  for (Lit l : clause_lits)
+    if (eliminated(l.var())) reactivate(l.var());
+  if (root_unsat_) return false;
+
   // Normalize: sort, dedupe, drop false literals, detect tautology/sat.
   std::sort(clause_lits.begin(), clause_lits.end(),
             [](Lit a, Lit b) { return a.code() < b.code(); });
@@ -192,7 +211,7 @@ void Solver::enqueue(Lit l, ClauseRef reason) {
   trail_.push_back(l);
 }
 
-Solver::ClauseRef Solver::propagate() {
+Solver::ClauseRef Solver::propagate(bool problem_only) {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     ++stats_propagations_;
@@ -205,6 +224,16 @@ Solver::ClauseRef Solver::propagate() {
         continue;
       }
       ClauseHeader* h = header(w.ref);
+      if (problem_only && h->lbd != 0) {
+        // Vivification proofs must not lean on learnt clauses: a learnt is
+        // a consequence of the *original* formula, not of the current
+        // (post-elimination) database, and reduce_learnts may drop it
+        // later — a problem clause deleted on its strength would be gone
+        // for good. Skipped watchers are left in place; the caller re-runs
+        // a full propagation afterwards to restore their watch invariants.
+        ws[j++] = ws[i++];
+        continue;
+      }
       Lit* c = lits(w.ref);
       // Ensure the false literal ~p is at position 1.
       const Lit not_p = ~p;
@@ -430,14 +459,14 @@ Lit Solver::pick_branch() {
   if (config_.random_branch_freq != 0 && !assigns_.empty() &&
       (stats_decisions_ + 1) % config_.random_branch_freq == 0) {
     const int v = static_cast<int>(next_random() % assigns_.size());
-    if (value(v) == Value::Unknown) {
+    if (value(v) == Value::Unknown && !eliminated(v)) {
       ++stats_decisions_;
       return Lit(v, saved_phase_[v] == Value::False);
     }
   }
   while (!heap_empty()) {
     const int v = heap_pop();
-    if (value(v) == Value::Unknown) {
+    if (value(v) == Value::Unknown && !eliminated(v)) {
       ++stats_decisions_;
       return Lit(v, saved_phase_[v] == Value::False);
     }
@@ -494,6 +523,477 @@ void Solver::reduce_learnts() {
   learnts_ = std::move(kept);
 }
 
+// --- inprocessing -----------------------------------------------------
+//
+// The pipeline runs between restarts at decision level 0, bounded so a
+// round costs a small fraction of the search it interleaves with:
+//
+//   1. copy-out      arena -> plain literal vectors; root-satisfied
+//                    clauses dropped, root-false literals stripped
+//   2. subsumption   forward subsumption + self-subsuming resolution
+//                    over the problem clauses
+//   3. elimination   bounded variable elimination (occurrence- and
+//                    growth-limited); removed clauses go to elim_stack_
+//   4. unit fixpoint units produced by 2/3 are propagated at the vector
+//                    level until stable
+//   5. rebuild       the arena is re-allocated compactly (this is also
+//                    what reclaims leaked learnt-clause bytes)
+//   6. vivification  bounded re-propagation of problem clauses through
+//                    the solver's own watches, shrinking or dropping them
+//
+// Assumption variables of the running solve are frozen (never
+// eliminated); variables eliminated in an earlier solve are reactivated
+// by add_clause()/solve() when mentioned again. docs/SOLVER.md states
+// the contract in prose.
+
+namespace {
+
+/// True when every literal of `small` occurs in `big` (both sorted by
+/// code), with at most one occurring *negated*. On success `*flipped` is
+/// that negated literal's code in `big` (self-subsuming resolution), or
+/// -1 when `small` subsumes `big` outright. The flipped code is reported
+/// out-of-band because code 0 is a valid literal (variable 0, positive).
+bool subsume_check(const std::vector<Lit>& small, const std::vector<Lit>& big,
+                   int* flipped) {
+  *flipped = -1;
+  std::size_t i = 0, j = 0;
+  while (i < small.size()) {
+    if (j == big.size()) return false;
+    const int a = small[i].code(), b = big[j].code();
+    if (a == b) {
+      ++i;
+      ++j;
+    } else if ((a ^ 1) == b) {
+      if (*flipped != -1) return false;
+      *flipped = b;
+      ++i;
+      ++j;
+    } else if (a > b) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void Solver::inprocess(const std::vector<Lit>& assumptions) {
+  assert(decision_level() == 0);
+  // Root assignments need no reasons from here on; clearing them lets the
+  // arena be rebuilt without dangling clause references.
+  for (Lit l : trail_) reason_[l.var()] = kNullRef;
+
+  std::vector<std::uint8_t> frozen(assigns_.size(), 0);
+  for (Lit a : assumptions) frozen[a.var()] = 1;
+
+  // 1. Copy-out. Surviving clauses have >= 2 unassigned literals
+  // (propagation is complete), sorted by code.
+  std::vector<std::vector<Lit>> problem;
+  problem.reserve(clauses_.size());
+  for (const ClauseRef ref : clauses_) {
+    const ClauseHeader* h = header(ref);
+    const Lit* c = lits(ref);
+    std::vector<Lit> out;
+    out.reserve(h->size);
+    bool satisfied = false;
+    for (std::uint32_t k = 0; k < h->size && !satisfied; ++k) {
+      if (value(c[k]) == Value::True) satisfied = true;
+      else if (value(c[k]) == Value::Unknown) out.push_back(c[k]);
+    }
+    if (satisfied) continue;
+    assert(out.size() >= 2);
+    std::sort(out.begin(), out.end(), [](Lit a, Lit b) { return a.code() < b.code(); });
+    problem.push_back(std::move(out));
+  }
+  std::vector<std::pair<std::vector<Lit>, std::uint32_t>> learnt_db;
+  learnt_db.reserve(learnts_.size());
+  for (const ClauseRef ref : learnts_) {
+    const ClauseHeader* h = header(ref);
+    const Lit* c = lits(ref);
+    std::vector<Lit> out;
+    out.reserve(h->size);
+    bool satisfied = false;
+    for (std::uint32_t k = 0; k < h->size && !satisfied; ++k) {
+      if (value(c[k]) == Value::True) satisfied = true;
+      else if (value(c[k]) == Value::Unknown) out.push_back(c[k]);
+    }
+    if (satisfied) continue;
+    assert(out.size() >= 2);
+    learnt_db.emplace_back(std::move(out), h->lbd);
+  }
+
+  // 2. Forward subsumption + self-subsuming resolution over the problem
+  // clauses, driven by occurrence lists of the least-frequent literal.
+  std::vector<std::uint8_t> alive(problem.size(), 1);
+  {
+    std::vector<std::vector<std::uint32_t>> occ(2 * assigns_.size());
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      for (Lit l : problem[i]) occ[l.code()].push_back(static_cast<std::uint32_t>(i));
+    constexpr std::size_t kOccSkip = 64;  // skip super-frequent pivot literals
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (!alive[i]) continue;
+      const std::vector<Lit>& c = problem[i];
+      // Pivot on the literal with the fewest occurrences; a flipped pivot
+      // also finds the self-subsumption cases on the pivot literal.
+      std::size_t best = occ[c[0].code()].size();
+      Lit pivot = c[0];
+      for (Lit l : c) {
+        const std::size_t n = occ[l.code()].size();
+        if (n < best) {
+          best = n;
+          pivot = l;
+        }
+      }
+      if (best > kOccSkip) continue;
+      for (int side = 0; side < 2; ++side) {
+        const Lit probe = side == 0 ? pivot : ~pivot;
+        for (const std::uint32_t j : occ[probe.code()]) {
+          if (j == i || !alive[j]) continue;
+          std::vector<Lit>& d = problem[j];
+          if (d.size() < c.size()) continue;
+          int flipped_code;
+          if (!subsume_check(c, d, &flipped_code)) continue;
+          if (flipped_code < 0) {
+            // c subsumes d outright.
+            alive[j] = 0;
+            ++stats_subsumed_clauses_;
+          } else {
+            // Self-subsuming resolution: remove the flipped literal
+            // from d. occ entries for d go stale; the alive/membership
+            // checks above tolerate that.
+            const Lit flipped = Lit::from_code(flipped_code);
+            d.erase(std::remove(d.begin(), d.end(), flipped), d.end());
+            ++stats_subsumed_clauses_;
+            if (d.size() <= 1) alive[j] = 0;  // re-added as a unit below
+          }
+        }
+      }
+    }
+    // Units produced by strengthening: queue them for the fixpoint pass.
+    std::vector<std::vector<Lit>> compacted;
+    compacted.reserve(problem.size());
+    std::vector<std::vector<Lit>> units;
+    for (std::size_t i = 0; i < problem.size(); ++i) {
+      if (alive[i]) {
+        compacted.push_back(std::move(problem[i]));
+      } else if (problem[i].size() == 1) {
+        units.push_back(std::move(problem[i]));
+      }
+    }
+    problem = std::move(compacted);
+    for (auto& u : units) problem.push_back(std::move(u));
+  }
+
+  // 3. Bounded variable elimination. A candidate variable must be
+  // unassigned, unfrozen, and occur at most bve_occurrence_limit times in
+  // each polarity; elimination must not grow the clause count.
+  if (config_.bve_occurrence_limit != 0 && !root_unsat_) {
+    constexpr std::size_t kMaxResolventLits = 24;
+    std::vector<std::vector<std::uint32_t>> occ(2 * assigns_.size());
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      for (Lit l : problem[i]) occ[l.code()].push_back(static_cast<std::uint32_t>(i));
+    std::vector<std::uint8_t> live(problem.size(), 1);
+    const auto gather = [&](Lit l, std::vector<std::uint32_t>* out) {
+      out->clear();
+      for (const std::uint32_t i : occ[l.code()]) {
+        if (!live[i]) continue;
+        if (std::find(problem[i].begin(), problem[i].end(), l) == problem[i].end())
+          continue;  // stale entry (clause strengthened elsewhere)
+        out->push_back(i);
+      }
+    };
+    std::vector<std::uint32_t> pos, neg;
+    for (int v = 0; v < static_cast<int>(assigns_.size()); ++v) {
+      if (frozen[v] || eliminated(v) || value(v) != Value::Unknown) continue;
+      const Lit pl(v, false), nl(v, true);
+      gather(pl, &pos);
+      gather(nl, &neg);
+      if (pos.empty() && neg.empty()) continue;
+      if (pos.size() > config_.bve_occurrence_limit ||
+          neg.size() > config_.bve_occurrence_limit)
+        continue;
+      // Build the resolvents; give up on growth.
+      std::vector<std::vector<Lit>> resolvents;
+      bool aborted = false;
+      for (const std::uint32_t pi : pos) {
+        for (const std::uint32_t ni : neg) {
+          std::vector<Lit> r;
+          bool tautology = false;
+          for (Lit l : problem[pi])
+            if (l != pl) r.push_back(l);
+          for (Lit l : problem[ni]) {
+            if (l == nl) continue;
+            if (std::find(r.begin(), r.end(), ~l) != r.end()) {
+              tautology = true;
+              break;
+            }
+            if (std::find(r.begin(), r.end(), l) == r.end()) r.push_back(l);
+          }
+          if (tautology) continue;
+          if (r.size() > kMaxResolventLits) {
+            aborted = true;
+            break;
+          }
+          std::sort(r.begin(), r.end(),
+                    [](Lit a, Lit b) { return a.code() < b.code(); });
+          resolvents.push_back(std::move(r));
+          if (resolvents.size() > pos.size() + neg.size()) {
+            aborted = true;
+            break;
+          }
+        }
+        if (aborted) break;
+      }
+      if (aborted) continue;
+      // Commit: record the removed clauses for model repair and
+      // reactivation, splice in the resolvents.
+      ElimRecord record;
+      record.var = v;
+      for (const std::uint32_t i : pos) {
+        record.clauses.push_back(problem[i]);
+        live[i] = 0;
+      }
+      for (const std::uint32_t i : neg) {
+        record.clauses.push_back(problem[i]);
+        live[i] = 0;
+      }
+      elim_stack_.push_back(std::move(record));
+      eliminated_[v] = 1;
+      ++stats_eliminated_vars_;
+      for (auto& r : resolvents) {
+        const std::uint32_t idx = static_cast<std::uint32_t>(problem.size());
+        for (Lit l : r) occ[l.code()].push_back(idx);
+        problem.push_back(std::move(r));
+        live.push_back(1);
+      }
+    }
+    std::vector<std::vector<Lit>> compacted;
+    compacted.reserve(problem.size());
+    for (std::size_t i = 0; i < problem.size(); ++i)
+      if (live[i]) compacted.push_back(std::move(problem[i]));
+    problem = std::move(compacted);
+    // Learnt clauses over an eliminated variable are dropped (they are
+    // implied; keeping them would resurrect the variable).
+    std::erase_if(learnt_db, [this](const auto& entry) {
+      for (Lit l : entry.first)
+        if (eliminated(l.var())) return true;
+      return false;
+    });
+  }
+
+  // 4. Unit fixpoint: apply units produced above at the root level until
+  // the vector database is stable. A contradiction makes the solver
+  // root-unsat (the arena is left untouched in that case — it is never
+  // consulted again).
+  for (bool changed = true; changed && !root_unsat_;) {
+    changed = false;
+    const auto simplify_one = [&](std::vector<Lit>& c) -> int {
+      // Returns -1 drop clause, 0 keep, 1 clause changed (re-check).
+      std::size_t keep = 0;
+      for (const Lit l : c) {
+        if (value(l) == Value::True) return -1;
+        if (value(l) == Value::Unknown) c[keep++] = l;
+      }
+      const bool shrunk = keep != c.size();
+      c.resize(keep);
+      if (c.empty()) {
+        root_unsat_ = true;
+        return -1;
+      }
+      if (c.size() == 1) {
+        enqueue(c[0], kNullRef);
+        return -1;  // absorbed into the trail
+      }
+      return shrunk ? 1 : 0;
+    };
+    std::vector<std::vector<Lit>> next;
+    next.reserve(problem.size());
+    for (auto& c : problem) {
+      const int r = simplify_one(c);
+      if (root_unsat_) break;
+      if (r >= 0) next.push_back(std::move(c));
+      if (r != 0) changed = true;
+    }
+    problem = std::move(next);
+    if (root_unsat_) break;
+    std::erase_if(learnt_db, [&](auto& entry) {
+      if (root_unsat_) return false;
+      const int r = simplify_one(entry.first);
+      if (r != 0) changed = true;
+      return r < 0;
+    });
+  }
+  if (root_unsat_) return;
+
+  // 5. Rebuild the arena compactly and re-anchor propagation.
+  rebuild_clause_db(problem, learnt_db);
+  propagate_head_ = 0;
+  if (propagate() != kNullRef) {
+    root_unsat_ = true;
+    return;
+  }
+
+  // 6. Vivification over the rebuilt database. Its problem-only
+  // propagation leaves learnt watchers unrepaired for any root units it
+  // derives, so finish with one full re-propagation of the trail.
+  if (config_.vivify && !root_unsat_) {
+    vivify_round();
+    if (!root_unsat_) {
+      propagate_head_ = 0;
+      if (propagate() != kNullRef) root_unsat_ = true;
+    }
+  }
+}
+
+void Solver::rebuild_clause_db(
+    const std::vector<std::vector<Lit>>& problem,
+    const std::vector<std::pair<std::vector<Lit>, std::uint32_t>>& learnts) {
+  arena_.clear();
+  clauses_.clear();
+  learnts_.clear();
+  for (auto& ws : watches_) ws.clear();
+  for (const auto& c : problem) {
+    const ClauseRef ref = alloc_clause(c, /*learnt=*/false);
+    clauses_.push_back(ref);
+    attach(ref);
+  }
+  for (const auto& [c, lbd] : learnts) {
+    const ClauseRef ref = alloc_clause(c, /*learnt=*/true);
+    header(ref)->lbd = lbd;
+    learnts_.push_back(ref);
+    attach(ref);
+  }
+}
+
+void Solver::vivify_round() {
+  // Re-propagate a bounded slice of the problem clauses: assert the
+  // negation of each literal in turn; a conflict or an implied literal
+  // proves the clause can be shortened or dropped. The cursor rotates so
+  // successive rounds cover the whole database.
+  constexpr std::size_t kClausesPerRound = 128;
+  constexpr std::uint64_t kPropagationBudget = 1 << 20;
+  const std::uint64_t props_start = stats_propagations_;
+  std::size_t examined = 0;
+  while (examined < kClausesPerRound && examined < clauses_.size() &&
+         stats_propagations_ - props_start < kPropagationBudget && !root_unsat_) {
+    if (stop_requested()) return;
+    ++examined;
+    if (vivify_cursor_ >= clauses_.size()) vivify_cursor_ = 0;
+    const ClauseRef ref = clauses_[vivify_cursor_];
+    if (header(ref)->size < 3) {
+      ++vivify_cursor_;
+      continue;
+    }
+    detach(ref);
+    const Lit* c = lits(ref);
+    std::vector<Lit> original(c, c + header(ref)->size);
+    std::vector<Lit> keep;
+    bool redundant = false;
+    bool conflicted = false;
+    for (const Lit l : original) {
+      if (value(l) == Value::True) {
+        redundant = true;  // implied by the negated prefix: clause is
+        break;             // entailed by the rest of the formula
+      }
+      if (value(l) == Value::False) continue;  // literal is redundant in c
+      keep.push_back(l);
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      enqueue(~l, kNullRef);
+      if (propagate(/*problem_only=*/true) != kNullRef) {
+        conflicted = true;  // the kept prefix alone is contradictory
+        break;
+      }
+    }
+    backtrack(0);
+    const bool changed = redundant || conflicted || keep.size() < original.size();
+    if (!changed) {
+      attach(ref);
+      ++vivify_cursor_;
+      continue;
+    }
+    // Drop the clause from the database (swap-erase keeps the cursor
+    // position pointing at an unexamined clause).
+    clauses_[vivify_cursor_] = clauses_.back();
+    clauses_.pop_back();
+    ++stats_vivified_clauses_;
+    if (redundant) continue;
+    if (keep.empty()) {
+      root_unsat_ = true;
+      return;
+    }
+    if (keep.size() == 1) {
+      if (value(keep[0]) == Value::False) {
+        root_unsat_ = true;
+        return;
+      }
+      if (value(keep[0]) == Value::Unknown) {
+        enqueue(keep[0], kNullRef);
+        if (propagate(/*problem_only=*/true) != kNullRef) {
+          root_unsat_ = true;
+          return;
+        }
+      }
+      continue;
+    }
+    const ClauseRef shorter = alloc_clause(keep, /*learnt=*/false);
+    clauses_.push_back(shorter);
+    attach(shorter);
+  }
+}
+
+void Solver::reactivate(int var) {
+  assert(eliminated(var));
+  eliminated_[var] = 0;
+  if (value(var) == Value::Unknown && !heap_contains(var)) heap_insert(var);
+  // Find the record (tombstoning keeps reverse elimination order intact
+  // for repair_model), restore its clauses. The restored clauses can in
+  // turn mention variables eliminated later; add_clause reactivates them
+  // recursively.
+  for (auto& record : elim_stack_) {
+    if (record.var != var) continue;
+    std::vector<std::vector<Lit>> clauses = std::move(record.clauses);
+    record.var = -1;
+    record.clauses.clear();
+    for (auto& c : clauses) {
+      if (root_unsat_) return;
+      add_clause(std::move(c));
+    }
+    return;
+  }
+}
+
+void Solver::repair_model() {
+  // Extend the model over eliminated variables, newest elimination
+  // first: a variable's saved clauses only ever mention variables
+  // eliminated *later* (already repaired) or live ones, so each step
+  // sees final values for every other literal.
+  for (std::size_t i = elim_stack_.size(); i-- > 0;) {
+    const ElimRecord& record = elim_stack_[i];
+    if (record.var < 0) continue;
+    const Lit positive(record.var, false);
+    bool needs_true = false;
+    for (const auto& clause : record.clauses) {
+      bool contains_positive = false;
+      bool others_satisfied = false;
+      for (const Lit l : clause) {
+        if (l == positive) {
+          contains_positive = true;
+        } else if (model_value(l)) {
+          others_satisfied = true;
+          break;
+        }
+      }
+      if (contains_positive && !others_satisfied) {
+        needs_true = true;
+        break;
+      }
+    }
+    model_[record.var] = needs_true ? Value::True : Value::False;
+  }
+}
+
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   if (root_unsat_) {
     conflict_core_.clear();
@@ -501,6 +1001,14 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   }
   if (stop_requested()) return SolveResult::Unknown;
   backtrack(0);
+  // Assumptions over variables eliminated in an earlier solve bring them
+  // back (with their clauses) before the search starts.
+  for (const Lit a : assumptions)
+    if (eliminated(a.var())) reactivate(a.var());
+  if (root_unsat_) {
+    conflict_core_.clear();
+    return SolveResult::Unsat;
+  }
   if (propagate() != kNullRef) {
     root_unsat_ = true;
     return SolveResult::Unsat;
@@ -512,6 +1020,8 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   std::uint64_t restart_limit = restart_interval(restart_count);
   std::uint64_t conflicts_this_restart = 0;
   std::uint64_t next_reduce = config_.reduce_base;
+  if (config_.inprocess_interval != 0 && next_inprocess_ == 0)
+    next_inprocess_ = config_.inprocess_interval;
 
   std::vector<Lit> learnt;
   for (;;) {
@@ -588,6 +1098,17 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       restart_limit = restart_interval(restart_count);
       conflicts_this_restart = 0;
       backtrack(static_cast<int>(assumptions.size()));
+      // Inprocess between restarts, whenever enough conflicts accrued
+      // since the previous round (the cadence knob).
+      if (config_.inprocess_interval != 0 && stats_conflicts_ >= next_inprocess_) {
+        next_inprocess_ = stats_conflicts_ + config_.inprocess_interval;
+        backtrack(0);
+        inprocess(assumptions);
+        if (root_unsat_) {
+          conflict_core_.clear();
+          return SolveResult::Unsat;
+        }
+      }
       continue;
     }
     if (learnts_.size() >= next_reduce) {
@@ -615,9 +1136,11 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
     if (!have_next) {
       next = pick_branch();
       if (next == Lit()) {
-        // Full assignment: record the model.
+        // Full assignment: record the model, then extend it over
+        // eliminated variables from their saved clauses.
         model_ = assigns_;
         backtrack(0);
+        repair_model();
         return SolveResult::Sat;
       }
     }

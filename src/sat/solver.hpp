@@ -1,14 +1,17 @@
-// solver.hpp — incremental CDCL SAT solver.
+// solver.hpp — incremental CDCL SAT solver (the native sat::Backend).
 //
 // This is the decision engine under the whole repository: the bit-blasted
 // SMT facade (src/smt) lowers bit-vector formulas onto it, CEGIS (src/synth)
 // uses it incrementally across refinement iterations, and BMC (src/bmc)
-// solves unrolled transition systems on it.
+// solves unrolled transition systems on it — all through the abstract
+// sat::Backend seam (backend.hpp).
 //
 // Features: two-watched-literal propagation, first-UIP conflict analysis
 // with clause minimization, VSIDS branching with exponential decay, phase
-// saving, Luby restarts, LBD-based learnt-clause reduction, and solving
-// under assumptions (the incremental interface CEGIS relies on).
+// saving, Luby restarts, LBD-based learnt-clause reduction, solving under
+// assumptions (the incremental interface CEGIS relies on), and bounded
+// inprocessing between restarts (variable elimination, subsumption,
+// vivification — see docs/SOLVER.md).
 #pragma once
 
 #include <atomic>
@@ -17,6 +20,8 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "sat/backend.hpp"
 
 namespace sepe::sat {
 
@@ -52,6 +57,17 @@ struct SolverConfig {
   std::uint64_t reduce_base = 8000;
   /// ...and re-trigger after this many more.
   std::uint64_t reduce_increment = 4000;
+  /// Inprocessing cadence: run the simplification pipeline at the first
+  /// restart after this many conflicts since the previous run
+  /// (0 = inprocessing off). See docs/SOLVER.md for the pipeline.
+  std::uint64_t inprocess_interval = 4000;
+  /// Bounded variable elimination: a variable is a candidate only while
+  /// both polarities occur in at most this many problem clauses
+  /// (0 = the elimination pass is off).
+  unsigned bve_occurrence_limit = 10;
+  /// Clause vivification pass toggle (bounded re-propagation of problem
+  /// clauses to shrink or drop them).
+  bool vivify = true;
 
   bool operator==(const SolverConfig&) const = default;
 
@@ -61,112 +77,52 @@ struct SolverConfig {
   static std::optional<SolverConfig> from_string(const std::string& text);
 
   /// The standard portfolio: member 0 is the default config; higher
-  /// indices diversify restarts, decay, phase and random branching.
-  /// Deterministic in `index`.
+  /// indices diversify restarts, decay, phase, random branching and the
+  /// inprocessing pipeline. Deterministic in `index`.
   static SolverConfig portfolio_member(unsigned index);
 };
 
-/// A propositional literal: variable index plus sign. Encoded as
-/// 2*var + (negated ? 1 : 0), the classic MiniSat representation.
-class Lit {
- public:
-  Lit() : code_(-2) {}
-  Lit(int var, bool negated) : code_(2 * var + (negated ? 1 : 0)) {}
-
-  static Lit from_code(int code) {
-    Lit l;
-    l.code_ = code;
-    return l;
-  }
-
-  int var() const { return code_ >> 1; }
-  bool sign() const { return code_ & 1; }  // true = negated
-  int code() const { return code_; }
-  Lit operator~() const { return from_code(code_ ^ 1); }
-
-  friend bool operator==(Lit a, Lit b) { return a.code_ == b.code_; }
-  friend bool operator!=(Lit a, Lit b) { return a.code_ != b.code_; }
-
- private:
-  int code_;
-};
-
-enum class Value : std::uint8_t { False = 0, True = 1, Unknown = 2 };
-
-inline Value operator^(Value v, bool sign) {
-  if (v == Value::Unknown) return v;
-  return static_cast<Value>(static_cast<std::uint8_t>(v) ^
-                            static_cast<std::uint8_t>(sign));
-}
-
-/// Result of a solve() call.
-enum class SolveResult { Sat, Unsat, Unknown /* resource limit hit */ };
-
-/// Incremental CDCL SAT solver.
+/// Incremental CDCL SAT solver — the native Backend implementation.
 ///
 /// Usage: new_var() to allocate variables, add_clause() to add constraints
 /// (allowed between solve calls), then solve() or solve(assumptions).
 /// After Sat, model_value() reads the satisfying assignment. After an
 /// assumption-based Unsat, failed_assumptions() gives the subset used.
-class Solver {
+class Solver final : public Backend {
  public:
   explicit Solver(const SolverConfig& config = {});
 
   const SolverConfig& config() const { return config_; }
 
-  /// Allocate a fresh variable; returns its index.
-  int new_var();
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  BackendKind kind() const override { return BackendKind::Native; }
+  std::string name() const override { return "native"; }
 
-  /// Add a clause (disjunction of literals). Returns false if the solver
-  /// is already in an unsatisfiable root state.
-  bool add_clause(std::vector<Lit> lits);
-  bool add_clause(Lit a) { return add_clause(std::vector<Lit>{a}); }
-  bool add_clause(Lit a, Lit b) { return add_clause(std::vector<Lit>{a, b}); }
-  bool add_clause(Lit a, Lit b, Lit c) { return add_clause(std::vector<Lit>{a, b, c}); }
+  int new_var() override;
+  int num_vars() const override { return static_cast<int>(assigns_.size()); }
 
-  SolveResult solve() { return solve({}); }
-  SolveResult solve(const std::vector<Lit>& assumptions);
+  using Backend::add_clause;
+  bool add_clause(std::vector<Lit> lits) override;
 
-  /// Value of a variable in the last satisfying assignment. Variables
-  /// created after that solve read as false.
-  bool model_value(int var) const {
+  using Backend::solve;
+  SolveResult solve(const std::vector<Lit>& assumptions) override;
+
+  using Backend::model_value;
+  bool model_value(int var) const override {
     return var < static_cast<int>(model_.size()) && model_[var] == Value::True;
   }
-  bool model_value(Lit l) const { return model_value(l.var()) ^ l.sign(); }
 
-  /// After Unsat under assumptions: the (not necessarily minimal) subset of
-  /// assumptions involved in the refutation.
-  const std::vector<Lit>& failed_assumptions() const { return conflict_core_; }
-
-  /// Abort solve() with Unknown after this many conflicts (0 = no limit).
-  void set_conflict_budget(std::uint64_t budget) { conflict_budget_ = budget; }
-  std::uint64_t conflict_budget() const { return conflict_budget_; }
-
-  /// Abort solve() with Unknown after this many wall-clock seconds
-  /// (0 = no limit). Checked every 1024 conflicts, so the overshoot is
-  /// bounded by one short conflict burst.
-  void set_time_budget(double seconds) { time_budget_seconds_ = seconds; }
-  double time_budget() const { return time_budget_seconds_; }
-
-  /// Cooperative cancellation: when `stop` is non-null and becomes true
-  /// (typically set from another thread), solve() aborts with Unknown at
-  /// the next decision or conflict. The flag must outlive the solver or
-  /// be cleared with set_stop_flag(nullptr). Used by the campaign engine
-  /// to cancel the losing side of a BMC/k-induction race.
-  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
-  const std::atomic<bool>* stop_flag() const { return stop_; }
-  bool stop_requested() const {
-    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
-  }
+  const std::vector<Lit>& failed_assumptions() const override { return conflict_core_; }
 
   // --- statistics, for the micro benches and EXPERIMENTS.md ---
-  std::uint64_t num_conflicts() const { return stats_conflicts_; }
-  std::uint64_t num_decisions() const { return stats_decisions_; }
-  std::uint64_t num_propagations() const { return stats_propagations_; }
-  std::uint64_t num_restarts() const { return stats_restarts_; }
-  std::size_t num_clauses() const { return clauses_.size(); }
-  std::size_t num_learnts() const { return learnts_.size(); }
+  std::uint64_t num_conflicts() const override { return stats_conflicts_; }
+  std::uint64_t num_decisions() const override { return stats_decisions_; }
+  std::uint64_t num_propagations() const override { return stats_propagations_; }
+  std::uint64_t num_restarts() const override { return stats_restarts_; }
+  std::size_t num_clauses() const override { return clauses_.size(); }
+  std::size_t num_learnts() const override { return learnts_.size(); }
+  std::uint64_t num_eliminated_vars() const override { return stats_eliminated_vars_; }
+  std::uint64_t num_subsumed_clauses() const override { return stats_subsumed_clauses_; }
+  std::uint64_t num_vivified_clauses() const override { return stats_vivified_clauses_; }
 
  private:
   // Clauses live in an arena; a ClauseRef is an offset into it.
@@ -206,7 +162,7 @@ class Solver {
   Value value(Lit l) const { return assigns_[l.var()] ^ l.sign(); }
 
   void enqueue(Lit l, ClauseRef reason);
-  ClauseRef propagate();
+  ClauseRef propagate(bool problem_only = false);
   void analyze(ClauseRef confl, std::vector<Lit>& out_learnt, int& out_btlevel,
                std::uint32_t& out_lbd);
   bool literal_redundant(Lit l, std::uint32_t abstract_levels);
@@ -219,6 +175,27 @@ class Solver {
   void reduce_learnts();
   void rescale_var_activity();
   static std::uint64_t luby(std::uint64_t i);
+
+  // --- inprocessing (between restarts, at decision level 0) ---
+  //
+  // The pipeline copies the clause database out of the arena, simplifies
+  // it as plain literal vectors (root simplification, subsumption and
+  // self-subsuming resolution, bounded variable elimination), rebuilds
+  // the arena compactly, then vivifies in place using the solver's own
+  // propagation. Eliminated variables carry their removed clauses on
+  // elim_stack_ so models can be repaired and the variables reactivated
+  // if a later add_clause() or assumption mentions them (the incremental
+  // soundness story — see docs/SOLVER.md).
+  void inprocess(const std::vector<Lit>& assumptions);
+  void rebuild_clause_db(const std::vector<std::vector<Lit>>& problem,
+                         const std::vector<std::pair<std::vector<Lit>, std::uint32_t>>&
+                             learnts);
+  void vivify_round();
+  void reactivate(int var);
+  void repair_model();
+  bool eliminated(int var) const {
+    return var < static_cast<int>(eliminated_.size()) && eliminated_[var] != 0;
+  }
 
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   std::uint32_t compute_lbd(const std::vector<Lit>& clause);
@@ -264,9 +241,19 @@ class Solver {
 
   bool root_unsat_ = false;
   std::vector<Lit> conflict_core_;
-  std::uint64_t conflict_budget_ = 0;
-  double time_budget_seconds_ = 0.0;
-  const std::atomic<bool>* stop_ = nullptr;
+
+  // Inprocessing state. elim_stack_ records, per eliminated variable (in
+  // elimination order), every problem clause that mentioned it; a
+  // reactivated entry is tombstoned with var = -1 but keeps its slot so
+  // repair_model() can walk the stack in reverse elimination order.
+  std::vector<std::uint8_t> eliminated_;
+  struct ElimRecord {
+    int var;
+    std::vector<std::vector<Lit>> clauses;
+  };
+  std::vector<ElimRecord> elim_stack_;
+  std::uint64_t next_inprocess_ = 0;
+  std::size_t vivify_cursor_ = 0;
 
   // scratch for analyze()
   std::vector<std::uint8_t> seen_;
@@ -278,6 +265,9 @@ class Solver {
   std::uint64_t stats_decisions_ = 0;
   std::uint64_t stats_propagations_ = 0;
   std::uint64_t stats_restarts_ = 0;
+  std::uint64_t stats_eliminated_vars_ = 0;
+  std::uint64_t stats_subsumed_clauses_ = 0;
+  std::uint64_t stats_vivified_clauses_ = 0;
 };
 
 }  // namespace sepe::sat

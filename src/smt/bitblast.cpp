@@ -19,7 +19,7 @@ std::uint64_t mix64(std::uint64_t x) {
 
 }  // namespace
 
-BitBlaster::BitBlaster(const TermManager& mgr, sat::Solver& solver,
+BitBlaster::BitBlaster(const TermManager& mgr, sat::Backend& solver,
                        bool plaisted_greenbaum,
                        std::shared_ptr<ConeCache> cone_cache)
     : mgr_(mgr),

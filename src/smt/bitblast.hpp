@@ -43,7 +43,7 @@
 
 namespace sepe::smt {
 
-/// Encodes terms into a sat::Solver. Owned by SmtSolver; exposed for the
+/// Encodes terms into a sat::Backend. Owned by SmtSolver; exposed for the
 /// micro benchmarks, which measure circuit sizes directly.
 class BitBlaster {
  public:
@@ -58,7 +58,7 @@ class BitBlaster {
   /// non-null, shares bit-blasted cones with every other blaster of the
   /// campaign (see cone_cache.hpp); replay is exact, so the cache never
   /// changes the clause stream the solver sees.
-  BitBlaster(const TermManager& mgr, sat::Solver& solver,
+  BitBlaster(const TermManager& mgr, sat::Backend& solver,
              bool plaisted_greenbaum = false,
              std::shared_ptr<ConeCache> cone_cache = nullptr);
 
@@ -167,7 +167,7 @@ class BitBlaster {
   Bits negate(const Bits& a);  // two's complement
 
   const TermManager& mgr_;
-  sat::Solver& solver_;
+  sat::Backend& solver_;
   const bool pg_;
   sat::Lit true_lit_;
   std::unordered_map<TermRef, Bits> cache_;

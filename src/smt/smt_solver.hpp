@@ -38,12 +38,15 @@ class SmtSolver {
   /// bitblast.hpp for why full Tseitin is the default).
   /// `cone_cache`, when non-null, shares bit-blasted cones with the other
   /// solver stacks of a campaign (see cone_cache.hpp).
+  /// `backend` picks the SAT engine behind the blaster (backend.hpp);
+  /// the native CDCL is the default and the only one `config` tunes.
   explicit SmtSolver(TermManager& mgr, const sat::SolverConfig& config = {},
                      bool plaisted_greenbaum = false,
-                     std::shared_ptr<ConeCache> cone_cache = nullptr)
+                     std::shared_ptr<ConeCache> cone_cache = nullptr,
+                     sat::BackendKind backend = sat::BackendKind::Native)
       : mgr_(mgr),
-        sat_(config),
-        blaster_(mgr, sat_, plaisted_greenbaum, std::move(cone_cache)) {}
+        sat_(sat::make_backend(backend, config)),
+        blaster_(mgr, *sat_, plaisted_greenbaum, std::move(cone_cache)) {}
 
   TermManager& mgr() { return mgr_; }
 
@@ -64,19 +67,19 @@ class SmtSolver {
   Assignment values(const std::vector<TermRef>& vars);
 
   /// Abort check() with Unknown after this many SAT conflicts (0 = off).
-  void set_conflict_budget(std::uint64_t budget) { sat_.set_conflict_budget(budget); }
-  std::uint64_t conflict_budget() const { return sat_.conflict_budget(); }
+  void set_conflict_budget(std::uint64_t budget) { sat_->set_conflict_budget(budget); }
+  std::uint64_t conflict_budget() const { return sat_->conflict_budget(); }
 
   /// Abort check() with Unknown after this many wall seconds (0 = off).
-  void set_time_budget(double seconds) { sat_.set_time_budget(seconds); }
-  double time_budget() const { return sat_.time_budget(); }
+  void set_time_budget(double seconds) { sat_->set_time_budget(seconds); }
+  double time_budget() const { return sat_->time_budget(); }
 
-  /// Cooperative cancellation (see sat::Solver::set_stop_flag): check()
+  /// Cooperative cancellation (see sat::Backend::set_stop_flag): check()
   /// aborts with Unknown soon after *stop becomes true.
-  void set_stop_flag(const std::atomic<bool>* stop) { sat_.set_stop_flag(stop); }
-  bool stop_requested() const { return sat_.stop_requested(); }
+  void set_stop_flag(const std::atomic<bool>* stop) { sat_->set_stop_flag(stop); }
+  bool stop_requested() const { return sat_->stop_requested(); }
 
-  const sat::Solver& sat_solver() const { return sat_; }
+  const sat::Backend& sat_solver() const { return *sat_; }
 
   /// Cone-cache traffic of this solver's blaster (zeros when uncached).
   const BitBlaster::ConeStats& cone_stats() const {
@@ -85,7 +88,7 @@ class SmtSolver {
 
  private:
   TermManager& mgr_;
-  sat::Solver sat_;
+  std::unique_ptr<sat::Backend> sat_;
   BitBlaster blaster_;
   bool last_sat_ = false;
   /// Lazily built per Sat result: model values of every blasted variable

@@ -1,0 +1,350 @@
+// Soundness tests for the CDCL inprocessing pipeline (bounded variable
+// elimination, subsumption/self-subsuming resolution, vivification):
+// verdicts and models must be indistinguishable from a solver with
+// inprocessing off, including across incremental add_clause calls and
+// assumptions that touch eliminated variables.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace sepe::sat {
+namespace {
+
+/// Inprocess at every restart, restart after every conflict: the
+/// pipeline fires as often as the solver's structure allows, so even
+/// tiny instances exercise it.
+SolverConfig aggressive_config() {
+  SolverConfig c;
+  c.restart_base = 1;
+  c.inprocess_interval = 1;
+  c.bve_occurrence_limit = 10;
+  c.vivify = true;
+  return c;
+}
+
+/// Exhaustive satisfiability check (also validates models below).
+bool brute_force_sat(int nvars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint64_t m = 0; m < (1ULL << nvars); ++m) {
+    bool all = true;
+    for (const auto& c : clauses) {
+      bool sat = false;
+      for (const Lit l : c)
+        if (((m >> l.var()) & 1) != static_cast<std::uint64_t>(l.sign())) {
+          sat = true;
+          break;
+        }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+bool model_satisfies(const Solver& s, const std::vector<std::vector<Lit>>& clauses) {
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (const Lit l : c)
+      if (s.model_value(l)) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<Lit>> random_instance(Rng& rng, int nvars, int nclauses) {
+  std::vector<std::vector<Lit>> clauses;
+  for (int i = 0; i < nclauses; ++i) {
+    const int width = 1 + static_cast<int>(rng.below(3));
+    std::vector<Lit> c;
+    for (int k = 0; k < width; ++k)
+      c.push_back(Lit(static_cast<int>(rng.below(nvars)), rng.flip()));
+    clauses.push_back(std::move(c));
+  }
+  return clauses;
+}
+
+TEST(Inprocess, RandomInstancesMatchBruteForce) {
+  Rng rng(20240807);
+  for (int round = 0; round < 400; ++round) {
+    const int nvars = 4 + static_cast<int>(rng.below(9));   // 4..12
+    const int nclauses = 3 + static_cast<int>(rng.below(40));
+    const auto clauses = random_instance(rng, nvars, nclauses);
+    Solver s(aggressive_config());
+    for (int v = 0; v < nvars; ++v) s.new_var();
+    for (const auto& c : clauses) s.add_clause(c);
+    const bool expected = brute_force_sat(nvars, clauses);
+    const SolveResult r = s.solve();
+    ASSERT_EQ(r, expected ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << round;
+    if (r == SolveResult::Sat) {
+      ASSERT_TRUE(model_satisfies(s, clauses)) << "round " << round;
+    }
+  }
+}
+
+TEST(Inprocess, FourVarInstancesExhaustivelyChecked) {
+  // Dense sweep over 4-variable instances: every verdict and every model
+  // is checked against all 16 assignments.
+  Rng rng(7);
+  for (int round = 0; round < 600; ++round) {
+    const int nclauses = 1 + static_cast<int>(rng.below(16));
+    const auto clauses = random_instance(rng, 4, nclauses);
+    Solver s(aggressive_config());
+    for (int v = 0; v < 4; ++v) s.new_var();
+    for (const auto& c : clauses) s.add_clause(c);
+    const bool expected = brute_force_sat(4, clauses);
+    const SolveResult r = s.solve();
+    ASSERT_EQ(r, expected ? SolveResult::Sat : SolveResult::Unsat)
+        << "round " << round;
+    if (r == SolveResult::Sat) {
+      ASSERT_TRUE(model_satisfies(s, clauses)) << "round " << round;
+    }
+  }
+}
+
+/// Pigeonhole (pigeons = holes + 1, UNSAT): generates enough conflicts
+/// and restarts that the aggressive config inprocesses many times.
+void add_pigeonhole(Solver& s, int holes, std::vector<std::vector<Lit>>* out) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(pigeons, std::vector<int>(holes));
+  for (int p = 0; p < pigeons; ++p)
+    for (int h = 0; h < holes; ++h) var[p][h] = s.new_var();
+  const auto add = [&](std::vector<Lit> c) {
+    if (out != nullptr) out->push_back(c);
+    s.add_clause(std::move(c));
+  };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit(var[p][h], false));
+    add(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        add({Lit(var[p1][h], true), Lit(var[p2][h], true)});
+}
+
+TEST(Inprocess, SubsumptionFiresAndPreservesVerdict) {
+  SolverConfig c = aggressive_config();
+  c.bve_occurrence_limit = 0;  // isolate the subsumption pass
+  c.vivify = false;
+  Solver s(c);
+  // Fodder: (a|b) subsumes (a|b|x), self-subsumption strengthens
+  // (~a|b|y) against (a|b)... none of it changes satisfiability.
+  const int a = s.new_var(), b = s.new_var(), x = s.new_var(), y = s.new_var();
+  s.add_clause(Lit(a, false), Lit(b, false));
+  s.add_clause(Lit(a, false), Lit(b, false), Lit(x, false));
+  s.add_clause(Lit(a, true), Lit(b, false), Lit(y, false));
+  add_pigeonhole(s, 4, nullptr);  // conflict generator; UNSAT overall? No —
+  // the pigeonhole block is UNSAT on its own, so the whole formula is.
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+  EXPECT_GT(s.num_subsumed_clauses(), 0u);
+}
+
+/// An equivalence chain v0 <-> v1 <-> ... <-> v(n-1), left free (no unit
+/// pin — root-assigned variables are never elimination candidates).
+/// Interior variables have two occurrences per polarity — prime BVE
+/// candidates.
+std::vector<int> add_chain(Solver& s, int n, std::vector<std::vector<Lit>>* out) {
+  std::vector<int> chain;
+  for (int i = 0; i < n; ++i) chain.push_back(s.new_var());
+  for (int i = 0; i + 1 < n; ++i) {
+    out->push_back({Lit(chain[i], true), Lit(chain[i + 1], false)});
+    out->push_back({Lit(chain[i], false), Lit(chain[i + 1], true)});
+  }
+  for (const auto& cl : *out) s.add_clause(cl);
+  return chain;
+}
+
+/// Random 3-SAT over fresh variables as a conflict generator; the
+/// clauses are returned 0-based so brute_force_sat can cross-check.
+std::vector<std::vector<Lit>> add_conflict_fodder(Solver& s, Rng& rng, int nvars,
+                                                  int nclauses) {
+  std::vector<int> vars;
+  for (int i = 0; i < nvars; ++i) vars.push_back(s.new_var());
+  std::vector<std::vector<Lit>> local;
+  for (int i = 0; i < nclauses; ++i) {
+    std::vector<Lit> cl, shifted;
+    for (int k = 0; k < 3; ++k) {
+      const int idx = static_cast<int>(rng.below(nvars));
+      cl.push_back(Lit(vars[idx], rng.flip()));
+      shifted.push_back(Lit(idx, cl.back().sign()));
+    }
+    s.add_clause(cl);
+    local.push_back(std::move(shifted));
+  }
+  return local;
+}
+
+bool shifted_model_satisfies(const Solver& s, int base,
+                             const std::vector<std::vector<Lit>>& local) {
+  for (const auto& cl : local) {
+    bool sat = false;
+    for (const Lit l : cl)
+      if (s.model_value(Lit(l.var() + base, l.sign()))) {
+        sat = true;
+        break;
+      }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+TEST(Inprocess, EliminationFiresAndModelIsRepaired) {
+  SolverConfig c = aggressive_config();
+  c.vivify = false;
+  Solver s(c);
+  std::vector<std::vector<Lit>> clauses;
+  const std::vector<int> chain = add_chain(s, 8, &clauses);
+  // Conflict generator that stays satisfiable (seed checked against
+  // brute force below, so the instance is reproducibly SAT).
+  Rng rng(11);
+  const auto hard = add_conflict_fodder(s, rng, 14, 45);
+  ASSERT_TRUE(brute_force_sat(14, hard));
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_GT(s.num_eliminated_vars(), 0u);
+  // The repaired model must satisfy every original clause — including
+  // the chain clauses whose variables were eliminated.
+  EXPECT_TRUE(model_satisfies(s, clauses));
+  EXPECT_TRUE(shifted_model_satisfies(s, chain.size(), hard));
+  // The chain is an equivalence: all variables must agree.
+  for (int i = 1; i < 8; ++i)
+    EXPECT_EQ(s.model_value(chain[i]), s.model_value(chain[0])) << "chain " << i;
+}
+
+TEST(Inprocess, VivificationFiresAndPreservesModels) {
+  SolverConfig c = aggressive_config();
+  c.bve_occurrence_limit = 0;  // keep the helper variables alive so
+                               // vivification must do the strengthening
+  Solver s(c);
+  std::vector<std::vector<Lit>> clauses;
+  // Two-step implication chain z -> y -> x1, and C = (x1 | z | w).
+  // Vivifying C propagates ~x1, derives ~y then ~z, and strengthens C
+  // to (x1 | w). A single self-subsuming resolution cannot make that
+  // deduction (both implication clauses mention y, which C does not),
+  // so the vivified counter isolates the vivification pass.
+  const int x1 = s.new_var(), y = s.new_var(), z = s.new_var(), w = s.new_var();
+  clauses.push_back({Lit(z, true), Lit(y, false)});   // z -> y
+  clauses.push_back({Lit(y, true), Lit(x1, false)});  // y -> x1
+  clauses.push_back({Lit(x1, false), Lit(z, false), Lit(w, false)});
+  for (const auto& cl : clauses) s.add_clause(cl);
+  add_pigeonhole(s, 4, nullptr);  // conflict generator (makes it UNSAT)
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+  EXPECT_GT(s.num_vivified_clauses(), 0u);
+
+  // Same satellite structure on a satisfiable core: models stay valid.
+  Solver s2(c);
+  std::vector<std::vector<Lit>> sat_clauses;
+  const int a1 = s2.new_var(), b1 = s2.new_var(), c1 = s2.new_var(),
+            d1 = s2.new_var();
+  sat_clauses.push_back({Lit(c1, true), Lit(b1, false)});
+  sat_clauses.push_back({Lit(b1, true), Lit(a1, false)});
+  sat_clauses.push_back({Lit(a1, false), Lit(c1, false), Lit(d1, false)});
+  for (const auto& cl : sat_clauses) s2.add_clause(cl);
+  ASSERT_EQ(s2.solve(), SolveResult::Sat);
+  EXPECT_TRUE(model_satisfies(s2, sat_clauses));
+}
+
+TEST(Inprocess, AddClauseReactivatesEliminatedVariables) {
+  // Solve once so chain variables are eliminated, then pin each chain
+  // variable with a new unit clause: the solver must reactivate it
+  // (restoring its clauses) and keep agreeing with the chain semantics.
+  for (int pin = 0; pin < 8; ++pin) {
+    SolverConfig c = aggressive_config();
+    c.vivify = false;
+    Solver t(c);
+    std::vector<std::vector<Lit>> tclauses;
+    const std::vector<int> tchain = add_chain(t, 8, &tclauses);
+    Rng rng(13);
+    const auto hard = add_conflict_fodder(t, rng, 12, 40);
+    ASSERT_TRUE(brute_force_sat(12, hard));
+    ASSERT_EQ(t.solve(), SolveResult::Sat);
+    ASSERT_GT(t.num_eliminated_vars(), 0u);
+    // Pin chain[pin] false: the whole chain must follow.
+    t.add_clause(Lit(tchain[pin], true));
+    ASSERT_EQ(t.solve(), SolveResult::Sat) << "pin " << pin;
+    for (int i = 0; i < 8; ++i) EXPECT_FALSE(t.model_value(tchain[i])) << i;
+    // Now pin another one true: contradiction with the chain.
+    t.add_clause(Lit(tchain[(pin + 3) % 8], false));
+    EXPECT_EQ(t.solve(), SolveResult::Unsat) << "pin " << pin;
+  }
+}
+
+TEST(Inprocess, AssumptionsReactivateEliminatedVariables) {
+  SolverConfig c = aggressive_config();
+  c.vivify = false;
+  Solver s(c);
+  std::vector<std::vector<Lit>> clauses;
+  const std::vector<int> chain = add_chain(s, 8, &clauses);
+  Rng rng(17);
+  const auto hard = add_conflict_fodder(s, rng, 12, 40);
+  ASSERT_TRUE(brute_force_sat(12, hard));
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  ASSERT_GT(s.num_eliminated_vars(), 0u);
+  // Assumptions over (possibly eliminated) chain variables: both
+  // polarities stay SAT, the model honors the assumption and the chain.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(s.solve({Lit(chain[i], false)}), SolveResult::Sat) << i;
+    for (int j = 0; j < 8; ++j) EXPECT_TRUE(s.model_value(chain[j]));
+    ASSERT_EQ(s.solve({Lit(chain[i], true)}), SolveResult::Sat) << i;
+    for (int j = 0; j < 8; ++j) EXPECT_FALSE(s.model_value(chain[j]));
+  }
+  // Contradictory assumptions across the chain: UNSAT with a core.
+  ASSERT_EQ(s.solve({Lit(chain[0], false), Lit(chain[7], true)}), SolveResult::Unsat);
+  EXPECT_FALSE(s.failed_assumptions().empty());
+}
+
+TEST(Inprocess, IncrementalRandomEquivalence) {
+  // Interleave solving and clause addition on one solver instance; the
+  // verdict after every batch must match brute force on the accumulated
+  // formula.
+  Rng rng(20240808);
+  for (int round = 0; round < 60; ++round) {
+    const int nvars = 6 + static_cast<int>(rng.below(5));
+    Solver s(aggressive_config());
+    for (int v = 0; v < nvars; ++v) s.new_var();
+    std::vector<std::vector<Lit>> accumulated;
+    bool unsat_seen = false;
+    for (int batch = 0; batch < 5; ++batch) {
+      const auto fresh = random_instance(rng, nvars, 4);
+      for (const auto& cl : fresh) {
+        accumulated.push_back(cl);
+        s.add_clause(cl);
+      }
+      const bool expected = brute_force_sat(nvars, accumulated);
+      const SolveResult r = s.solve();
+      ASSERT_EQ(r, expected ? SolveResult::Sat : SolveResult::Unsat)
+          << "round " << round << " batch " << batch;
+      if (r == SolveResult::Sat) {
+        ASSERT_TRUE(model_satisfies(s, accumulated))
+            << "round " << round << " batch " << batch;
+      } else {
+        unsat_seen = true;
+        break;  // solver is dead for good — matches the contract
+      }
+    }
+    (void)unsat_seen;
+  }
+}
+
+TEST(Inprocess, DisabledByZeroInterval) {
+  SolverConfig c = aggressive_config();
+  c.inprocess_interval = 0;
+  Solver s(c);
+  add_pigeonhole(s, 4, nullptr);
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+  EXPECT_EQ(s.num_eliminated_vars(), 0u);
+  EXPECT_EQ(s.num_subsumed_clauses(), 0u);
+  EXPECT_EQ(s.num_vivified_clauses(), 0u);
+}
+
+}  // namespace
+}  // namespace sepe::sat

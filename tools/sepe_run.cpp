@@ -58,6 +58,7 @@
 #include "engine/shard.hpp"
 #include "engine/workload.hpp"
 #include "proc/mutations.hpp"
+#include "sat/dimacs_backend.hpp"
 #include "util/parse.hpp"
 #include "util/stopwatch.hpp"
 
@@ -86,6 +87,9 @@ void usage() {
       "  --encoding E     bit-blasting encoding: auto | tseitin | pg\n"
       "                   (default auto = the workload family's default:\n"
       "                   Tseitin for QED, Plaisted-Greenbaum for corpus)\n"
+      "  --backend B      SAT engine: native | dimacs (default native; dimacs\n"
+      "                   runs an external solver found via SEPE_EXTERNAL_SOLVER\n"
+      "                   or kissat/cadical on PATH — see docs/SOLVER.md)\n"
       "  --conflicts N    per-solver-call conflict budget (default none;\n"
       "                   deterministic, unlike --time-cap)\n"
       "  --time-cap SEC   per-job wall-clock cap (default none; verdicts under\n"
@@ -218,6 +222,7 @@ struct CommonOptions {
   std::string cache_dir;
   std::optional<engine::ShardSpec> shard;
   std::optional<bool> plaisted_greenbaum;  // nullopt = workload default
+  sat::BackendKind backend = sat::BackendKind::Native;
 
   engine::JobBudget budget() const {
     engine::JobBudget b;
@@ -228,6 +233,7 @@ struct CommonOptions {
     b.max_seconds = time_cap;
     b.portfolio = portfolio;
     b.plaisted_greenbaum = plaisted_greenbaum;
+    b.backend = backend;
     return b;
   }
 };
@@ -262,6 +268,22 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
       o->plaisted_greenbaum = true;
     else
       die_usage("--encoding", "auto | tseitin | pg", value);
+  } else if (!std::strcmp(argv[i], "--backend")) {
+    const char* value = next("--backend");
+    const auto kind = sat::backend_kind_from_name(value);
+    if (!kind) die_usage("--backend", "native | dimacs", value);
+    if (*kind == sat::BackendKind::Dimacs) {
+      // Fail the run up front with a diagnostic rather than letting every
+      // job report an unavailable engine as an UNKNOWN verdict.
+      const sat::DimacsBackend probe;
+      if (!probe.available()) {
+        std::fprintf(stderr,
+                     "sepe-run: --backend dimacs: no external solver found — "
+                     "set SEPE_EXTERNAL_SOLVER or put kissat/cadical on PATH\n");
+        std::exit(1);
+      }
+    }
+    o->backend = *kind;
   } else if (!std::strcmp(argv[i], "--conflicts"))
     o->conflicts = parse_u64_arg("--conflicts", next("--conflicts"));
   else if (!std::strcmp(argv[i], "--time-cap"))
