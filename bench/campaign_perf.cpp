@@ -50,6 +50,7 @@ struct Totals {
   std::uint64_t cnf_vars = 0, cnf_clauses = 0;
   std::uint64_t cone_lookups = 0, cone_hits = 0, cone_clauses_replayed = 0;
   std::uint64_t eliminated_vars = 0, subsumed_clauses = 0, vivified_clauses = 0;
+  std::uint64_t sat_retries = 0, jobs_hit_memory_limit = 0;
   std::uint64_t jobs_from_cache = 0;
 };
 
@@ -67,6 +68,8 @@ Totals tally(const engine::CampaignReport& report) {
     t.eliminated_vars += j.eliminated_vars;
     t.subsumed_clauses += j.subsumed_clauses;
     t.vivified_clauses += j.vivified_clauses;
+    t.sat_retries += j.sat_retries;
+    if (j.hit_memory_limit) ++t.jobs_hit_memory_limit;
     if (j.from_cache) ++t.jobs_from_cache;
   }
   return t;
@@ -114,7 +117,12 @@ std::string perf_json(const engine::CampaignReport& cold,
      << ", \"cone_clauses_replayed\": " << c.cone_clauses_replayed
      << ", \"eliminated_vars\": " << c.eliminated_vars
      << ", \"subsumed_clauses\": " << c.subsumed_clauses
-     << ", \"vivified_clauses\": " << c.vivified_clauses << "}";
+     << ", \"vivified_clauses\": " << c.vivified_clauses
+     // Robustness observables (docs/ROBUSTNESS.md): both must be zero in
+     // this fault-free bench, and compare_perf.py treats them as
+     // advisory, absence-tolerant fields so older baselines still load.
+     << ", \"sat_retries\": " << c.sat_retries
+     << ", \"jobs_hit_memory_limit\": " << c.jobs_hit_memory_limit << "}";
   // The warm rerun against the same cache directory: everything served
   // from the verdict journal, zero fresh solver work. These totals are
   // deterministic too (they must all be zero with every job cached).

@@ -25,6 +25,13 @@ CACHE_COUNTERS = ("cone_lookups", "cone_hits", "cone_clauses_replayed")
 # skip them. More inprocessing is not inherently better or worse, so the
 # smaller-is-better regression marker does not apply.
 INPROC_COUNTERS = ("eliminated_vars", "subsumed_clauses", "vivified_clauses")
+# Robustness observables (docs/ROBUSTNESS.md): transient backend failures
+# absorbed by retrying, and jobs that tripped a memory ceiling. Advisory
+# and absence-tolerant — baselines recorded before the fault framework
+# existed simply skip them. In the fault-free bench both should be zero;
+# a nonzero value is flagged loudly (it means the bench host itself is
+# failing transiently) but never fails the run.
+ROBUST_COUNTERS = ("sat_retries", "jobs_hit_memory_limit")
 VERDICT_FIELDS = ("verdict", "trace_length", "proved_k", "bad_label")
 
 
@@ -88,7 +95,7 @@ def main() -> int:
             )
 
     regressed = False
-    for counter in COUNTERS + CACHE_COUNTERS + INPROC_COUNTERS:
+    for counter in COUNTERS + CACHE_COUNTERS + INPROC_COUNTERS + ROBUST_COUNTERS:
         b, c = base["totals"].get(counter), cur["totals"].get(counter)
         if b is None or c is None:
             which = "baseline" if b is None else "current"

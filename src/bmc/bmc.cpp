@@ -84,6 +84,8 @@ void Bmc::snapshot_solver_stats() {
   stats_.cone_lookups = cone.lookups;
   stats_.cone_hits = cone.hits;
   stats_.cone_clauses_replayed = cone.clauses_replayed;
+  stats_.hit_memory_limit = sat.out_of_memory();
+  stats_.sat_retries = sat.num_retries();
 }
 
 std::optional<Witness> Bmc::check(const BmcOptions& options) {

@@ -69,6 +69,11 @@ struct BmcStats {
   std::uint64_t eliminated_vars = 0;
   std::uint64_t subsumed_clauses = 0;
   std::uint64_t vivified_clauses = 0;
+  // Robustness observables: true when the SAT engine degraded to Unknown
+  // on its memory ceiling (implies hit_resource_limit), and transient
+  // backend failures absorbed by retrying (docs/ROBUSTNESS.md).
+  bool hit_memory_limit = false;
+  std::uint64_t sat_retries = 0;
 };
 
 /// The unrolling engine. One instance per (transition system, run).

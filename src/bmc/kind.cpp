@@ -129,6 +129,8 @@ KInductionResult prove_by_k_induction(const ts::TransitionSystem& ts,
     result.eliminated_vars = bs.eliminated_vars + wsat.num_eliminated_vars();
     result.subsumed_clauses = bs.subsumed_clauses + wsat.num_subsumed_clauses();
     result.vivified_clauses = bs.vivified_clauses + wsat.num_vivified_clauses();
+    result.hit_memory_limit = bs.hit_memory_limit || wsat.out_of_memory();
+    result.sat_retries = bs.sat_retries + wsat.num_retries();
   };
 
   for (unsigned k = 1; k <= options.max_k; ++k) {

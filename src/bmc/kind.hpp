@@ -76,6 +76,9 @@ struct KInductionResult {
   std::uint64_t eliminated_vars = 0;
   std::uint64_t subsumed_clauses = 0;
   std::uint64_t vivified_clauses = 0;
+  /// Robustness observables across both solvers (docs/ROBUSTNESS.md).
+  bool hit_memory_limit = false;
+  std::uint64_t sat_retries = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
 
@@ -103,6 +104,8 @@ void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r
   r->eliminated_vars = b.stats.eliminated_vars;
   r->subsumed_clauses = b.stats.subsumed_clauses;
   r->vivified_clauses = b.stats.vivified_clauses;
+  r->hit_memory_limit = b.stats.hit_memory_limit;
+  r->sat_retries = b.stats.sat_retries;
   if (k.ran) {
     r->conflicts += k.result.solver_conflicts;
     r->propagations += k.result.solver_propagations;
@@ -115,6 +118,8 @@ void tally_sequential_counters(const BmcSide& b, const KindSide& k, JobResult* r
     r->eliminated_vars += k.result.eliminated_vars;
     r->subsumed_clauses += k.result.subsumed_clauses;
     r->vivified_clauses += k.result.vivified_clauses;
+    r->hit_memory_limit = r->hit_memory_limit || k.result.hit_memory_limit;
+    r->sat_retries += k.result.sat_retries;
   }
 }
 
@@ -167,8 +172,9 @@ JobResult run_job(const JobSpec& job,
     // diagnostic and returning leaves the race with no claimant and the
     // job reports Unknown with the note attached.
     if (!job.build(ts, &side.build_error)) return;
-    bmc::Bmc checker(ts, sat::SolverConfig::portfolio_member(idx),
-                     plaisted_greenbaum, cone_cache, job.budget.backend);
+    sat::SolverConfig cfg = sat::SolverConfig::portfolio_member(idx);
+    cfg.memory_limit_mb = job.budget.memory_limit_mb;
+    bmc::Bmc checker(ts, cfg, plaisted_greenbaum, cone_cache, job.budget.backend);
     bmc::BmcOptions bo;
     bo.max_bound = job.budget.max_bound;
     bo.conflict_budget_per_bound = job.budget.conflict_budget;
@@ -198,6 +204,7 @@ JobResult run_job(const JobSpec& job,
     ko.max_seconds = job.budget.max_seconds;
     ko.stop = stop_flag;
     ko.solver_config = sat::SolverConfig::portfolio_member(idx);
+    ko.solver_config.memory_limit_mb = job.budget.memory_limit_mb;
     ko.plaisted_greenbaum = plaisted_greenbaum;
     ko.cone_cache = cone_cache;
     ko.backend = job.budget.backend;
@@ -330,6 +337,10 @@ JobResult run_job(const JobSpec& job,
     if (bsides[0].stats.hit_resource_limit || bsides[0].stats.cancelled) {
       r.verdict = Verdict::Unknown;
       r.hit_resource_limit = true;
+      // A memory-ceiling trip is deterministic for a fixed spec and
+      // budget, so the diagnosis belongs in the stable form: the Unknown
+      // row explains itself (docs/ROBUSTNESS.md).
+      if (r.hit_memory_limit) r.note = "resource: memory";
     } else {
       r.verdict = Verdict::BoundClean;
       r.hit_resource_limit = !ksides.empty() && ksides[0].ran &&
@@ -364,6 +375,11 @@ CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
   std::atomic<std::size_t> next{0};
   const auto worker = [&]() {
     for (;;) {
+      // Crash-only envelope: once SIGTERM/SIGINT raised the global stop,
+      // claim no further jobs — in-flight ones wind down via the solver
+      // stop poll, finished ones are already journaled, and the caller
+      // flushes a resumable checkpoint (docs/ROBUSTNESS.md).
+      if (fault::global_stop_requested()) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= spec.jobs.size()) return;
       report.jobs[i] = run_job(spec.jobs[i], cone_cache);
@@ -499,6 +515,8 @@ std::string CampaignReport::to_json(bool include_timing) const {
       os << ", \"eliminated_vars\": " << j.eliminated_vars;
       os << ", \"subsumed_clauses\": " << j.subsumed_clauses;
       os << ", \"vivified_clauses\": " << j.vivified_clauses;
+      os << ", \"sat_retries\": " << j.sat_retries;
+      os << ", \"hit_memory_limit\": " << (j.hit_memory_limit ? "true" : "false");
       os << ", \"from_cache\": " << (j.from_cache ? "true" : "false");
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.3f", j.seconds);

@@ -114,6 +114,12 @@ struct JobBudget {
   /// re-derived with the native default-config replay, so stable JSON is
   /// backend-independent for definite verdicts.
   sat::BackendKind backend = sat::BackendKind::Native;
+  /// Per-entrant SAT-arena memory ceiling in MiB (0 = none). A job whose
+  /// solvers outgrow it degrades to Verdict::Unknown with a
+  /// "resource: memory" note — a diagnosed row, never a process abort.
+  /// Deterministic (the arena is a pure function of the clause stream),
+  /// so it is part of the verdict-cache key and the spec digest.
+  unsigned memory_limit_mb = 0;
 };
 
 /// One verification job: a self-contained model builder plus budgets.
@@ -187,6 +193,11 @@ struct JobResult {
   /// True when the verdict was loaded from a campaign verdict cache
   /// (engine/verdict_cache.hpp) instead of being solved in-process.
   bool from_cache = false;
+  /// Robustness observables (timing report only): the job's SAT engines
+  /// tripped the JobBudget::memory_limit_mb ceiling / absorbed transient
+  /// backend failures by retrying (docs/ROBUSTNESS.md).
+  bool hit_memory_limit = false;
+  std::uint64_t sat_retries = 0;
   double seconds = 0.0;  // job wall time
 };
 

@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "engine/report_io.hpp"
+#include "util/fault.hpp"
 
 namespace sepe::engine {
 
@@ -98,9 +99,24 @@ struct ShardState {
   /// valid one is the cross-run resume feature; one the worker refuses
   /// must be discarded before the retry, not re-seeded forever.
   bool preexisting_journal = false;
+  /// Earliest instant the next relaunch of this shard may start
+  /// (exponential backoff with deterministic jitter; see
+  /// DispatchOptions::retry_backoff_seconds). Default = due immediately.
+  std::chrono::steady_clock::time_point not_before{};
   CampaignReport report;                   // the winning attempt's report
   std::vector<std::string> journal_paths;  // every attempt's checkpoint file
 };
+
+/// splitmix64 folded to [0, 1): the backoff jitter source. Pure function
+/// of its seed, so the whole retry schedule is reproducible.
+double jitter01(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
 
 std::string shard_arg(unsigned index, unsigned count) {
   return std::to_string(index) + "/" + std::to_string(count);
@@ -129,6 +145,14 @@ class Dispatcher {
 
   DispatchResult run() {
     while (completed_ < shard_count_ && result_.error.empty()) {
+      // Crash-only envelope: on SIGTERM/SIGINT stop scheduling, put the
+      // fleet down (below), and leave every attempt's journal behind for
+      // a resumed dispatch (docs/ROBUSTNESS.md).
+      if (fault::global_stop_requested()) {
+        fail("interrupted — per-attempt journals in the work dir allow "
+             "a re-run to resume");
+        break;
+      }
       bool progress = fill_worker_slots();
       progress |= poll_running();
       if (!progress && result_.error.empty())
@@ -260,16 +284,23 @@ class Dispatcher {
   /// steal the longest-running straggler rather than idling.
   bool fill_worker_slots() {
     bool progress = false;
+    const auto now = std::chrono::steady_clock::now();
     while (running_.size() < options_.workers && !pending_.empty() &&
            result_.error.empty()) {
-      const unsigned shard = pending_.front();
-      pending_.pop_front();
+      // Queued relaunches respect their backoff window: skip shards that
+      // are not due yet (the scheduler naps and comes back for them).
+      const auto due = std::find_if(
+          pending_.begin(), pending_.end(), [&](unsigned shard) {
+            return shards_[shard].completed || now >= shards_[shard].not_before;
+          });
+      if (due == pending_.end()) break;
+      const unsigned shard = *due;
+      pending_.erase(due);
       // A queued relaunch can be overtaken by a thief completing the
       // shard first; never re-solve a shard that is already won.
       if (shards_[shard].completed) continue;
       progress |= launch_attempt(shard, /*stolen=*/false);
     }
-    const auto now = std::chrono::steady_clock::now();
     while (options_.steal && running_.size() < options_.workers &&
            pending_.empty() && result_.error.empty()) {
       // Straggler = the oldest-running shard that has no thief yet (at
@@ -368,7 +399,20 @@ class Dispatcher {
       return;
     if (state.relaunches < options_.retries) {
       ++state.relaunches;
-      pending_.push_front(attempt.shard);  // relaunch promptly, resuming
+      // Exponential backoff with deterministic jitter: transient causes
+      // (a flaky filesystem, an OOM-killer sweep) get room to clear, and
+      // simultaneous casualties relaunch staggered instead of stampeding.
+      if (options_.retry_backoff_seconds > 0) {
+        const double delay =
+            options_.retry_backoff_seconds *
+            static_cast<double>(1u << std::min(state.relaunches - 1, 20u)) *
+            (1.0 + jitter01((static_cast<std::uint64_t>(attempt.shard) << 32) ^
+                            state.relaunches));
+        state.not_before = std::chrono::steady_clock::now() +
+                           std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(delay));
+      }
+      pending_.push_front(attempt.shard);  // relaunch once the backoff elapses
       return;
     }
     fail("shard " + shard_arg(attempt.shard, shard_count_) + " failed " +

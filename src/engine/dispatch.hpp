@@ -106,6 +106,14 @@ struct DispatchOptions {
   /// non-zero exit, missing/invalid report). Each retry resumes from
   /// the best checkpoint journal any previous attempt left behind.
   unsigned retries = 1;
+  /// Base delay before a failed shard's relaunch. The n-th relaunch of
+  /// a shard waits base · 2^(n-1) · (1 + jitter) seconds, with jitter in
+  /// [0, 1) drawn deterministically from the shard index and the retry
+  /// ordinal — so a fleet of shards felled by one transient cause
+  /// (filesystem hiccup, OOM-killer sweep) fans back in staggered
+  /// instead of stampeding, and every run of the same failure history
+  /// waits the same schedule. 0 relaunches immediately (old behaviour).
+  double retry_backoff_seconds = 0.05;
   /// Re-issue straggler shards to idle workers (from a journal
   /// snapshot) instead of letting slots idle. First completion wins.
   bool steal = true;

@@ -2,14 +2,17 @@
 
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/parse.hpp"
 
 namespace sepe::engine {
@@ -389,6 +392,11 @@ bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
     if (!get_u64(obj, "vivified_clauses", &n, error)) return false;
     out->vivified_clauses = n;
   }
+  if (obj.find("sat_retries")) {
+    if (!get_u64(obj, "sat_retries", &n, error)) return false;
+    out->sat_retries = n;
+  }
+  get_bool(obj, "hit_memory_limit", &out->hit_memory_limit);
   get_bool(obj, "from_cache", &out->from_cache);
   get_bool(obj, "loser_cancelled", &out->loser_cancelled);
   get_bool(obj, "hit_resource_limit", &out->hit_resource_limit);
@@ -451,20 +459,41 @@ std::optional<std::string> read_text_file(const std::string& path) {
   return buffer.str();
 }
 
-bool write_text_file_atomic(const std::string& path, const std::string& text) {
+bool write_text_file_atomic(const std::string& path, const std::string& text,
+                            const char* fault_point) {
+  // Transient filesystem trouble (and the faults docs/ROBUSTNESS.md
+  // injects through `fault_point`) gets a bounded retry with a short
+  // deterministic backoff: a checkpoint journal that misses one beat
+  // still lands, and only a *persistently* failing disk degrades to the
+  // best-effort path the callers document. The temp-file + rename dance
+  // keeps readers from ever observing a torn file: a short write only
+  // ever strands (and here removes) the .tmp, never the published one.
+  constexpr int kMaxAttempts = 3;
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return false;
-    out << text;
-    out.flush();
-    if (!out) return false;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    std::optional<fault::Action> injected;
+    if (fault_point != nullptr && fault::armed()) injected = fault::hit(fault_point);
+    bool ok = false;
+    // Fail/enospc skip the write outright; torn/short write a truncated
+    // temp file — the crash-mid-write window — which is then discarded.
+    const bool writes_bytes =
+        !injected || *injected == fault::Action::Torn ||
+        *injected == fault::Action::Short;
+    if (writes_bytes) {
+      const std::size_t bytes = injected ? text.size() / 2 : text.size();
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out.write(text.data(), static_cast<std::streamsize>(bytes));
+        out.flush();
+        ok = static_cast<bool>(out) && !injected;
+      }
+    }
+    if (ok && std::rename(tmp.c_str(), path.c_str()) == 0) return true;
     std::remove(tmp.c_str());
-    return false;
+    if (attempt < kMaxAttempts)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5 << (attempt - 1)));
   }
-  return true;
+  return false;
 }
 
 }  // namespace sepe::engine

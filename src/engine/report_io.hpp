@@ -26,7 +26,12 @@ bool parse_report(const std::string& json, CampaignReport* out, std::string* err
 std::optional<std::string> read_text_file(const std::string& path);
 
 /// Write `text` to `path` atomically (temp file + rename) so readers
-/// never observe a torn report. Returns false on I/O failure.
-bool write_text_file_atomic(const std::string& path, const std::string& text);
+/// never observe a torn report. Transient failures — including ones
+/// injected through the optional `fault_point` (docs/ROBUSTNESS.md,
+/// e.g. "checkpoint.write" / "report.write") — are retried a bounded
+/// number of times with a short deterministic backoff before the write
+/// is given up on. Returns false on persistent I/O failure.
+bool write_text_file_atomic(const std::string& path, const std::string& text,
+                            const char* fault_point = nullptr);
 
 }  // namespace sepe::engine

@@ -12,6 +12,7 @@
 
 #include "engine/report_io.hpp"
 #include "engine/verdict_cache.hpp"
+#include "util/fault.hpp"
 #include "util/parse.hpp"
 
 namespace sepe::engine {
@@ -76,6 +77,7 @@ std::string spec_digest_of(const CampaignSpec& spec, const std::string& fingerpr
                  ? (*job.budget.plaisted_greenbaum ? 2 : 1)
                  : 0);
     mix_byte(static_cast<unsigned char>(job.budget.backend));
+    mix_u64(job.budget.memory_limit_mb);
   }
   char hex[17];
   std::snprintf(hex, sizeof hex, "%016llx", static_cast<unsigned long long>(h));
@@ -350,16 +352,23 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
   std::mutex checkpoint_mutex;
   const auto user_hook = options.pool.on_job_done;
   const bool journal = !options.checkpoint_path.empty();
-  if (journal || user_hook || cache) {
+  if (journal || user_hook || cache || fault::armed()) {
     pool.on_job_done = [&, user_hook, journal](std::size_t pending_index,
                                                const JobResult& job) {
       const std::size_t i = pending_to_plan[pending_index];
       JobResult patched = job;
       patched.spec_index = plan.spec_indices[i];
+      // A job wound down by the global stop (SIGTERM/SIGINT, or an
+      // injected stop fault) reports Unknown only because it was
+      // interrupted; journaling or caching that row would make the
+      // resumed run differ from an uninterrupted one. Skip persistence —
+      // the resume re-solves it properly.
+      const bool interrupted_unknown =
+          fault::global_stop_requested() && patched.verdict == Verdict::Unknown;
       // Persist freshly solved verdicts (VerdictCache serializes its own
       // journal; no need for the checkpoint mutex). Jobs served from the
       // cache never reach this hook — run_campaign only ran the misses.
-      if (cache && VerdictCache::cacheable(plan.spec.jobs[i])) {
+      if (cache && !interrupted_unknown && VerdictCache::cacheable(plan.spec.jobs[i])) {
         VerdictCache::Entry entry;
         entry.verdict = patched.verdict;
         entry.trace_length = patched.trace_length;
@@ -369,7 +378,7 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
         cache->append(VerdictCache::key_of(plan.spec.jobs[i], options.fingerprint),
                       entry);
       }
-      if (journal) {
+      if (journal && !interrupted_unknown) {
         std::lock_guard<std::mutex> lock(checkpoint_mutex);
         results[i] = patched;
         done[i] = true;
@@ -382,12 +391,21 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
         // Best-effort journal: an unwritable checkpoint only costs the
         // resume, never the run.
         write_text_file_atomic(options.checkpoint_path,
-                               snapshot.to_json(/*include_timing=*/true));
+                               snapshot.to_json(/*include_timing=*/true),
+                               "checkpoint.write");
       }
       // The hook contract is positions in the spec the caller handed to
       // run_sharded, not the internal pending sub-spec (jobs resumed from
       // the checkpoint do not re-fire the hook).
       if (user_hook) user_hook(patched.spec_index, patched);
+      // Fault point "worker.job_done" (docs/ROBUSTNESS.md): fires only
+      // after the finished job was journaled and reported, so an injected
+      // kill/hang/stop always leaves a resumable checkpoint behind —
+      // exactly the crash window the dispatcher's relaunch path covers.
+      if (fault::armed()) {
+        if (const auto action = fault::hit("worker.job_done"))
+          fault::execute_process_action(*action);
+      }
     };
   }
 

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/parse.hpp"
 
@@ -19,8 +20,11 @@ namespace {
 
 /// One step ahead of the checkpoint format: bump whenever the key
 /// derivation or the line layout changes, so entries written by an
-/// older binary become unreachable instead of misread.
-constexpr int kFormatVersion = 1;
+/// older binary become unreachable instead of misread. v2: the per-job
+/// memory ceiling (JobBudget::memory_limit_mb) joined the key — a
+/// memory-capped Unknown must never be replayed as an uncapped verdict
+/// (or vice versa).
+constexpr int kFormatVersion = 2;
 
 std::uint64_t fnv1a(const char* data, std::size_t n,
                     std::uint64_t h = 1469598103934665603ull) {
@@ -177,6 +181,9 @@ std::string VerdictCache::key_of(const JobSpec& job, const std::string& fingerpr
   // mixing the backend makes stale entries *miss* (and re-solve) instead
   // of presenting one engine's verdict as the other's.
   mix_byte(static_cast<unsigned char>(job.budget.backend));
+  // The memory ceiling changes what a job can conclude (campaign.hpp), so
+  // capped and uncapped runs must never share a cache slot.
+  mix_u64(job.budget.memory_limit_mb);
   return hex16(h);
 }
 
@@ -293,14 +300,28 @@ void VerdictCache::append(const std::string& key, const Entry& e) {
   const std::lock_guard<std::mutex> lock(mu_);
   if (!map_.emplace(key, e).second) return;  // already journaled
   ++stats_.appends;
+  // Fault point "cache.append" (docs/ROBUSTNESS.md): torn truncates the
+  // entry mid-line — the self-check digest catches it on the next load,
+  // so injection exercises exactly the crash-mid-write window; fail and
+  // enospc drop the write and take the diagnosed-once degraded path.
+  std::size_t bytes = line.size();
+  bool injected_failure = false;
+  if (fault::armed()) {
+    if (const auto action = fault::hit("cache.append")) {
+      if (*action == fault::Action::Torn)
+        bytes = line.size() / 2;
+      else
+        injected_failure = true;
+    }
+  }
   // One O_APPEND write per line: concurrent campaigns sharing the cache
   // directory (dispatcher workers) interleave whole entries, and a torn
   // final line from a crash fails its self-check and costs one miss.
-  const int fd = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
+  const int fd =
+      injected_failure ? -1 : ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CREAT, 0644);
   bool ok = fd >= 0;
   if (ok) {
-    ok = ::write(fd, line.data(), line.size()) ==
-         static_cast<ssize_t>(line.size());
+    ok = ::write(fd, line.data(), bytes) == static_cast<ssize_t>(line.size());
     ::close(fd);
   }
   if (!ok && !write_error_diagnosed_) {

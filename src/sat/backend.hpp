@@ -24,6 +24,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace sepe::sat {
 
 struct SolverConfig;
@@ -138,8 +140,13 @@ class Backend {
   /// cleared with set_stop_flag(nullptr).
   void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
   const std::atomic<bool>* stop_flag() const { return stop_; }
+  /// True when either the per-race stop flag or the process-global
+  /// crash-only stop (SIGTERM/SIGINT, fault::Action::Stop) is raised, so
+  /// a termination request interrupts every running CDCL loop through the
+  /// same poll points the race cancellation already uses.
   bool stop_requested() const {
-    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
+    return (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) ||
+           fault::global_stop_requested();
   }
 
   // --- statistics (deterministic proxies; engines that cannot observe a
@@ -154,6 +161,13 @@ class Backend {
   virtual std::uint64_t num_eliminated_vars() const { return 0; }
   virtual std::uint64_t num_subsumed_clauses() const { return 0; }
   virtual std::uint64_t num_vivified_clauses() const { return 0; }
+  // --- robustness observables ---
+  /// True once a solve degraded to Unknown because the per-job memory
+  /// ceiling (SolverConfig::memory_limit_mb) tripped. Sticky.
+  virtual bool out_of_memory() const { return false; }
+  /// Transient failures absorbed by retrying (subprocess respawns, torn
+  /// model re-reads). Engines that never retry report zero.
+  virtual std::uint64_t num_retries() const { return 0; }
 
  protected:
   std::uint64_t conflict_budget_ = 0;

@@ -64,11 +64,24 @@ class DimacsBackend final : public Backend {
   std::uint64_t num_restarts() const override { return 0; }
   std::size_t num_clauses() const override { return clauses_.size(); }
   std::size_t num_learnts() const override { return 0; }
+  /// Transient subprocess failures (spawn errors, stuck children we
+  /// killed, truncated model output) absorbed by respawning the solver.
+  std::uint64_t num_retries() const override { return retries_; }
 
  private:
+  /// One spawn/solve/parse attempt. Returns true with *result set on a
+  /// definite outcome (including honest Unknown for stop/budget);
+  /// returns false on a transient failure worth retrying.
+  bool solve_attempt(const std::vector<Lit>& assumptions, SolveResult* result);
+  /// True when `model_` satisfies every clause and assumption — the
+  /// guard that turns a truncated "v"-line model into a retry instead of
+  /// a silently wrong answer.
+  bool model_satisfies(const std::vector<Lit>& assumptions) const;
+
   std::string solver_path_;
   int num_vars_ = 0;
   bool root_unsat_ = false;
+  std::uint64_t retries_ = 0;
   std::vector<std::vector<Lit>> clauses_;
   std::vector<Value> model_;
   std::vector<Lit> core_;

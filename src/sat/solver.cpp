@@ -12,15 +12,19 @@
 namespace sepe::sat {
 
 std::string SolverConfig::to_string() const {
-  char buf[320];
-  std::snprintf(buf, sizeof buf,
-                "decay=%.17g;restart=%s;base=%u;mult=%.17g;phase=%d;rand=%u;"
-                "seed=%" PRIu64 ";reduce=%" PRIu64 "+%" PRIu64 ";inproc=%" PRIu64
-                ";bve=%u;vivify=%d",
-                var_decay, restart == Restart::Luby ? "luby" : "geometric",
-                restart_base, restart_mult, phase_init_true ? 1 : 0,
-                random_branch_freq, seed, reduce_base, reduce_increment,
-                inprocess_interval, bve_occurrence_limit, vivify ? 1 : 0);
+  char buf[336];
+  int n = std::snprintf(buf, sizeof buf,
+                        "decay=%.17g;restart=%s;base=%u;mult=%.17g;phase=%d;rand=%u;"
+                        "seed=%" PRIu64 ";reduce=%" PRIu64 "+%" PRIu64 ";inproc=%" PRIu64
+                        ";bve=%u;vivify=%d",
+                        var_decay, restart == Restart::Luby ? "luby" : "geometric",
+                        restart_base, restart_mult, phase_init_true ? 1 : 0,
+                        random_branch_freq, seed, reduce_base, reduce_increment,
+                        inprocess_interval, bve_occurrence_limit, vivify ? 1 : 0);
+  // Appended only when set so existing (pre-ceiling) strings stay
+  // byte-identical and keep parsing.
+  if (memory_limit_mb != 0)
+    std::snprintf(buf + n, sizeof buf - n, ";mem=%u", memory_limit_mb);
   return buf;
 }
 
@@ -38,7 +42,16 @@ std::optional<SolverConfig> SolverConfig::from_string(const std::string& text) {
       &c.var_decay, restart_name, &c.restart_base, &c.restart_mult, &phase,
       &c.random_branch_freq, &c.seed, &c.reduce_base, &c.reduce_increment,
       &c.inprocess_interval, &c.bve_occurrence_limit, &vivify_flag, &consumed);
-  if (got != 12 || static_cast<std::size_t>(consumed) != text.size()) return std::nullopt;
+  if (got != 12) return std::nullopt;
+  if (static_cast<std::size_t>(consumed) != text.size()) {
+    // Optional trailing memory ceiling (to_string emits it when nonzero).
+    int mem_consumed = 0;
+    if (std::sscanf(text.c_str() + consumed, ";mem=%u%n", &c.memory_limit_mb,
+                    &mem_consumed) != 1 ||
+        static_cast<std::size_t>(consumed + mem_consumed) != text.size() ||
+        c.memory_limit_mb == 0)
+      return std::nullopt;
+  }
   if (!std::strcmp(restart_name, "luby")) {
     c.restart = Restart::Luby;
   } else if (!std::strcmp(restart_name, "geometric")) {
@@ -994,12 +1007,33 @@ void Solver::repair_model() {
   }
 }
 
+bool Solver::memory_exceeded() {
+  if (config_.memory_limit_mb != 0 &&
+      arena_.size() >
+          static_cast<std::size_t>(config_.memory_limit_mb) * 1024 * 1024) {
+    hit_memory_limit_ = true;
+    return true;
+  }
+  if (fault::armed()) {
+    const auto a = fault::hit("solver.alloc");
+    if (a && *a == fault::Action::Oom) {
+      hit_memory_limit_ = true;
+      return true;
+    }
+  }
+  return false;
+}
+
 SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
   if (root_unsat_) {
     conflict_core_.clear();
     return SolveResult::Unsat;
   }
   if (stop_requested()) return SolveResult::Unknown;
+  // The arena is mostly grown by add_clause before the search starts
+  // (bit-blasting), so the ceiling is checked on entry as well as per
+  // conflict. Degrade, don't abort: Unknown is an honest verdict.
+  if (memory_exceeded()) return SolveResult::Unknown;
   backtrack(0);
   // Assumptions over variables eliminated in an earlier solve bring them
   // back (with their clauses) before the search starts.
@@ -1075,6 +1109,10 @@ SolveResult Solver::solve(const std::vector<Lit>& assumptions) {
       clause_inc_ *= 1.001;
       if (conflict_budget_ != 0 &&
           stats_conflicts_ - conflicts_at_start >= conflict_budget_) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      if (memory_exceeded()) {
         backtrack(0);
         return SolveResult::Unknown;
       }

@@ -68,6 +68,12 @@ struct SolverConfig {
   /// Clause vivification pass toggle (bounded re-propagation of problem
   /// clauses to shrink or drop them).
   bool vivify = true;
+  /// Per-solver clause-arena ceiling in MiB (0 = none). When the arena
+  /// outgrows it, solve() degrades to Unknown and out_of_memory() latches
+  /// — a memory-starved job costs a diagnosed UNKNOWN row, never an
+  /// abort. Deterministic: the arena size is a pure function of the
+  /// clause stream.
+  unsigned memory_limit_mb = 0;
 
   bool operator==(const SolverConfig&) const = default;
 
@@ -123,6 +129,7 @@ class Solver final : public Backend {
   std::uint64_t num_eliminated_vars() const override { return stats_eliminated_vars_; }
   std::uint64_t num_subsumed_clauses() const override { return stats_subsumed_clauses_; }
   std::uint64_t num_vivified_clauses() const override { return stats_vivified_clauses_; }
+  bool out_of_memory() const override { return hit_memory_limit_; }
 
  private:
   // Clauses live in an arena; a ClauseRef is an offset into it.
@@ -197,6 +204,12 @@ class Solver final : public Backend {
     return var < static_cast<int>(eliminated_.size()) && eliminated_[var] != 0;
   }
 
+  /// The per-job memory ceiling (config_.memory_limit_mb, or the
+  /// solver.alloc:oom fault point): checked at solve() entry (the arena
+  /// is mostly grown by bit-blasting before the search starts) and once
+  /// per conflict (learnt growth). Latches hit_memory_limit_.
+  bool memory_exceeded();
+
   int decision_level() const { return static_cast<int>(trail_lim_.size()); }
   std::uint32_t compute_lbd(const std::vector<Lit>& clause);
 
@@ -240,6 +253,7 @@ class Solver final : public Backend {
   double clause_inc_ = 1.0;
 
   bool root_unsat_ = false;
+  bool hit_memory_limit_ = false;
   std::vector<Lit> conflict_core_;
 
   // Inprocessing state. elim_stack_ records, per eliminated variable (in

@@ -57,6 +57,9 @@ expect_usage_error corpus_no_dir     -- corpus
 expect_usage_error corpus_two_dirs   -- corpus a b
 expect_usage_error corpus_bad_flag   -- corpus dir --frobnicate
 expect_usage_error corpus_bad_shard  -- corpus dir --shard 9/9
+expect_usage_error memory_zero       -- --memory-mb 0
+expect_usage_error memory_garbage    -- --memory-mb lots
+expect_usage_error memory_missing    -- --memory-mb
 expect_usage_error dispatch_workers_zero    -- dispatch --workers 0
 expect_usage_error dispatch_workers_bad     -- dispatch --workers abc
 expect_usage_error dispatch_owns_shard      -- dispatch --shard 0/2
@@ -272,6 +275,97 @@ elif cmp -s "$WORK/reference.json" "$WORK/dispatched-hang.json"; then
 else
   echo "FAIL: post-hang merged JSON differs from the unsharded reference:"
   diff "$WORK/reference.json" "$WORK/dispatched-hang.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# The unified fault plan drives the same worker-kill drill: SEPE_FAULT's
+# worker.job_done:kill@token entry must behave exactly like the legacy
+# SEPE_RUN_KILL_TOKEN alias exercised above.
+touch "$WORK/kill2.token"
+if ! SEPE_FAULT="point=worker.job_done:kill@token:$WORK/kill2.token" \
+    "$SEPE_RUN" dispatch --workers 1 --shards 1 "${CAMPAIGN[@]}" \
+    --json "$WORK/dispatched-kill2.json" >/dev/null 2>"$WORK/dispatch-kill2.log"; then
+  echo "FAIL: dispatch run with a SEPE_FAULT-killed worker"
+  cat "$WORK/dispatch-kill2.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if [ ! -e "$WORK/kill2.token.claimed" ]; then
+  echo "FAIL: no worker claimed the SEPE_FAULT kill token"
+  FAILURES=$((FAILURES + 1))
+elif ! grep -q "crashed (signal 9)" "$WORK/dispatch-kill2.log" \
+    || ! grep -q "resuming 1 journaled jobs" "$WORK/dispatch-kill2.log"; then
+  echo "FAIL: dispatcher log is missing the SEPE_FAULT crash/resume trail:"
+  cat "$WORK/dispatch-kill2.log"
+  FAILURES=$((FAILURES + 1))
+elif cmp -s "$WORK/reference.json" "$WORK/dispatched-kill2.json"; then
+  echo "ok: SEPE_FAULT worker kill matches the legacy token drill"
+else
+  echo "FAIL: post-SEPE_FAULT-kill merged JSON differs from the reference:"
+  diff "$WORK/reference.json" "$WORK/dispatched-kill2.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A malformed fault plan must never take down a production run: the run
+# proceeds un-instrumented with a diagnostic on stderr.
+if SEPE_FAULT="point=frobnicate" "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 \
+    --json "$WORK/badplan.json" >/dev/null 2>"$WORK/badplan.log" \
+    && grep -q "ignoring malformed SEPE_FAULT" "$WORK/badplan.log" \
+    && cmp -s "$WORK/reference.json" "$WORK/badplan.json"; then
+  echo "ok: malformed SEPE_FAULT is diagnosed and ignored"
+else
+  echo "FAIL: malformed SEPE_FAULT should be diagnosed and leave the run intact"
+  cat "$WORK/badplan.log"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- crash-only envelope: SIGTERM mid-campaign ---
+
+# A worker hangs (interruptibly) after its first journaled job; SIGTERM
+# must flush the partial report, exit 143, and leave a checkpoint from
+# which a clean rerun reproduces the reference byte-for-byte.
+SEPE_FAULT="point=worker.job_done:hang@1" "$SEPE_RUN" "${CAMPAIGN[@]}" \
+    --threads 1 --checkpoint "$WORK/term-ckpt.json" \
+    --json "$WORK/term-partial.json" >/dev/null 2>&1 &
+RUN_PID=$!
+for _ in $(seq 1 200); do
+  [ -s "$WORK/term-ckpt.json" ] && break
+  sleep 0.1
+done
+kill -TERM "$RUN_PID" 2>/dev/null
+wait "$RUN_PID"
+status=$?
+if [ "$status" -ne 143 ]; then
+  echo "FAIL: SIGTERM'd run should exit 143, got $status"
+  FAILURES=$((FAILURES + 1))
+elif [ ! -s "$WORK/term-ckpt.json" ] || [ ! -s "$WORK/term-partial.json" ]; then
+  echo "FAIL: SIGTERM'd run left no checkpoint/partial report"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "ok: SIGTERM flushes the checkpoint and partial report, exits 143"
+fi
+if "$SEPE_RUN" "${CAMPAIGN[@]}" --threads 1 --checkpoint "$WORK/term-ckpt.json" \
+    --json "$WORK/term-resumed.json" >/dev/null 2>&1 \
+    && cmp -s "$WORK/reference.json" "$WORK/term-resumed.json"; then
+  echo "ok: resume after SIGTERM is byte-identical to the uninterrupted run"
+else
+  echo "FAIL: post-SIGTERM resume differs from the reference:"
+  diff "$WORK/reference.json" "$WORK/term-resumed.json"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- per-job memory ceiling ---
+
+# A starved job degrades to a *diagnosed* UNKNOWN row (exit 3), never an
+# abort; the diagnosis travels in the stable report.
+OOM_RUN=(--bugs table1 --rows 1 --modes eddi --bound 8 --max-k 2
+         --memory-mb 1 --stable-json)
+"$SEPE_RUN" "${OOM_RUN[@]}" --threads 1 --json "$WORK/oom.json" >/dev/null 2>&1
+status=$?
+if [ "$status" -eq 3 ] && grep -q '"error": "resource: memory"' "$WORK/oom.json"; then
+  echo "ok: --memory-mb starvation degrades to a diagnosed UNKNOWN row"
+else
+  echo "FAIL: --memory-mb run should exit 3 with a 'resource: memory' row, got $status"
+  cat "$WORK/oom.json" 2>/dev/null
   FAILURES=$((FAILURES + 1))
 fi
 

@@ -59,6 +59,7 @@
 #include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "sat/dimacs_backend.hpp"
+#include "util/fault.hpp"
 #include "util/parse.hpp"
 #include "util/stopwatch.hpp"
 
@@ -66,6 +67,27 @@ using namespace sepe;
 using isa::Opcode;
 
 namespace {
+
+/// Crash-only envelope (docs/ROBUSTNESS.md): SIGTERM/SIGINT raise the
+/// cooperative stop flag every CDCL loop polls; the campaign winds down,
+/// flushes its checkpoint journal and a partial report, and main exits
+/// 128+signal (143 / 130). Only async-signal-safe work happens here.
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_terminate_signal(int sig) {
+  g_signal = sig;
+  fault::request_global_stop();
+}
+
+/// Fold an interrupt into the exit status: a run stopped by a signal (or
+/// by an injected `stop` fault, which behaves like SIGTERM) reports
+/// 128+signal however far it got, so wrappers can tell "finished with
+/// UNKNOWNs" (3) from "was told to stop" (130/143).
+int exit_code(int code) {
+  const int sig =
+      g_signal != 0 ? g_signal : (fault::global_stop_requested() ? SIGTERM : 0);
+  return sig != 0 ? 128 + sig : code;
+}
 
 void usage() {
   std::printf(
@@ -94,6 +116,9 @@ void usage() {
       "                   deterministic, unlike --time-cap)\n"
       "  --time-cap SEC   per-job wall-clock cap (default none; verdicts under\n"
       "                   a wall cap may vary with load and --threads)\n"
+      "  --memory-mb N    per-job SAT-arena memory ceiling in MiB (default none;\n"
+      "                   deterministic — an over-budget job degrades to an\n"
+      "                   UNKNOWN row diagnosed 'resource: memory')\n"
       "  --seed S         RNG seed recorded in the report (default 1)\n"
       "  --shard I/N      run only the deterministic shard I of N (0-based);\n"
       "                   the JSON report then carries shard metadata for merge\n"
@@ -143,7 +168,11 @@ void usage() {
       "  --output FILE    merged report destination (default '-' = stdout)\n"
       "\n"
       "exit codes: 0 success; 1 I/O, merge, or dispatch failure; 2 usage\n"
-      "error; 3 the campaign finished with UNKNOWN verdicts.\n");
+      "error; 3 the campaign finished with UNKNOWN verdicts; 130/143 the\n"
+      "run was interrupted (SIGINT/SIGTERM) after flushing its checkpoint\n"
+      "journal and a partial report — resume with the same --checkpoint.\n"
+      "Fault injection (SEPE_FAULT) and the failure-mode matrix are\n"
+      "documented in docs/ROBUSTNESS.md.\n");
 }
 
 void list_bugs() {
@@ -217,6 +246,7 @@ struct CommonOptions {
   std::uint64_t conflicts = 0;
   std::uint64_t seed = 1;
   double time_cap = 0.0;
+  unsigned memory_mb = 0;
   std::string json_path;
   std::string checkpoint_path;
   std::string cache_dir;
@@ -231,6 +261,7 @@ struct CommonOptions {
     b.race_k_induction = race;
     b.conflict_budget = conflicts;
     b.max_seconds = time_cap;
+    b.memory_limit_mb = memory_mb;
     b.portfolio = portfolio;
     b.plaisted_greenbaum = plaisted_greenbaum;
     b.backend = backend;
@@ -288,6 +319,8 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
     o->conflicts = parse_u64_arg("--conflicts", next("--conflicts"));
   else if (!std::strcmp(argv[i], "--time-cap"))
     o->time_cap = parse_seconds_arg("--time-cap", next("--time-cap"));
+  else if (!std::strcmp(argv[i], "--memory-mb"))
+    o->memory_mb = parse_unsigned_arg("--memory-mb", next("--memory-mb"), 1);
   else if (!std::strcmp(argv[i], "--seed"))
     o->seed = parse_u64_arg("--seed", next("--seed"));
   else if (!std::strcmp(argv[i], "--shard")) {
@@ -313,30 +346,6 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
   return true;
 }
 
-/// Fault injection for the dispatcher test battery: SEPE_RUN_KILL_TOKEN
-/// and SEPE_RUN_HANG_TOKEN name a token file; the one worker that claims
-/// it (atomic rename — exactly one claimant across a dispatcher fleet)
-/// dies by SIGKILL, or stalls for minutes, right after its first
-/// completed job has been journaled. Retried and thieving attempts find
-/// the token spent and behave normally. Documented in docs/CLI.md.
-void arm_fault_injection(engine::ShardRunOptions* options) {
-  const auto claim = [](const char* var) {
-    const char* path = std::getenv(var);
-    if (!path || !*path) return false;
-    const std::string claimed = std::string(path) + ".claimed";
-    return std::rename(path, claimed.c_str()) == 0;
-  };
-  if (claim("SEPE_RUN_KILL_TOKEN")) {
-    options->pool.on_job_done = [](std::size_t, const engine::JobResult&) {
-      ::raise(SIGKILL);
-    };
-  } else if (claim("SEPE_RUN_HANG_TOKEN")) {
-    options->pool.on_job_done = [](std::size_t, const engine::JobResult&) {
-      std::this_thread::sleep_for(std::chrono::minutes(10));
-    };
-  }
-}
-
 /// Run the expanded spec (sharded/checkpointed as requested) and emit
 /// the table + optional JSON report. Shared campaign epilogue of both
 /// workload families.
@@ -347,16 +356,28 @@ int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common
   options.shard = common.shard;
   options.checkpoint_path = common.checkpoint_path;
   options.cache_dir = common.cache_dir;
-  arm_fault_injection(&options);
   // Campaign parameters the JobSpecs cannot expose (they shape the model
   // builders): folded into the checkpoint digest so a resume under
   // different flags is refused instead of reusing stale verdicts.
   options.fingerprint = fingerprint;
   std::string run_error;
-  const engine::CampaignReport report = engine::run_sharded(spec, options, &run_error);
+  engine::CampaignReport report = engine::run_sharded(spec, options, &run_error);
   if (!run_error.empty()) {
     std::fprintf(stderr, "sepe-run: %s\n", run_error.c_str());
-    return 1;
+    return exit_code(1);
+  }
+
+  // Interrupted (SIGTERM/SIGINT or an injected stop fault): the rows of
+  // jobs this run never claimed carry no information — drop them so the
+  // partial report holds exactly the solved/journaled jobs, then exit
+  // 128+signal below. Finished jobs are already in the checkpoint; the
+  // resumed run completes the campaign byte-identically.
+  const bool interrupted = fault::global_stop_requested();
+  if (interrupted) {
+    std::vector<engine::JobResult> kept;
+    for (engine::JobResult& j : report.jobs)
+      if (!j.name.empty()) kept.push_back(std::move(j));
+    report.jobs = std::move(kept);
   }
 
   std::printf("%s", report.to_table().c_str());
@@ -371,17 +392,27 @@ int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common
     if (common.json_path == "-") {
       std::printf("\n%s", json.c_str());
     } else {
-      if (!engine::write_text_file_atomic(common.json_path, json)) {
+      if (!engine::write_text_file_atomic(common.json_path, json, "report.write")) {
         std::fprintf(stderr, "sepe-run: cannot write '%s'\n",
                      common.json_path.c_str());
-        return 1;
+        return exit_code(1);
       }
-      std::printf("\nJSON report written to %s\n", common.json_path.c_str());
+      std::printf("\n%s report written to %s\n",
+                  interrupted ? "partial JSON" : "JSON", common.json_path.c_str());
     }
   }
+  if (interrupted)
+    std::fprintf(stderr,
+                 "sepe-run: interrupted — %zu job(s) journaled; re-run with the "
+                 "same flags%s to resume\n",
+                 report.jobs.size(),
+                 common.checkpoint_path.empty() ? " (add --checkpoint to make "
+                                                  "interrupts resumable)"
+                                                : " and --checkpoint");
 
-  // Exit status: 0 when every job reached a definite or clean verdict.
-  return report.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+  // Exit status: 0 when every job reached a definite or clean verdict
+  // (and 128+signal when the run was told to stop).
+  return exit_code(report.count(engine::Verdict::Unknown) == 0 ? 0 : 3);
 }
 
 /// `sepe-run merge [--output FILE] SHARD.json...` — fan the shard
@@ -445,7 +476,7 @@ int run_merge(int argc, char** argv) {
   if (out_path == "-") {
     std::printf("%s", json.c_str());
   } else {
-    if (!engine::write_text_file_atomic(out_path, json)) {
+    if (!engine::write_text_file_atomic(out_path, json, "report.write")) {
       std::fprintf(stderr, "sepe-run: cannot write '%s'\n", out_path.c_str());
       return 1;
     }
@@ -557,7 +588,7 @@ int run_dispatch_cli(int argc, char** argv) {
     // the post-mortem material.
     std::fprintf(stderr, "sepe-run: worker journals kept in %s\n",
                  options.work_dir.c_str());
-    return 1;
+    return exit_code(1);
   }
   std::fprintf(stderr,
                "[dispatch] done: %u worker launches, %u failed attempts, %u "
@@ -569,7 +600,7 @@ int run_dispatch_cli(int argc, char** argv) {
     const std::string json = result.merged.to_json(/*include_timing=*/false);
     if (json_path == "-") {
       std::printf("\n%s", json.c_str());
-    } else if (!engine::write_text_file_atomic(json_path, json)) {
+    } else if (!engine::write_text_file_atomic(json_path, json, "report.write")) {
       std::fprintf(stderr, "sepe-run: cannot write '%s'\n", json_path.c_str());
       // The campaign itself succeeded; keep the journals so rerunning
       // with --work-dir can re-merge without re-solving anything.
@@ -581,7 +612,7 @@ int run_dispatch_cli(int argc, char** argv) {
     }
   }
   if (auto_work_dir) std::filesystem::remove_all(work_dir, ec);
-  return result.merged.count(engine::Verdict::Unknown) == 0 ? 0 : 3;
+  return exit_code(result.merged.count(engine::Verdict::Unknown) == 0 ? 0 : 3);
 }
 
 /// `sepe-run corpus DIR [options]` — the BTOR2 corpus workload family.
@@ -636,6 +667,15 @@ int run_corpus(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Crash-only envelope first: every subcommand (and every dispatched
+  // worker child, which re-enters main) stops cooperatively on
+  // SIGTERM/SIGINT and exits 128+signal after flushing its journals.
+  std::signal(SIGTERM, handle_terminate_signal);
+  std::signal(SIGINT, handle_terminate_signal);
+  // Arm SEPE_FAULT (plus the legacy SEPE_RUN_KILL_TOKEN/HANG_TOKEN
+  // aliases) before any work happens; see docs/ROBUSTNESS.md.
+  fault::init_from_environment();
+
   if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
   if (argc > 1 && !std::strcmp(argv[1], "corpus")) return run_corpus(argc, argv);
   if (argc > 1 && !std::strcmp(argv[1], "dispatch")) return run_dispatch_cli(argc, argv);
