@@ -50,6 +50,10 @@ struct KInductionOptions {
   std::shared_ptr<smt::ConeCache> cone_cache;
   /// SAT engine for both internal solvers (sat/backend.hpp).
   sat::BackendKind backend = sat::BackendKind::Native;
+  /// Learnt-clause sharing for both internal solvers (sat/exchange.hpp):
+  /// the base-case Bmc shares as `sharing.member`, the inductive-window
+  /// solver as `sharing.member + 1`. Default-constructed, sharing is off.
+  sat::SharingContext sharing;
 };
 
 struct KInductionResult {
@@ -79,6 +83,10 @@ struct KInductionResult {
   /// Robustness observables across both solvers (docs/ROBUSTNESS.md).
   bool hit_memory_limit = false;
   std::uint64_t sat_retries = 0;
+  /// Learnt-clause sharing traffic across both solvers (zero when off).
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
+  std::uint64_t vault_hits = 0;
 };
 
 /// Run k-induction on every bad condition of `ts` (disjunctively: a

@@ -1,0 +1,92 @@
+#include "sat/exchange.hpp"
+
+#include "util/fault.hpp"
+
+namespace sepe::sat {
+
+std::uint64_t shared_clause_hash(const std::vector<int>& lits) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (int code : lits) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(code));
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void ClauseExchange::publish(unsigned member, const ShareKey& epoch,
+                             const std::vector<int>& lits, std::uint32_t lbd) {
+  if (!epoch.valid() || lits.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = buckets_[epoch];
+  if (!bucket.hashes.insert(shared_clause_hash(lits)).second) {
+    ++stats_.duplicates;
+    return;
+  }
+  SharedClause clause{lits, lbd};
+  const std::size_t bytes = clause.byte_size();
+  if (stats_.bytes + bytes > max_bytes_) {
+    ++stats_.store_rejects;
+    return;
+  }
+  stats_.bytes += bytes;
+  ++stats_.published;
+  bucket.entries.push_back(Entry{member, std::move(clause)});
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+void ClauseExchange::collect(unsigned member, const ShareKey& epoch, std::size_t* cursor,
+                             std::vector<SharedClause>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buckets_.find(epoch);
+  if (it == buckets_.end()) return;
+  const std::vector<Entry>& entries = it->second.entries;
+  for (std::size_t i = *cursor; i < entries.size(); ++i) {
+    if (entries[i].member != member) out->push_back(entries[i].clause);
+  }
+  *cursor = entries.size();
+}
+
+ClauseExchange::Stats ClauseExchange::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void ClauseVault::store(const ShareKey& epoch, const std::vector<int>& lits,
+                        std::uint32_t lbd) {
+  if (!epoch.valid() || lits.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Bucket& bucket = map_[epoch];
+  if (!bucket.hashes.insert(shared_clause_hash(lits)).second) return;
+  SharedClause clause{lits, lbd};
+  const std::size_t bytes = clause.byte_size();
+  if (stats_.bytes + bytes > max_bytes_) {
+    ++stats_.store_rejects;
+    return;
+  }
+  stats_.bytes += bytes;
+  ++stats_.stores;
+  ++stats_.clauses;
+  bucket.clauses.push_back(std::move(clause));
+}
+
+std::vector<SharedClause> ClauseVault::lookup(const ShareKey& epoch) {
+  if (!epoch.valid()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  if (fault::armed()) {
+    if (auto action = fault::hit("vault.import")) {
+      if (*action == fault::Action::Fail) return {};  // degrade to a plain miss
+    }
+  }
+  auto it = map_.find(epoch);
+  if (it == map_.end() || it->second.clauses.empty()) return {};
+  ++stats_.hits;
+  return it->second.clauses;
+}
+
+ClauseVault::Stats ClauseVault::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sepe::sat

@@ -1,0 +1,194 @@
+// exchange.hpp — learnt-clause sharing: the intra-job exchange pool and
+// the cross-job clause vault.
+//
+// Campaign jobs throw every learnt clause away at solver teardown, so
+// portfolio members of the same job re-derive each other's conflicts and
+// near-duplicate jobs re-learn entire lemma sets from scratch. This
+// module is the third leg of the campaign cache (after cone tapes and
+// persistent verdicts): low-LBD learnt clauses flow between solver
+// stacks, keyed by *share epochs*.
+//
+// Why raw literal codes are sound to move between solvers
+// -------------------------------------------------------
+// A ShareKey is the bit-blaster state digest (smt/cone_cache.hpp): two
+// blasters with equal state digests are isomorphic — identical variable
+// numbering, identical clause stream, var 0 is always the true literal.
+// The "variable remapping through the recorded bit-blast tape" is
+// therefore the identity map: a clause exported under epoch E is valid
+// VERBATIM on any solver whose blaster has passed through epoch E.
+//
+// A learnt clause is implied by the *problem clauses alone* (assumptions
+// are decision-level prefixes, never clauses; BVE resolvents, subsumption
+// strengthenings and vivified clauses are all implied by the original
+// formula). The publisher's clause DB at epoch E is a prefix of any
+// importer's DB once the importer has visited E, so every imported clause
+// is implied by the importer's own formula — imports can never change a
+// Sat/Unsat answer, only shortcut the search.
+//
+// Tier 1 — ClauseExchange: one per campaign job, shared by the portfolio
+// entrants of both provers racing inside run_job. Thread-safe; members
+// publish at restart boundaries and poll for foreign clauses under the
+// epochs they have themselves visited.
+//
+// Tier 2 — ClauseVault: one per campaign (alongside the cone cache in
+// CampaignOptions), budgeted the same way (store-reject accounting,
+// 256 MB default). A clause learnt on job A seeds any digest-identical
+// epoch of job B. Lookups honour the `vault.import` fault point
+// (util/fault.hpp): an injected Fail degrades to a plain miss.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sepe::sat {
+
+/// A share epoch: the 128-bit bit-blaster state digest under which a
+/// clause was learnt. Zero = "no epoch yet" (nothing blasted).
+struct ShareKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool valid() const { return lo != 0 || hi != 0; }
+  friend bool operator==(const ShareKey&, const ShareKey&) = default;
+};
+
+struct ShareKeyHash {
+  std::size_t operator()(const ShareKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// FNV-1a over sorted literal codes. Used for dedup only (publish-side,
+/// store-side, and the solver's own export/import ledger): a collision
+/// merely drops one shareable clause — sharing is best-effort.
+std::uint64_t shared_clause_hash(const std::vector<int>& lits);
+
+/// One shared learnt clause: raw literal codes (sorted ascending — the
+/// publisher normalizes) plus the LBD it was learnt with.
+struct SharedClause {
+  std::vector<int> lits;
+  std::uint32_t lbd = 2;
+
+  std::size_t byte_size() const {
+    return sizeof(SharedClause) + lits.size() * sizeof(int);
+  }
+};
+
+class ClauseExchange;
+class ClauseVault;
+
+/// Wiring one campaign job hands each solver stack it spins up (see
+/// engine/campaign.cpp): which pools to share through and the member id
+/// that keeps a solver from importing its own exports. `lbd_cap` is the
+/// job-level export quality bound (JobBudget::share_clauses); the solver
+/// intersects it with its own SolverConfig::share_lbd_cap.
+struct SharingContext {
+  ClauseExchange* exchange = nullptr;
+  ClauseVault* vault = nullptr;
+  unsigned member = 0;
+  unsigned lbd_cap = 0;  // 0 = sharing off
+
+  bool enabled() const { return lbd_cap != 0 && (exchange != nullptr || vault != nullptr); }
+};
+
+/// Tier 1: the intra-job clause pool. Entries are grouped per epoch;
+/// every member keeps its own read cursors (Backend-side), so the pool
+/// itself is append-only until the byte budget trips.
+class ClauseExchange {
+ public:
+  struct Stats {
+    std::uint64_t published = 0;
+    std::uint64_t duplicates = 0;     // publish deduplicated away
+    std::uint64_t store_rejects = 0;  // byte budget exceeded
+    std::uint64_t bytes = 0;
+  };
+
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t(64) << 20;
+
+  explicit ClauseExchange(std::size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Cheap change detector: bumped on every accepted publish, so an
+  /// importer can skip the lock when nothing new arrived.
+  std::uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Publish one clause learnt by `member` under `epoch`. `lits` must be
+  /// sorted ascending. Duplicate clauses (same epoch, same literals) and
+  /// over-budget publishes are dropped — sharing is best-effort.
+  void publish(unsigned member, const ShareKey& epoch, const std::vector<int>& lits,
+               std::uint32_t lbd);
+
+  /// Append to `out` every clause under `epoch` from entry *cursor on
+  /// that was not published by `member`; advances *cursor past everything
+  /// examined. The caller owns the cursor (one per visited epoch).
+  void collect(unsigned member, const ShareKey& epoch, std::size_t* cursor,
+               std::vector<SharedClause>* out) const;
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    unsigned member;
+    SharedClause clause;
+  };
+  struct Bucket {
+    std::vector<Entry> entries;
+    std::unordered_set<std::uint64_t> hashes;  // publish-side dedup
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<ShareKey, Bucket, ShareKeyHash> buckets_;
+  std::size_t max_bytes_;
+  std::atomic<std::uint64_t> version_{0};
+  Stats stats_;
+};
+
+/// Tier 2: the campaign-wide clause vault. Same shape as the cone cache:
+/// mutex-guarded map, byte budget with store-reject accounting, and a
+/// lookup that can only ever miss — never corrupt an importer.
+class ClauseVault {
+ public:
+  struct Stats {
+    std::uint64_t lookups = 0;
+    std::uint64_t hits = 0;  // lookups that returned at least one clause
+    std::uint64_t stores = 0;
+    std::uint64_t store_rejects = 0;  // byte budget exceeded
+    std::uint64_t clauses = 0;        // clauses currently stored
+    std::uint64_t bytes = 0;
+  };
+
+  static constexpr std::size_t kDefaultMaxBytes = std::size_t(256) << 20;
+
+  explicit ClauseVault(std::size_t max_bytes = kDefaultMaxBytes)
+      : max_bytes_(max_bytes) {}
+
+  /// Record one clause under `epoch` (lits sorted ascending). Duplicates
+  /// and over-budget stores are dropped.
+  void store(const ShareKey& epoch, const std::vector<int>& lits, std::uint32_t lbd);
+
+  /// Every clause stored under `epoch` at this moment. Counts a lookup
+  /// (and a hit when non-empty). The `vault.import` fault point turns a
+  /// would-be hit into a plain miss (fault::Action::Fail) — degraded, not
+  /// failed: the importer simply learns nothing.
+  std::vector<SharedClause> lookup(const ShareKey& epoch);
+
+  Stats stats() const;
+
+ private:
+  struct Bucket {
+    std::vector<SharedClause> clauses;
+    std::unordered_set<std::uint64_t> hashes;
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<ShareKey, Bucket, ShareKeyHash> map_;
+  std::size_t max_bytes_;
+  Stats stats_;
+};
+
+}  // namespace sepe::sat

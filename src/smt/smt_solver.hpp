@@ -40,13 +40,20 @@ class SmtSolver {
   /// solver stacks of a campaign (see cone_cache.hpp).
   /// `backend` picks the SAT engine behind the blaster (backend.hpp);
   /// the native CDCL is the default and the only one `config` tunes.
+  /// `sharing` attaches the backend to a campaign's learnt-clause pools
+  /// (sat/exchange.hpp); backends that cannot share (DIMACS) skip it.
   explicit SmtSolver(TermManager& mgr, const sat::SolverConfig& config = {},
                      bool plaisted_greenbaum = false,
                      std::shared_ptr<ConeCache> cone_cache = nullptr,
-                     sat::BackendKind backend = sat::BackendKind::Native)
+                     sat::BackendKind backend = sat::BackendKind::Native,
+                     sat::SharingContext sharing = {})
       : mgr_(mgr),
         sat_(sat::make_backend(backend, config)),
-        blaster_(mgr, *sat_, plaisted_greenbaum, std::move(cone_cache)) {}
+        blaster_(mgr, *sat_, plaisted_greenbaum, std::move(cone_cache)) {
+    if (sharing.enabled() && sat_->supports_sharing())
+      sat_->attach_sharing(sharing.exchange, sharing.vault, sharing.member,
+                           sharing.lbd_cap);
+  }
 
   TermManager& mgr() { return mgr_; }
 

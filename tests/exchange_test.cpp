@@ -1,0 +1,593 @@
+// Tests for learnt-clause sharing (sat/exchange.hpp): the intra-job
+// exchange pool, the cross-job clause vault, solver-level soundness
+// (shared answers always equal unshared answers — imported clauses are
+// implied), cross-manager vault reuse under digest-identical cones,
+// engine-level verdict/stable-JSON invariance, concurrency (run under
+// TSan in CI), and the vault.import fault point.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "engine/campaign.hpp"
+#include "sat/exchange.hpp"
+#include "sat/solver.hpp"
+#include "smt/smt_solver.hpp"
+#include "util/fault.hpp"
+
+namespace sepe::sat {
+namespace {
+
+// --- ClauseExchange unit semantics ---
+
+TEST(ClauseExchange, PublishedClausesReachOtherMembersOnly) {
+  ClauseExchange ex;
+  const ShareKey epoch{1, 2};
+  ex.publish(0, epoch, {2, 5}, 2);
+  ex.publish(1, epoch, {4, 7, 9}, 3);
+
+  std::size_t cursor = 0;
+  std::vector<SharedClause> got;
+  ex.collect(0, epoch, &cursor, &got);
+  ASSERT_EQ(got.size(), 1u);  // member 0 never sees its own export
+  EXPECT_EQ(got[0].lits, (std::vector<int>{4, 7, 9}));
+  EXPECT_EQ(got[0].lbd, 3u);
+
+  // The cursor advanced past everything examined: nothing new, nothing
+  // re-delivered.
+  got.clear();
+  ex.collect(0, epoch, &cursor, &got);
+  EXPECT_TRUE(got.empty());
+
+  // A later publish is picked up from the same cursor.
+  ex.publish(1, epoch, {11}, 2);
+  ex.collect(0, epoch, &cursor, &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].lits, (std::vector<int>{11}));
+}
+
+TEST(ClauseExchange, EpochsAreDisjointAndDuplicatesDrop) {
+  ClauseExchange ex;
+  const ShareKey a{1, 0}, b{2, 0};
+  ex.publish(0, a, {2, 4}, 2);
+  ex.publish(0, a, {2, 4}, 2);  // duplicate within epoch: dropped
+  ex.publish(0, b, {2, 4}, 2);  // same literals, different epoch: kept
+
+  EXPECT_EQ(ex.stats().published, 2u);
+  EXPECT_EQ(ex.stats().duplicates, 1u);
+
+  std::size_t cur = 0;
+  std::vector<SharedClause> got;
+  ex.collect(1, a, &cur, &got);
+  EXPECT_EQ(got.size(), 1u);
+  got.clear();
+  cur = 0;
+  ex.collect(1, b, &cur, &got);
+  EXPECT_EQ(got.size(), 1u);
+}
+
+TEST(ClauseExchange, ByteBudgetRejectsInsteadOfGrowing) {
+  ClauseExchange ex(/*max_bytes=*/1);
+  ex.publish(0, ShareKey{1, 1}, {2, 4, 6}, 2);
+  EXPECT_EQ(ex.stats().published, 0u);
+  EXPECT_GE(ex.stats().store_rejects, 1u);
+  std::size_t cur = 0;
+  std::vector<SharedClause> got;
+  ex.collect(1, ShareKey{1, 1}, &cur, &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(ClauseExchange, VersionBumpsOnlyOnAcceptedPublish) {
+  ClauseExchange ex;
+  const std::uint64_t v0 = ex.version();
+  ex.publish(0, ShareKey{3, 3}, {2}, 2);
+  const std::uint64_t v1 = ex.version();
+  EXPECT_GT(v1, v0);
+  ex.publish(0, ShareKey{3, 3}, {2}, 2);  // duplicate
+  EXPECT_EQ(ex.version(), v1);
+}
+
+// --- ClauseVault unit semantics ---
+
+TEST(ClauseVault, StoreThenLookupRoundTrips) {
+  ClauseVault vault;
+  const ShareKey epoch{9, 9};
+  vault.store(epoch, {3, 5, 8}, 4);
+  vault.store(epoch, {3, 5, 8}, 4);  // duplicate: dropped
+
+  const std::vector<SharedClause> got = vault.lookup(epoch);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].lits, (std::vector<int>{3, 5, 8}));
+  EXPECT_EQ(got[0].lbd, 4u);
+  EXPECT_TRUE(vault.lookup(ShareKey{9, 8}).empty());
+
+  const ClauseVault::Stats s = vault.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.clauses, 1u);
+}
+
+TEST(ClauseVault, ByteBudgetRejectsInsteadOfGrowing) {
+  ClauseVault vault(/*max_bytes=*/1);
+  vault.store(ShareKey{1, 1}, {2, 4}, 2);
+  EXPECT_EQ(vault.stats().stores, 0u);
+  EXPECT_GE(vault.stats().store_rejects, 1u);
+  EXPECT_TRUE(vault.lookup(ShareKey{1, 1}).empty());
+}
+
+// The vault.import fault point: an injected Fail turns a would-be hit
+// into a plain miss — degraded, never corrupted (docs/ROBUSTNESS.md).
+TEST(ClauseVault, ImportFaultDegradesToPlainMiss) {
+  ClauseVault vault;
+  const ShareKey epoch{5, 5};
+  vault.store(epoch, {2, 4}, 2);
+
+  ASSERT_TRUE(fault::configure("point=vault.import:fail@1"));
+  EXPECT_TRUE(vault.lookup(epoch).empty());   // fault fires: miss
+  EXPECT_EQ(vault.lookup(epoch).size(), 1u);  // one-shot: next lookup hits
+  ASSERT_TRUE(fault::configure(""));
+
+  const ClauseVault::Stats s = vault.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);  // the faulted lookup counts as a miss
+}
+
+// --- solver-level soundness: shared answers equal unshared answers ---
+
+/// Pigeonhole n+1 pigeons / n holes: UNSAT, conflict-rich, low-LBD
+/// learnts — the canonical export generator.
+void add_pigeonhole(Solver& s, int holes) {
+  const int pigeons = holes + 1;
+  std::vector<std::vector<int>> var(pigeons, std::vector<int>(holes));
+  for (int p = 0; p < pigeons; ++p)
+    for (int h = 0; h < holes; ++h) var[p][h] = s.new_var();
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.emplace_back(var[p][h], false);
+    s.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p = 0; p < pigeons; ++p)
+      for (int q = p + 1; q < pigeons; ++q)
+        s.add_clause(Lit(var[p][h], true), Lit(var[q][h], true));
+}
+
+TEST(SharingSoundness, VaultSeedsASecondSolverOnTheSameEpoch) {
+  ClauseVault vault;
+  const ShareKey epoch{77, 13};
+
+  Solver a;
+  a.attach_sharing(nullptr, &vault, /*member=*/0, /*lbd_cap=*/8);
+  a.set_share_epoch(epoch);
+  add_pigeonhole(a, 4);
+  EXPECT_EQ(a.solve(), SolveResult::Unsat);
+  EXPECT_GT(a.num_clauses_exported(), 0u);
+  EXPECT_GT(vault.stats().stores, 0u);
+
+  Solver b;
+  b.attach_sharing(nullptr, &vault, /*member=*/1, /*lbd_cap=*/8);
+  add_pigeonhole(b, 4);  // identical variable numbering by construction
+  b.set_share_epoch(epoch);
+  EXPECT_EQ(b.num_vault_hits(), 1u);
+  EXPECT_GT(b.num_clauses_imported(), 0u);
+  EXPECT_EQ(b.solve(), SolveResult::Unsat);
+  EXPECT_LE(b.num_conflicts(), a.num_conflicts());
+}
+
+/// Brute-force evaluation of a CNF over n <= 20 variables.
+bool brute_force_sat(int nvars, const std::vector<std::vector<Lit>>& clauses) {
+  for (std::uint32_t m = 0; m < (1u << nvars); ++m) {
+    bool all = true;
+    for (const auto& c : clauses) {
+      bool any = false;
+      for (Lit l : c) any = any || (((m >> l.var()) & 1u) != l.sign());
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+// Random-formula native-vs-shared equivalence: for each seed, solve the
+// same CNF (a) unshared, (b) as the importer of a vault populated by a
+// prior shared run, and (c) by exhaustive enumeration. All three answers
+// must agree — imported clauses are implied, so sharing can never flip a
+// verdict.
+TEST(SharingSoundness, RandomFormulasAgreeNativeVsSharedVsExhaustive) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int round = 0; round < 60; ++round) {
+    const int nvars = 6 + static_cast<int>(rng() % 5);       // 6..10
+    const int nclauses = nvars * (3 + static_cast<int>(rng() % 2));
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < nclauses; ++i) {
+      std::vector<Lit> c;
+      for (int j = 0; j < 3; ++j)
+        c.emplace_back(static_cast<int>(rng() % nvars), (rng() & 1) != 0);
+      clauses.push_back(std::move(c));
+    }
+
+    const bool expected = brute_force_sat(nvars, clauses);
+    const ShareKey epoch{rng() | 1, rng()};
+    ClauseVault vault;
+
+    Solver plain;
+    Solver publisher;
+    publisher.attach_sharing(nullptr, &vault, 0, 8);
+    publisher.set_share_epoch(epoch);
+    Solver importer;
+    importer.attach_sharing(nullptr, &vault, 1, 8);
+    for (int v = 0; v < nvars; ++v) {
+      plain.new_var();
+      publisher.new_var();
+      importer.new_var();
+    }
+    for (const auto& c : clauses) {
+      plain.add_clause(c);
+      publisher.add_clause(c);
+      importer.add_clause(c);
+    }
+
+    const SolveResult native = plain.solve();
+    const SolveResult shared_pub = publisher.solve();
+    importer.set_share_epoch(epoch);  // drains the vault before solving
+    const SolveResult shared_imp = importer.solve();
+
+    const SolveResult want = expected ? SolveResult::Sat : SolveResult::Unsat;
+    EXPECT_EQ(native, want) << "round " << round;
+    EXPECT_EQ(shared_pub, want) << "round " << round;
+    EXPECT_EQ(shared_imp, want) << "round " << round;
+  }
+}
+
+// Exhaustive 4-variable battery: every 3-clause CNF shape over 4 vars is
+// tiny, so sweep many and check the shared pipeline against enumeration.
+TEST(SharingSoundness, FourVarExhaustiveSweepAgrees) {
+  std::mt19937 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const int nvars = 4;
+    const int nclauses = 3 + static_cast<int>(rng() % 10);
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < nclauses; ++i) {
+      std::vector<Lit> c;
+      const int len = 1 + static_cast<int>(rng() % 3);
+      for (int j = 0; j < len; ++j)
+        c.emplace_back(static_cast<int>(rng() % nvars), (rng() & 1) != 0);
+      clauses.push_back(std::move(c));
+    }
+    const bool expected = brute_force_sat(nvars, clauses);
+
+    ClauseVault vault;
+    const ShareKey epoch{static_cast<std::uint64_t>(round) + 1, 99};
+    Solver publisher, importer;
+    publisher.attach_sharing(nullptr, &vault, 0, 8);
+    publisher.set_share_epoch(epoch);
+    importer.attach_sharing(nullptr, &vault, 1, 8);
+    for (int v = 0; v < nvars; ++v) {
+      publisher.new_var();
+      importer.new_var();
+    }
+    for (const auto& c : clauses) {
+      publisher.add_clause(c);
+      importer.add_clause(c);
+    }
+    const SolveResult want = expected ? SolveResult::Sat : SolveResult::Unsat;
+    EXPECT_EQ(publisher.solve(), want) << "round " << round;
+    importer.set_share_epoch(epoch);
+    EXPECT_EQ(importer.solve(), want) << "round " << round;
+  }
+}
+
+// Exchange-pool equivalence: two members solving the same pigeonhole
+// through one pool (publishing and importing each other's learnts) must
+// both answer Unsat.
+TEST(SharingSoundness, ExchangePoolMembersAgreeOnPigeonhole) {
+  ClauseExchange ex;
+  const ShareKey epoch{21, 34};
+  Solver a, b;
+  a.attach_sharing(&ex, nullptr, 0, 8);
+  b.attach_sharing(&ex, nullptr, 1, 8);
+  a.set_share_epoch(epoch);
+  b.set_share_epoch(epoch);
+  add_pigeonhole(a, 5);
+  add_pigeonhole(b, 5);
+  EXPECT_EQ(a.solve(), SolveResult::Unsat);
+  EXPECT_GT(ex.stats().published, 0u);
+  // b polls the pool at solve entry and restarts; a's learnts are waiting.
+  EXPECT_EQ(b.solve(), SolveResult::Unsat);
+  EXPECT_GT(b.num_clauses_imported(), 0u);
+}
+
+// Assumption-based solving with sharing attached: learnts under
+// assumptions are still implied by the problem clauses alone (assumptions
+// are decisions, never clauses), so a second solver importing them must
+// agree on every assumption set.
+TEST(SharingSoundness, AssumptionSolvesStayCorrectUnderSharing) {
+  ClauseVault vault;
+  const ShareKey epoch{3, 141};
+  // Seed the vault with a clause implied by the chain below — (~x0 | x5)
+  // — as if a prior solver had learnt and exported it.
+  vault.store(epoch, {Lit(0, true).code(), Lit(5, false).code()}, 2);
+
+  Solver a, b;
+  a.attach_sharing(nullptr, &vault, 0, 8);
+  b.attach_sharing(nullptr, &vault, 1, 8);
+
+  // x0..x5 a chain of implications x0 -> x1 -> ... -> x5.
+  for (Solver* s : {&a, &b}) {
+    for (int v = 0; v < 6; ++v) s->new_var();
+    for (int v = 0; v + 1 < 6; ++v)
+      s->add_clause(Lit(v, true), Lit(v + 1, false));
+  }
+  a.set_share_epoch(epoch);
+  EXPECT_EQ(a.num_clauses_imported(), 1u);
+  // Under {x0}, x5 is forced: {x0, ~x5} is Unsat, {x0, x5} is Sat — with
+  // the imported shortcut attached, answers must not move.
+  EXPECT_EQ(a.solve({Lit(0, false), Lit(5, true)}), SolveResult::Unsat);
+  EXPECT_EQ(a.solve({Lit(0, false), Lit(5, false)}), SolveResult::Sat);
+
+  b.set_share_epoch(epoch);
+  EXPECT_EQ(b.solve({Lit(0, false), Lit(5, true)}), SolveResult::Unsat);
+  EXPECT_EQ(b.solve({Lit(0, false), Lit(5, false)}), SolveResult::Sat);
+}
+
+// --- cross-manager vault reuse under digest-identical cones ---
+
+// Two separate TermManagers building the same term stream produce
+// digest-identical blast chains, so the second SmtSolver's epochs match
+// the first's and the vault seeds it without any variable remapping
+// (equal state digests => isomorphic blasters => identity map).
+TEST(SharingVault, SecondManagerHitsClausesLearntByTheFirst) {
+  const auto build_and_check = [](ClauseVault* vault, unsigned member,
+                                  std::uint64_t* imported, std::uint64_t* hits) {
+    smt::TermManager mgr;
+    SharingContext ctx;
+    ctx.vault = vault;
+    ctx.member = member;
+    ctx.lbd_cap = 8;
+    smt::SmtSolver solver(mgr, SolverConfig{}, false, nullptr, BackendKind::Native,
+                          ctx);
+    // Pigeonhole over bit-vectors: five 2-bit "hole" registers, pairwise
+    // distinct — 5 pigeons into 4 holes, UNSAT with real conflict work.
+    std::vector<smt::TermRef> h;
+    for (int i = 0; i < 5; ++i)
+      h.push_back(mgr.mk_var("h" + std::to_string(i), 2));
+    for (int i = 0; i < 5; ++i)
+      for (int j = i + 1; j < 5; ++j)
+        solver.assert_formula(mgr.mk_ne(h[i], h[j]));
+    const smt::Result r = solver.check();
+    *imported = solver.sat_solver().num_clauses_imported();
+    *hits = solver.sat_solver().num_vault_hits();
+    return r;
+  };
+
+  ClauseVault vault;
+  std::uint64_t imported1 = 0, hits1 = 0, imported2 = 0, hits2 = 0;
+  EXPECT_EQ(build_and_check(&vault, 0, &imported1, &hits1), smt::Result::Unsat);
+  EXPECT_GT(vault.stats().stores, 0u);
+  EXPECT_EQ(imported1, 0u);  // nothing to import on a cold vault
+
+  EXPECT_EQ(build_and_check(&vault, 1, &imported2, &hits2), smt::Result::Unsat);
+  EXPECT_GT(hits2, 0u) << "digest-identical cones must hit the vault";
+  EXPECT_GT(imported2, 0u);
+}
+
+// --- concurrency: 4 threads hammering one exchange (TSan target) ---
+
+TEST(SharingConcurrency, FourThreadsPublishAndCollectCleanly) {
+  ClauseExchange ex;
+  const ShareKey epochs[2] = {ShareKey{1, 1}, ShareKey{2, 2}};
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < 4; ++t) {
+    threads.emplace_back([&ex, &epochs, t] {
+      std::size_t cursors[2] = {0, 0};
+      std::vector<SharedClause> got;
+      for (int i = 0; i < kPerThread; ++i) {
+        const ShareKey& epoch = epochs[i & 1];
+        ex.publish(t, epoch,
+                   {static_cast<int>(2 * (t * kPerThread + i)),
+                    static_cast<int>(2 * (t * kPerThread + i) + 3)},
+                   2);
+        got.clear();
+        ex.collect(t, epoch, &cursors[i & 1], &got);
+        for (const SharedClause& c : got) {
+          ASSERT_EQ(c.lits.size(), 2u);
+          ASSERT_LT(c.lits[0], c.lits[1]);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ClauseExchange::Stats s = ex.stats();
+  // Every publish is a distinct clause: all accepted (64 MB budget) or
+  // none silently lost.
+  EXPECT_EQ(s.published + s.store_rejects, 4u * kPerThread);
+  EXPECT_EQ(s.duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace sepe::sat
+
+// --- engine level: verdicts and stable JSON are sharing-invariant ---
+
+namespace sepe::engine {
+namespace {
+
+using smt::TermRef;
+
+JobSpec counter_job(const std::string& name, unsigned width, std::uint64_t target,
+                    const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width, target](ts::TransitionSystem& ts, std::string*) {
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef cnt = ts.add_state("cnt", width);
+    const TermRef inc = ts.add_input("inc", 1);
+    ts.set_init(cnt, mgr.mk_const(width, 0));
+    ts.set_next(cnt, mgr.mk_ite(inc, mgr.mk_add(cnt, mgr.mk_const(width, 1)), cnt));
+    ts.add_bad(mgr.mk_eq(cnt, mgr.mk_const(width, target)), "cnt-target");
+    return true;
+  };
+  return job;
+}
+
+JobSpec frozen_job(const std::string& name, unsigned width, const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [width](ts::TransitionSystem& ts, std::string*) {
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef x = ts.add_state("x", width);
+    ts.set_init(x, mgr.mk_const(width, 0));
+    ts.set_next(x, x);
+    ts.add_bad(mgr.mk_eq(x, mgr.mk_const(width, 1)), "x-one");
+    return true;
+  };
+  return job;
+}
+
+/// Conflict-rich bound-clean job: five 2-bit inputs, bad = all pairwise
+/// distinct — pigeonhole-UNSAT at every bound, so each bound costs the
+/// CDCL core real conflicts (and thus populates the sharing pools).
+JobSpec php_job(const std::string& name, const JobBudget& budget) {
+  JobSpec job;
+  job.name = name;
+  job.budget = budget;
+  job.build = [](ts::TransitionSystem& ts, std::string*) {
+    smt::TermManager& mgr = ts.mgr();
+    const TermRef dummy = ts.add_state("d", 1);
+    ts.set_init(dummy, mgr.mk_const(1, 0));
+    ts.set_next(dummy, dummy);
+    std::vector<TermRef> holes;
+    for (int i = 0; i < 5; ++i)
+      holes.push_back(ts.add_input("h" + std::to_string(i), 2));
+    std::vector<TermRef> distinct;
+    for (int i = 0; i < 5; ++i)
+      for (int j = i + 1; j < 5; ++j)
+        distinct.push_back(mgr.mk_ne(holes[i], holes[j]));
+    ts.add_bad(mgr.mk_and_many(distinct), "php");
+    return true;
+  };
+  return job;
+}
+
+CampaignSpec sharing_spec(unsigned share_clauses, bool sequential,
+                          unsigned portfolio) {
+  JobBudget budget;
+  budget.max_bound = 8;
+  budget.max_k = 4;
+  budget.sequential_provers = sequential;
+  budget.portfolio = portfolio;
+  budget.share_clauses = share_clauses;
+  CampaignSpec spec;
+  spec.jobs.push_back(counter_job("cnt5", 8, 5, budget));
+  spec.jobs.push_back(frozen_job("frozen", 8, budget));
+  spec.jobs.push_back(counter_job("cnt40", 8, 40, budget));
+  spec.jobs.push_back(php_job("php", budget));
+  return spec;
+}
+
+/// Verdict-bearing fields of a report, for drift comparison.
+std::string stable_json(const CampaignSpec& spec) {
+  return run_campaign(spec, CampaignOptions{}).to_json(/*include_timing=*/false);
+}
+
+TEST(SharingEngine, StableJsonIsByteIdenticalWithSharingOnAndOff) {
+  const std::string off = stable_json(sharing_spec(0, /*sequential=*/true, 1));
+  const std::string on = stable_json(sharing_spec(8, /*sequential=*/true, 1));
+  EXPECT_EQ(off, on);
+}
+
+TEST(SharingEngine, StableJsonIsByteIdenticalUnderRacedSharing) {
+  const std::string off = stable_json(sharing_spec(0, /*sequential=*/false, 2));
+  const std::string on = stable_json(sharing_spec(8, /*sequential=*/false, 2));
+  EXPECT_EQ(off, on);
+}
+
+TEST(SharingEngine, SequentialCountersAreReproducibleAndVaultWarms) {
+  // Same campaign run twice against the same vault: identical verdicts,
+  // and the second pass must observe vault traffic (the cross-job win).
+  const CampaignSpec spec = sharing_spec(8, /*sequential=*/true, 1);
+  CampaignOptions options;
+  options.clause_vault = std::make_shared<sat::ClauseVault>();
+  const CampaignReport cold = run_campaign(spec, options);
+  const CampaignReport warm = run_campaign(spec, options);
+  ASSERT_EQ(cold.jobs.size(), warm.jobs.size());
+  std::uint64_t warm_hits = 0;
+  for (std::size_t i = 0; i < cold.jobs.size(); ++i) {
+    EXPECT_EQ(cold.jobs[i].verdict, warm.jobs[i].verdict) << spec.jobs[i].name;
+    warm_hits += warm.jobs[i].vault_hits;
+  }
+  EXPECT_GT(warm_hits, 0u) << "digest-identical jobs must reuse vault clauses";
+
+  // Determinism of the sharing counters themselves: sequential mode is
+  // vault-only, so for a fixed spec and a fixed *initial* vault state the
+  // counters are bit-reproducible. Two fresh-vault runs must match on
+  // every counter of every job.
+  CampaignOptions fresh_a, fresh_b;
+  fresh_a.clause_vault = std::make_shared<sat::ClauseVault>();
+  fresh_b.clause_vault = std::make_shared<sat::ClauseVault>();
+  const CampaignReport run_a = run_campaign(spec, fresh_a);
+  const CampaignReport run_b = run_campaign(spec, fresh_b);
+  ASSERT_EQ(run_a.jobs.size(), run_b.jobs.size());
+  for (std::size_t i = 0; i < run_a.jobs.size(); ++i) {
+    EXPECT_EQ(run_a.jobs[i].clauses_exported, run_b.jobs[i].clauses_exported);
+    EXPECT_EQ(run_a.jobs[i].clauses_imported, run_b.jobs[i].clauses_imported);
+    EXPECT_EQ(run_a.jobs[i].vault_hits, run_b.jobs[i].vault_hits);
+    EXPECT_EQ(run_a.jobs[i].conflicts, run_b.jobs[i].conflicts);
+  }
+}
+
+TEST(SharingEngine, SequentialHelpersCutDefaultEntrantConflicts) {
+  // Sequential mode with sharing on and portfolio > 1 runs the extra
+  // entrants to completion first: they walk the identical blast chain and
+  // seed the vault, then the default entrant (whose counters the job
+  // reports) drains those epochs. Verdicts must not move, and on
+  // conflict-rich jobs the reported conflict count must drop.
+  const CampaignSpec off_spec = sharing_spec(0, /*sequential=*/true, 2);
+  const CampaignSpec on_spec = sharing_spec(8, /*sequential=*/true, 2);
+  EXPECT_EQ(stable_json(off_spec), stable_json(on_spec));
+
+  CampaignOptions off_opt, on_opt;
+  off_opt.clause_vault = std::make_shared<sat::ClauseVault>();
+  on_opt.clause_vault = std::make_shared<sat::ClauseVault>();
+  const CampaignReport off = run_campaign(off_spec, off_opt);
+  const CampaignReport on = run_campaign(on_spec, on_opt);
+  ASSERT_EQ(off.jobs.size(), on.jobs.size());
+  std::uint64_t off_conflicts = 0, on_conflicts = 0, imported = 0;
+  for (std::size_t i = 0; i < off.jobs.size(); ++i) {
+    EXPECT_EQ(off.jobs[i].verdict, on.jobs[i].verdict) << off_spec.jobs[i].name;
+    off_conflicts += off.jobs[i].conflicts;
+    on_conflicts += on.jobs[i].conflicts;
+    imported += on.jobs[i].clauses_imported;
+  }
+  EXPECT_GT(imported, 0u) << "helper entrants must seed the vault";
+  EXPECT_LT(on_conflicts, off_conflicts)
+      << "vault-fed default entrant must beat the sharing-off run";
+}
+
+TEST(SharingEngine, BudgetedJobsDisableSharing) {
+  // The determinism guard: conflict budgets and sharing never mix, so a
+  // budgeted job reports zero sharing traffic even with share_clauses set.
+  JobBudget budget;
+  budget.max_bound = 8;
+  budget.max_k = 4;
+  budget.sequential_provers = true;
+  budget.share_clauses = 8;
+  budget.conflict_budget = 100000;
+  const JobResult r = run_job(counter_job("cnt5", 8, 5, budget));
+  EXPECT_EQ(r.verdict, Verdict::Falsified);
+  EXPECT_EQ(r.clauses_exported, 0u);
+  EXPECT_EQ(r.clauses_imported, 0u);
+  EXPECT_EQ(r.vault_hits, 0u);
+}
+
+}  // namespace
+}  // namespace sepe::engine

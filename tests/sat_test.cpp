@@ -222,6 +222,43 @@ TEST(SolverConfig, MemberZeroIsTheDefault) {
   EXPECT_EQ(SolverConfig::portfolio_member(0), SolverConfig{});
 }
 
+TEST(SolverConfig, SharingKnobsRoundTripThroughString) {
+  SolverConfig c;
+  c.share_lbd_cap = 4;
+  c.share_import_interval = 500;
+  const auto parsed = SolverConfig::from_string(c.to_string());
+  ASSERT_TRUE(parsed.has_value()) << c.to_string();
+  EXPECT_EQ(*parsed, c);
+  // Combined with the other optional tail (memory ceiling), order is fixed.
+  c.memory_limit_mb = 64;
+  const auto parsed2 = SolverConfig::from_string(c.to_string());
+  ASSERT_TRUE(parsed2.has_value()) << c.to_string();
+  EXPECT_EQ(*parsed2, c);
+  // The canonical form omits default-valued tails; a spelled-out default
+  // is therefore malformed, keeping to_string() the unique encoding.
+  EXPECT_FALSE(
+      SolverConfig::from_string(SolverConfig{}.to_string() + ";slbd=8").has_value());
+  EXPECT_FALSE(
+      SolverConfig::from_string(SolverConfig{}.to_string() + ";simp=2000")
+          .has_value());
+}
+
+TEST(SolverConfig, PortfolioMembersDiversifySharing) {
+  // The diversified members must still round-trip and must not all share
+  // identically (different export caps / poll cadences probe different
+  // pool dynamics).
+  bool diverse = false;
+  for (unsigned i = 1; i < 4; ++i) {
+    const SolverConfig c = SolverConfig::portfolio_member(i);
+    const auto parsed = SolverConfig::from_string(c.to_string());
+    ASSERT_TRUE(parsed.has_value()) << c.to_string();
+    EXPECT_EQ(*parsed, c) << c.to_string();
+    diverse = diverse || c.share_lbd_cap != SolverConfig{}.share_lbd_cap ||
+              c.share_import_interval != SolverConfig{}.share_import_interval;
+  }
+  EXPECT_TRUE(diverse);
+}
+
 TEST(SolverConfig, MembersAreDiverse) {
   // The first four members must be pairwise distinct configurations.
   for (unsigned i = 0; i < 4; ++i)

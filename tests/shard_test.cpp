@@ -318,6 +318,45 @@ TEST(ReportIo, TimingReportRoundTrips) {
   EXPECT_EQ(parsed.shard->total_jobs, spec.jobs.size());
 }
 
+// PR 6 once silently dropped newly-added timing fields on the parse
+// side; this pins every sharing counter through a full parse→emit cycle
+// with values that cannot be confused with defaults.
+TEST(ReportIo, SharingCountersRoundTrip) {
+  const std::string json =
+      "{\"seed\": 7, \"jobs\": [{\"name\": \"s\", \"mode\": \"EDDI-V\", "
+      "\"verdict\": \"PROVED\", \"proved_k\": 1, \"winner\": \"k-induction\", "
+      "\"conflicts\": 12, \"clauses_exported\": 31, \"clauses_imported\": 17, "
+      "\"vault_hits\": 5}]}";
+  CampaignReport report;
+  std::string error;
+  ASSERT_TRUE(parse_report(json, &report, &error)) << error;
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].clauses_exported, 31u);
+  EXPECT_EQ(report.jobs[0].clauses_imported, 17u);
+  EXPECT_EQ(report.jobs[0].vault_hits, 5u);
+  const std::string emitted = report.to_json(/*include_timing=*/true);
+  EXPECT_NE(emitted.find("\"clauses_exported\": 31"), std::string::npos) << emitted;
+  EXPECT_NE(emitted.find("\"clauses_imported\": 17"), std::string::npos) << emitted;
+  EXPECT_NE(emitted.find("\"vault_hits\": 5"), std::string::npos) << emitted;
+}
+
+// Forward compatibility: a report written by a *newer* binary may carry
+// timing keys this one has never heard of. They must be tolerated (the
+// known fields still land), never treated as a parse error — merging a
+// mixed-version shard fleet depends on it.
+TEST(ReportIo, UnknownTimingKeysAreTolerated) {
+  const std::string json =
+      "{\"seed\": 7, \"jobs\": [{\"name\": \"s\", \"mode\": \"EDDI-V\", "
+      "\"verdict\": \"PROVED\", \"proved_k\": 3, "
+      "\"counter_from_the_future\": 999, \"vault_hits\": 2}]}";
+  CampaignReport report;
+  std::string error;
+  ASSERT_TRUE(parse_report(json, &report, &error)) << error;
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].proved_k, 3u);
+  EXPECT_EQ(report.jobs[0].vault_hits, 2u);
+}
+
 TEST(ReportIo, RejectsMalformedInput) {
   CampaignReport report;
   std::string error;
