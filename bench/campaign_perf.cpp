@@ -263,6 +263,9 @@ int main(int argc, char** argv) {
   engine::ShardRunOptions options;
   options.pool.threads = 1;
   options.pool.cone_cache = std::make_shared<smt::ConeCache>();
+  // This bench times solver work; the witness post-pass would re-derive
+  // every cached FALSIFIED row on the warm run and skew the comparison.
+  options.pool.witness.check = false;
   options.cache_dir = cache_dir.string();
   options.fingerprint = "bench=campaign_perf;xlen=4;modes=both";
 
@@ -303,6 +306,7 @@ int main(int argc, char** argv) {
   engine::ShardRunOptions ref_options;
   ref_options.pool.threads = 1;
   ref_options.pool.cone_cache = std::make_shared<smt::ConeCache>();
+  ref_options.pool.witness.check = false;
   ref_options.fingerprint = "bench=campaign_perf;xlen=4;modes=both;share=off";
   const engine::CampaignReport noshare =
       engine::run_sharded(ref_spec, ref_options, &run_error);

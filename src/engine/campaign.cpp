@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "engine/witness.hpp"
 #include "util/fault.hpp"
 #include "util/json.hpp"
 #include "util/stopwatch.hpp"
@@ -40,6 +41,10 @@ struct BmcSide {
   std::string witness_text;
   std::string bad_label;
   std::string build_error;  // non-empty: the model never built
+  /// Index-ordered trace for the witness post-pass, extracted while the
+  /// job-local TransitionSystem is still alive (the bmc::Witness itself
+  /// is keyed on that system's TermManager and dies with it).
+  std::shared_ptr<const WitnessTrace> trace;
 };
 
 struct KindSide {
@@ -48,6 +53,7 @@ struct KindSide {
   std::string witness_text;
   std::string bad_label;
   std::string build_error;
+  std::shared_ptr<const WitnessTrace> trace;
 };
 
 constexpr int kClaimNone = -1;
@@ -87,6 +93,7 @@ void canonical_witness(const JobSpec& job, unsigned length,
   if (!out->found) return;
   out->witness_text = bmc::witness_to_string(ts, *out->found);
   out->bad_label = out->found->bad_label;
+  out->trace = std::make_shared<const WitnessTrace>(extract_trace(ts, *out->found));
 }
 
 /// Sum the deterministic work counters of both prover stacks into the
@@ -228,6 +235,8 @@ JobResult run_job(const JobSpec& job,
           share_cap == 0) {
         side.witness_text = bmc::witness_to_string(ts, *side.found);
         side.bad_label = side.found->bad_label;
+        side.trace =
+            std::make_shared<const WitnessTrace>(extract_trace(ts, *side.found));
       }
     }
   };
@@ -259,6 +268,8 @@ JobResult run_job(const JobSpec& job,
           job.budget.backend == sat::BackendKind::Native && share_cap == 0) {
         side.witness_text = bmc::witness_to_string(ts, *side.result.witness);
         side.bad_label = side.result.witness->bad_label;
+        side.trace = std::make_shared<const WitnessTrace>(
+            extract_trace(ts, *side.result.witness));
       }
     }
   };
@@ -325,6 +336,7 @@ JobResult run_job(const JobSpec& job,
       canonical_witness(job, side.found->length, cone_cache, &side);
     r.bad_label = side.bad_label;
     r.witness = side.witness_text;
+    r.trace = side.trace;
     r.conflicts = side.stats.solver_conflicts;
     r.propagations = side.stats.solver_propagations;
     r.decisions = side.stats.solver_decisions;
@@ -372,9 +384,11 @@ JobResult run_job(const JobSpec& job,
         canonical_witness(job, side.result.witness->length, cone_cache, &canon);
         side.witness_text = canon.witness_text;
         side.bad_label = canon.bad_label;
+        side.trace = canon.trace;
       }
       r.bad_label = side.bad_label;
       r.witness = side.witness_text;
+      r.trace = side.trace;
     } else {
       r.verdict = Verdict::Proved;
       r.proved_k = side.result.k;
@@ -448,6 +462,9 @@ CampaignReport run_campaign(const CampaignSpec& spec, const CampaignOptions& opt
       if (i >= spec.jobs.size()) return;
       report.jobs[i] = run_job(spec.jobs[i], cone_cache, clause_vault);
       report.jobs[i].spec_index = i;
+      // Witness post-pass before the completion hook, so checkpoint
+      // journals and verdict caches only ever record checked rows.
+      witness_post_pass(spec.jobs[i], options.witness, cone_cache, &report.jobs[i]);
       if (options.on_job_done) options.on_job_done(i, report.jobs[i]);
     }
   };
@@ -585,6 +602,12 @@ std::string CampaignReport::to_json(bool include_timing) const {
       os << ", \"sat_retries\": " << j.sat_retries;
       os << ", \"hit_memory_limit\": " << (j.hit_memory_limit ? "true" : "false");
       os << ", \"from_cache\": " << (j.from_cache ? "true" : "false");
+      // Witness-pipeline observables. Deterministic, but deliberately
+      // kept out of the stable form: the post-pass must be
+      // observationally invisible there (byte-identity with pre-witness
+      // reports, and with --no-witness-check runs).
+      os << ", \"witness_checked\": " << (j.witness_checked ? "true" : "false");
+      os << ", \"trace_length_shrunk\": " << j.trace_length_shrunk;
       char buf[32];
       std::snprintf(buf, sizeof buf, "%.3f", j.seconds);
       os << ", \"seconds\": " << buf;

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,8 @@
 #include "bmc/kind.hpp"
 
 namespace sepe::engine {
+
+struct WitnessTrace;  // engine/witness.hpp
 
 /// Final answer for one job.
 enum class Verdict {
@@ -205,6 +208,19 @@ struct JobResult {
   /// True when the verdict was loaded from a campaign verdict cache
   /// (engine/verdict_cache.hpp) instead of being solved in-process.
   bool from_cache = false;
+  /// Witness pipeline (engine/witness.hpp; timing report only — the
+  /// post-pass is observationally invisible to the stable form).
+  /// witness_checked: this FALSIFIED row's trace was independently
+  /// replayed (and shrunk) by the concrete simulator after the solve.
+  /// trace_length_shrunk: the delta-debugged effective stimulus length,
+  /// always <= trace_length. Deterministic for a fixed spec.
+  bool witness_checked = false;
+  unsigned trace_length_shrunk = 0;
+  /// Falsified, solved in-process: the index-ordered trace the witness
+  /// post-pass replays (set alongside `witness`; cleared by the
+  /// post-pass once checked). Never serialized — cached or deserialized
+  /// rows re-derive their trace instead.
+  std::shared_ptr<const WitnessTrace> trace;
   /// Robustness observables (timing report only): the job's SAT engines
   /// tripped the JobBudget::memory_limit_mb ceiling / absorbed transient
   /// backend failures by retrying (docs/ROBUSTNESS.md).
@@ -219,8 +235,25 @@ struct JobResult {
   double seconds = 0.0;  // job wall time
 };
 
+/// Witness post-pass configuration (engine/witness.hpp).
+struct WitnessOptions {
+  /// Replay + shrink every FALSIFIED verdict; a trace that does not
+  /// replay demotes its row to a diagnosed UNKNOWN ("witness: replay
+  /// mismatch"). Opt-out (sepe-run --no-witness-check): the check is the
+  /// default correctness backstop, not an extra.
+  bool check = true;
+  /// When non-empty: write one standalone artifact per checked job into
+  /// this directory (witness_artifact_filename), re-validatable by
+  /// `sepe-run check-witness` without the SAT stack.
+  std::string artifact_dir;
+};
+
 struct CampaignOptions {
   unsigned threads = 1;  // worker count (0 = hardware_concurrency)
+  /// Witness replay/shrink post-pass, applied to every finished job
+  /// before on_job_done fires (so journals and caches record the
+  /// checked row).
+  WitnessOptions witness;
   /// Called after each job completes with its spec position and result.
   /// Invoked from worker threads without serialization — the callback
   /// must synchronize itself. Used by the checkpointing shard runner.

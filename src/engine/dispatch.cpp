@@ -16,6 +16,7 @@
 #include <unistd.h>
 
 #include "engine/report_io.hpp"
+#include "engine/witness.hpp"
 #include "util/fault.hpp"
 
 namespace sepe::engine {
@@ -170,13 +171,14 @@ class Dispatcher {
     reports.reserve(shard_count_);
     for (ShardState& shard : shards_) reports.push_back(std::move(shard.report));
     std::string merge_error;
-    const auto merged = CampaignReport::merge(reports, &merge_error);
+    auto merged = CampaignReport::merge(reports, &merge_error);
     if (!merged) {
       // Per-shard validation should make this unreachable; report it
       // rather than trusting that.
       result_.error = "merging the completed shard reports failed: " + merge_error;
       return std::move(result_);
     }
+    if (!options_.witness_dir.empty()) cross_check_witnesses(&*merged);
     result_.merged = std::move(*merged);
     result_.ok = true;
     return std::move(result_);
@@ -185,6 +187,51 @@ class Dispatcher {
  private:
   void event(const std::string& line) {
     if (options_.on_event) options_.on_event(line);
+  }
+
+  /// SAT-free audit of the merged verdicts against the workers' witness
+  /// artifacts: retried and stolen attempts all funnel through here, so
+  /// a worker (or a reused work dir) shipping a FALSIFIED row it cannot
+  /// back with a replayable artifact is caught at the merge, not
+  /// trusted. Demotion mirrors the in-process post-pass exactly, so the
+  /// stable report stays byte-deterministic wherever the check fires.
+  void cross_check_witnesses(CampaignReport* merged) {
+    for (JobResult& job : merged->jobs) {
+      if (job.verdict != Verdict::Falsified) continue;
+      const std::string path =
+          options_.witness_dir + "/" + witness_artifact_filename(job.name);
+      const auto text = read_text_file(path);
+      WitnessHeader header;
+      std::string why;
+      bool genuine = false;
+      if (!text) {
+        why = "artifact '" + path + "' missing or unreadable";
+      } else if (check_witness_text(*text, &header, &why)) {
+        if (header.name != job.name) {
+          why = "artifact names job '" + header.name + "'";
+        } else if (header.length != job.trace_length) {
+          why = "artifact bound " + std::to_string(header.length) +
+                " disagrees with trace_length " + std::to_string(job.trace_length);
+        } else if (!header.bad_label.empty() && !job.bad_label.empty() &&
+                   header.bad_label != job.bad_label) {
+          why = "artifact violates '" + header.bad_label + "', row claims '" +
+                job.bad_label + "'";
+        } else {
+          genuine = true;
+          job.witness_checked = true;
+          job.trace_length_shrunk = header.shrunk;
+        }
+      }
+      if (!genuine) {
+        job.verdict = Verdict::Unknown;
+        job.note = "witness: replay mismatch";
+        job.witness.clear();
+        job.witness_checked = false;
+        job.trace_length_shrunk = 0;
+        event("[dispatch] witness cross-check demoted job '" + job.name +
+              "': " + why);
+      }
+    }
   }
 
   void fail(std::string what) {

@@ -123,6 +123,15 @@ struct DispatchOptions {
   /// was only just launched.
   double steal_after_seconds = 1.0;
   double poll_seconds = 0.02;  // scheduler poll interval
+  /// When non-empty: the shared witness-artifact directory the workers
+  /// were told to emit into (sepe-run --witness-dir). After the merge,
+  /// every FALSIFIED row must be backed by an artifact there that
+  /// re-validates with the simulator alone (engine/witness.hpp) and
+  /// matches the row's job name, bound, and bad label — a cheap
+  /// SAT-free cross-check that a retried or stolen shard's witnesses
+  /// are genuine. A missing or bogus artifact demotes the row to the
+  /// same diagnosed UNKNOWN the in-process post-pass uses.
+  std::string witness_dir;
   /// Worker transport; nullptr = a built-in LocalProcessLauncher.
   WorkerLauncher* launcher = nullptr;
   /// Progress lines (launches, failures, steals, the live aggregate

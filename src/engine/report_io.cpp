@@ -412,6 +412,14 @@ bool parse_job(const JsonValue& obj, std::size_t position, JobResult* out,
   get_bool(obj, "from_cache", &out->from_cache);
   get_bool(obj, "loser_cancelled", &out->loser_cancelled);
   get_bool(obj, "hit_resource_limit", &out->hit_resource_limit);
+  // Witness pipeline: round-trips through checkpoint journals (timing
+  // form), so resumed rows keep their recorded check instead of
+  // re-deriving the trace.
+  get_bool(obj, "witness_checked", &out->witness_checked);
+  if (obj.find("trace_length_shrunk")) {
+    if (!get_u64(obj, "trace_length_shrunk", &n, error)) return false;
+    out->trace_length_shrunk = static_cast<unsigned>(n);
+  }
   get_double(obj, "seconds", &out->seconds);
   return true;
 }

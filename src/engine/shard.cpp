@@ -12,6 +12,7 @@
 
 #include "engine/report_io.hpp"
 #include "engine/verdict_cache.hpp"
+#include "engine/witness.hpp"
 #include "util/fault.hpp"
 #include "util/parse.hpp"
 
@@ -336,6 +337,24 @@ CampaignReport run_sharded(const CampaignSpec& full, const ShardRunOptions& opti
       r.from_cache = true;
       results[i] = std::move(r);
       done[i] = true;
+    }
+    // Cached FALSIFIED rows are re-validated like freshly solved ones:
+    // the journal line's self-check proves integrity, not truth. The
+    // post-pass re-derives the trace (canonical default-config sweep),
+    // replays and shrinks it, so a warm run reports witness_checked /
+    // trace_length_shrunk byte-identically to a cold one — and a
+    // poisoned cache entry demotes to a diagnosed UNKNOWN instead of
+    // shipping. from_cache stays set either way. Checkpoint-resumed
+    // rows round-trip their recorded check and are not re-run.
+    if (options.pool.witness.check) {
+      const std::shared_ptr<smt::ConeCache> cones =
+          options.pool.cone_cache ? options.pool.cone_cache
+                                  : std::make_shared<smt::ConeCache>();
+      for (std::size_t i = 0; i < plan.spec.jobs.size(); ++i)
+        if (done[i] && results[i].from_cache && !results[i].witness_checked &&
+            results[i].verdict == Verdict::Falsified)
+          witness_post_pass(plan.spec.jobs[i], options.pool.witness, cones,
+                            &results[i]);
     }
   }
 

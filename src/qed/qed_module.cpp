@@ -474,6 +474,10 @@ QedModel build_qed_model(ts::TransitionSystem& ts, const proc::ProcConfig& confi
           mgr.mk_eq(duv.mem[w], duv.mem[w + config.mem_words / 2]));
   }
 
+  // The label is load-bearing beyond the report: witness artifacts record
+  // it and replay refuses a trace whose fired bad carries a different
+  // label, so it must stay stable across the BTOR2 round-trip (the writer
+  // strips newlines; everything else here is already printable).
   model.bad_index = ts.bads().size();
   ts.add_bad(mgr.mk_and(model.qed_ready, mgr.mk_not(model.qed_consistent)),
              std::string("qed-inconsistent/") + qed_mode_name(options.mode));

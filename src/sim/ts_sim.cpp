@@ -1,0 +1,42 @@
+#include "sim/ts_sim.hpp"
+
+#include <cassert>
+
+namespace sepe::sim {
+
+TsSim::TsSim(const ts::TransitionSystem& ts) : ts_(ts) {
+  assert(ts.complete());
+  for (smt::TermRef s : ts.states()) {
+    const smt::TermRef init = ts.init_of(s);
+    state_[s] = init != smt::kNullTerm ? smt::eval_term(ts.mgr(), init, {})
+                                       : BitVec::zeros(ts.mgr().width(s));
+  }
+}
+
+void TsSim::set_state(smt::TermRef s, const BitVec& v) {
+  assert(ts_.is_state(s) && v.width() == ts_.mgr().width(s));
+  state_[s] = v;
+}
+
+BitVec TsSim::eval(smt::TermRef t, const smt::Assignment& inputs) const {
+  smt::Assignment combined = state_;
+  for (const auto& [k, v] : inputs) combined[k] = v;
+  return smt::eval_term(ts_.mgr(), t, combined);
+}
+
+bool TsSim::constraints_ok(const smt::Assignment& inputs) const {
+  for (smt::TermRef c : ts_.constraints())
+    if (!eval(c, inputs).is_true()) return false;
+  return true;
+}
+
+void TsSim::step(const smt::Assignment& inputs) {
+  smt::Assignment combined = state_;
+  for (const auto& [k, v] : inputs) combined[k] = v;
+  smt::Evaluator ev(ts_.mgr());
+  smt::Assignment next;
+  for (smt::TermRef s : ts_.states()) next[s] = ev.eval(ts_.next_of(s), combined);
+  state_ = std::move(next);
+}
+
+}  // namespace sepe::sim

@@ -1,0 +1,44 @@
+// ts_sim.hpp — concrete cycle-by-cycle simulation of a TransitionSystem
+// via the term evaluator.
+//
+// Originally a test-support harness; promoted into the library because the
+// witness pipeline (engine/witness.hpp) replays counterexample traces with
+// exactly this simulator — no solver in the loop. States are held as
+// concrete BitVecs, each step() evaluates every next-state function under
+// the current state + supplied inputs. The processor and QED-module tests
+// keep using it to cross-check the symbolic pipeline against the golden
+// ISS.
+#pragma once
+
+#include "smt/eval.hpp"
+#include "ts/transition_system.hpp"
+
+namespace sepe::sim {
+
+/// Concrete simulator for a complete TransitionSystem.
+class TsSim {
+ public:
+  /// States with init terms start there (init terms are input-free);
+  /// everything else defaults to zero and may be overridden via
+  /// set_state before the first step.
+  explicit TsSim(const ts::TransitionSystem& ts);
+
+  void set_state(smt::TermRef s, const BitVec& v);
+
+  const BitVec& state(smt::TermRef s) const { return state_.at(s); }
+
+  /// Evaluate any term under the current state and the given inputs.
+  BitVec eval(smt::TermRef t, const smt::Assignment& inputs = {}) const;
+
+  /// Do all step constraints hold under the current state + inputs?
+  bool constraints_ok(const smt::Assignment& inputs) const;
+
+  /// Advance one cycle.
+  void step(const smt::Assignment& inputs);
+
+ private:
+  const ts::TransitionSystem& ts_;
+  smt::Assignment state_;
+};
+
+}  // namespace sepe::sim

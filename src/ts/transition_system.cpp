@@ -90,6 +90,28 @@ bool TransitionSystem::complete() const {
 
 namespace {
 
+/// BTOR2 symbol names are whitespace-delimited tokens; witness artifacts
+/// embed the dump and re-parse it, so a name containing whitespace or the
+/// comment introducer would silently change the line grammar on the way
+/// back. Map the hazardous bytes to '_'.
+std::string safe_symbol(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ';') c = '_';
+  }
+  return out;
+}
+
+/// Bad labels live after a ';' so spaces are fine, but an embedded newline
+/// would terminate the line early and desynchronise the round-trip.
+std::string safe_label(const std::string& label) {
+  std::string out = label;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
 /// BTOR2-style line emitter: assigns dense ids to sorts and nodes.
 class Btor2Writer {
  public:
@@ -100,13 +122,13 @@ class Btor2Writer {
     for (TermRef s : ts_.states()) {
       const unsigned id = next_id_++;
       os_ << id << " state " << sort_id(ts_.mgr().width(s)) << " "
-          << ts_.mgr().node(s).name << "\n";
+          << safe_symbol(ts_.mgr().node(s).name) << "\n";
       node_ids_[s] = id;
     }
     for (TermRef i : ts_.inputs()) {
       const unsigned id = next_id_++;
       os_ << id << " input " << sort_id(ts_.mgr().width(i)) << " "
-          << ts_.mgr().node(i).name << "\n";
+          << safe_symbol(ts_.mgr().node(i).name) << "\n";
       node_ids_[i] = id;
     }
     for (TermRef s : ts_.states()) {
@@ -154,7 +176,8 @@ class Btor2Writer {
     for (std::size_t i = 0; i < ts_.bads().size(); ++i) {
       const unsigned v = emit(ts_.bads()[i]);
       os_ << next_id_++ << " bad " << v;
-      if (!ts_.bad_labels()[i].empty()) os_ << " ; " << ts_.bad_labels()[i];
+      if (!ts_.bad_labels()[i].empty())
+        os_ << " ; " << safe_label(ts_.bad_labels()[i]);
       os_ << "\n";
     }
     return header() + os_.str();
@@ -226,7 +249,7 @@ class Btor2Writer {
         break;
       case Op::Var:
         // Free variable not declared as state/input: treat as input.
-        os_ << id << " input " << sid << " " << n.name << "\n";
+        os_ << id << " input " << sid << " " << safe_symbol(n.name) << "\n";
         break;
       case Op::Extract:
         os_ << id << " slice " << sid << " " << ops[0] << " " << n.aux0 << " " << n.aux1

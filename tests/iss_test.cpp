@@ -3,7 +3,9 @@
 // executions with known results.
 #include <gtest/gtest.h>
 
+#include "proc/processor.hpp"
 #include "sim/iss.hpp"
+#include "ts_sim.hpp"
 #include "util/rng.hpp"
 
 namespace sepe::sim {
@@ -136,6 +138,109 @@ TEST(Iss, NarrowDatapathWrapsArithmetic) {
       Instruction::rtype(Opcode::ADD, 3, 1, 2),  // 300 mod 256 = 44
   });
   EXPECT_EQ(iss.state().reg(3), BitVec(8, 44));
+}
+
+// --- exception paths: the cases RISC-V defines instead of trapping ---
+
+TEST(IssExceptionPath, DivisionByZeroFollowsRiscvConvention) {
+  Iss iss(16, 8);
+  iss.state().set_reg(1, BitVec(16, 0x1234));
+  // x2 stays zero: every quotient is all-ones, every remainder the dividend.
+  iss.run({
+      Instruction::rtype(Opcode::DIV, 3, 1, 2),
+      Instruction::rtype(Opcode::DIVU, 4, 1, 2),
+      Instruction::rtype(Opcode::REM, 5, 1, 2),
+      Instruction::rtype(Opcode::REMU, 6, 1, 2),
+  });
+  EXPECT_EQ(iss.state().reg(3), BitVec::ones(16));
+  EXPECT_EQ(iss.state().reg(4), BitVec::ones(16));
+  EXPECT_EQ(iss.state().reg(5), BitVec(16, 0x1234));
+  EXPECT_EQ(iss.state().reg(6), BitVec(16, 0x1234));
+}
+
+TEST(IssExceptionPath, SignedDivisionOverflowSaturates) {
+  // INT_MIN / -1 overflows two's complement; RISC-V defines the quotient
+  // as INT_MIN and the remainder as zero rather than trapping.
+  Iss iss(16, 8);
+  iss.state().set_reg(1, BitVec(16, 0x8000));  // INT_MIN at xlen 16
+  iss.state().set_reg(2, BitVec::ones(16));    // -1
+  iss.run({
+      Instruction::rtype(Opcode::DIV, 3, 1, 2),
+      Instruction::rtype(Opcode::REM, 4, 1, 2),
+  });
+  EXPECT_EQ(iss.state().reg(3), BitVec(16, 0x8000));
+  EXPECT_TRUE(iss.state().reg(4).is_zero());
+}
+
+TEST(IssExceptionPath, RegisterShiftAmountsAreMaskedToLog2Width) {
+  Iss iss(16, 8);
+  iss.state().set_reg(1, BitVec(16, 0x8001));
+  iss.state().set_reg(2, BitVec(16, 16));  // masks to 0 at xlen 16
+  iss.state().set_reg(3, BitVec(16, 17));  // masks to 1
+  iss.run({
+      Instruction::rtype(Opcode::SLL, 4, 1, 2),
+      Instruction::rtype(Opcode::SRL, 5, 1, 3),
+      Instruction::rtype(Opcode::SRA, 6, 1, 3),
+  });
+  EXPECT_EQ(iss.state().reg(4), BitVec(16, 0x8001));  // unchanged
+  EXPECT_EQ(iss.state().reg(5), BitVec(16, 0x4000));
+  EXPECT_EQ(iss.state().reg(6), BitVec(16, 0xc000));  // sign bit replicated
+}
+
+TEST(IssExceptionPath, SltAndSltuDisagreeAcrossTheSignBoundary) {
+  Iss iss(16, 8);
+  iss.state().set_reg(1, BitVec(16, 0x8000));  // most-negative / large unsigned
+  iss.state().set_reg(2, BitVec(16, 1));
+  iss.run({
+      Instruction::rtype(Opcode::SLT, 3, 1, 2),
+      Instruction::rtype(Opcode::SLTU, 4, 1, 2),
+      Instruction::rtype(Opcode::SLT, 5, 1, 1),  // never less than itself
+      Instruction::rtype(Opcode::SLTU, 6, 1, 1),
+  });
+  EXPECT_EQ(iss.state().reg(3), BitVec(16, 1));
+  EXPECT_TRUE(iss.state().reg(4).is_zero());
+  EXPECT_TRUE(iss.state().reg(5).is_zero());
+  EXPECT_TRUE(iss.state().reg(6).is_zero());
+}
+
+// Architectural cross-check: the same exception-path programs, run through
+// the pipelined DUV (simulated concretely via TsSim — the exact replay
+// engine the witness checker uses) must land in the same architectural
+// state as the ISS. alu_subset() omits the divider, so extend it here.
+TEST(IssExceptionPath, PipelineAgreesWithIssOnExceptionPaths) {
+  smt::TermManager mgr;
+  ts::TransitionSystem ts(mgr);
+  proc::ProcConfig config = proc::ProcConfig::alu_subset(16);
+  config.opcodes.insert(config.opcodes.end(), {Opcode::DIV, Opcode::DIVU,
+                                               Opcode::REM, Opcode::REMU});
+  const proc::ProcModel m = proc::build_processor(ts, config);
+
+  Rng rng(2024);
+  const std::vector<Opcode> edge_ops = {Opcode::DIV, Opcode::DIVU, Opcode::REM,
+                                        Opcode::REMU, Opcode::SLL, Opcode::SRL,
+                                        Opcode::SRA, Opcode::SLT, Opcode::SLTU};
+  for (int round = 0; round < 4; ++round) {
+    testing::TsSim sim(ts);
+    Iss iss(16, config.mem_words);
+    for (unsigned r = 1; r < 32; ++r) {
+      // interesting_bitvec is biased toward 0, all-ones, and sign-boundary
+      // values, so div-by-zero and INT_MIN/-1 appear in every round.
+      const BitVec v = rng.interesting_bitvec(16);
+      sim.set_state(m.regs[r], v);
+      iss.state().set_reg(r, v);
+    }
+    isa::Program prog;
+    for (int i = 0; i < 30; ++i) {
+      prog.push_back(Instruction::rtype(edge_ops[rng.below(edge_ops.size())],
+                                        1 + rng.below(31), rng.below(32),
+                                        rng.below(32)));
+    }
+    testing::proc_run_program(sim, m, prog);
+    iss.run(prog);
+    for (unsigned r = 0; r < 32; ++r)
+      ASSERT_EQ(sim.state(m.regs[r]), iss.state().reg(r))
+          << "round " << round << ": x" << r << " differs";
+  }
 }
 
 // Differential property: running a random ALU program instruction by

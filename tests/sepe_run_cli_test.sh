@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CLI contract test for sepe-run: malformed arguments are usage errors
 # (exit 2, diagnostic on stderr), the shard/merge round trip reproduces
-# the unsharded stable JSON byte-for-byte, and the BTOR2 corpus workload
+# the unsharded stable JSON byte-for-byte, the BTOR2 corpus workload
 # (sepe-run corpus DIR) is deterministic, shardable, and survives
-# malformed files as per-job diagnostic rows.
+# malformed files as per-job diagnostic rows, and the witness pipeline
+# (--witness-dir / check-witness) emits self-checking artifacts that
+# re-validate without the SAT stack and reject tampering loudly.
 #
 # Usage: sepe_run_cli_test.sh /path/to/sepe-run [/path/to/tests/corpus]
 set -u
@@ -60,6 +62,10 @@ expect_usage_error corpus_bad_shard  -- corpus dir --shard 9/9
 expect_usage_error memory_zero       -- --memory-mb 0
 expect_usage_error memory_garbage    -- --memory-mb lots
 expect_usage_error memory_missing    -- --memory-mb
+expect_usage_error witness_no_files         -- check-witness
+expect_usage_error witness_flag_operand     -- check-witness --frobnicate
+expect_usage_error witness_contradiction    -- --witness-dir wd --no-witness-check
+expect_usage_error witness_contra_dispatch  -- dispatch --witness-dir wd --no-witness-check
 expect_usage_error dispatch_workers_zero    -- dispatch --workers 0
 expect_usage_error dispatch_workers_bad     -- dispatch --workers abc
 expect_usage_error dispatch_owns_shard      -- dispatch --shard 0/2
@@ -498,6 +504,111 @@ if [ "$status" -eq 1 ] && grep -q "corpus file" "$WORK/corpus-ckpt.stderr"; then
 else
   echo "FAIL: edited-corpus resume should exit 1 with a diagnostic, got $status"
   cat "$WORK/corpus-ckpt.stderr"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# --- witness artifacts ---
+
+# A fresh two-file corpus with known-falsifiable properties (the earlier
+# one was edited by the checkpoint-invalidation drill).
+WITCORPUS="$WORK/witcorpus"
+mkdir -p "$WITCORPUS"
+sed 's/constd 1 4/constd 1 5/' "$CORPUS/counter.btor2" > "$WITCORPUS/counter.btor2"
+cp "$CORPUS/multi.btor2" "$WITCORPUS/multi.btor2"
+WITRUN=(corpus "$WITCORPUS" --bound 8 --max-k 3 --stable-json)
+
+# A campaign with --witness-dir writes one artifact per FALSIFIED row
+# (counter.btor2 and multi.btor2:b0 falsify; b1 holds) and the stable
+# JSON is byte-identical with witness checking on (the default), off
+# (--no-witness-check), and with artifact emission enabled.
+if ! "$SEPE_RUN" "${WITRUN[@]}" --threads 1 --witness-dir "$WORK/witnesses" \
+    --json "$WORK/wit-on.json" >/dev/null; then
+  echo "FAIL: corpus campaign with --witness-dir"
+  FAILURES=$((FAILURES + 1))
+fi
+if ! "$SEPE_RUN" "${WITRUN[@]}" --threads 1 --no-witness-check \
+    --json "$WORK/wit-off.json" >/dev/null; then
+  echo "FAIL: corpus campaign with --no-witness-check"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/wit-on.json" "$WORK/wit-off.json"; then
+  echo "ok: witness checking is observationally invisible in the stable JSON"
+else
+  echo "FAIL: stable JSON differs with witness checking on vs off:"
+  diff "$WORK/wit-on.json" "$WORK/wit-off.json"
+  FAILURES=$((FAILURES + 1))
+fi
+ARTIFACTS=("$WORK"/witnesses/*.witness)
+if [ ${#ARTIFACTS[@]} -eq 2 ] && [ -s "${ARTIFACTS[0]}" ]; then
+  echo "ok: one artifact per FALSIFIED row (${#ARTIFACTS[@]} total)"
+else
+  echo "FAIL: expected 2 witness artifacts, found: ${ARTIFACTS[*]}"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# check-witness re-validates every artifact with the simulator only.
+if "$SEPE_RUN" check-witness "${ARTIFACTS[@]}" > "$WORK/check.out" 2>&1 \
+    && grep -q "valid witness" "$WORK/check.out"; then
+  echo "ok: check-witness validates the emitted artifacts"
+else
+  echo "FAIL: check-witness should accept freshly emitted artifacts:"
+  cat "$WORK/check.out"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# A tampered artifact (header edit breaks the self-check seal) and a
+# missing file are rejections: exit 1 with a REJECTED diagnostic, never
+# silent.
+cp "${ARTIFACTS[0]}" "$WORK/tampered.witness"
+sed -i '1s/"name":"/"name":"x/' "$WORK/tampered.witness"
+"$SEPE_RUN" check-witness "$WORK/tampered.witness" "${ARTIFACTS[1]}" \
+    >/dev/null 2>"$WORK/tamper.log"
+status=$?
+if [ "$status" -eq 1 ] && grep -q "REJECTED" "$WORK/tamper.log"; then
+  echo "ok: a tampered artifact is rejected loudly (exit 1)"
+else
+  echo "FAIL: tampered artifact should exit 1 with REJECTED, got $status:"
+  cat "$WORK/tamper.log"
+  FAILURES=$((FAILURES + 1))
+fi
+"$SEPE_RUN" check-witness "$WORK/no-such.witness" >/dev/null 2>&1
+if [ $? -eq 1 ]; then
+  echo "ok: check-witness of a missing file exits 1"
+else
+  echo "FAIL: check-witness of a missing file should exit 1"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# Artifact-write faults degrade to a diagnostic: the run completes, the
+# verdicts and stable JSON are untouched, only the artifact is missing.
+if SEPE_FAULT="point=witness.write:enospc" "$SEPE_RUN" "${WITRUN[@]}" \
+    --threads 1 --witness-dir "$WORK/witnesses-enospc" \
+    --json "$WORK/wit-enospc.json" >/dev/null 2>"$WORK/wit-enospc.log" \
+    && grep -q "cannot write artifact" "$WORK/wit-enospc.log" \
+    && cmp -s "$WORK/wit-on.json" "$WORK/wit-enospc.json" \
+    && [ -z "$(ls "$WORK/witnesses-enospc" 2>/dev/null)" ]; then
+  echo "ok: witness.write fault degrades to a diagnostic, verdicts unaffected"
+else
+  echo "FAIL: witness.write fault should leave the run intact minus artifacts:"
+  cat "$WORK/wit-enospc.log"
+  FAILURES=$((FAILURES + 1))
+fi
+
+# The dispatcher forwards --witness-dir to its workers and cross-checks
+# the merged report against the artifacts; the merge stays byte-identical.
+if ! "$SEPE_RUN" dispatch --workers 2 --shards 2 "${WITRUN[@]}" \
+    --witness-dir "$WORK/wit-dispatch" \
+    --json "$WORK/wit-dispatched.json" >/dev/null 2>"$WORK/wit-dispatch.log"; then
+  echo "FAIL: dispatch run with --witness-dir"
+  cat "$WORK/wit-dispatch.log"
+  FAILURES=$((FAILURES + 1))
+fi
+if cmp -s "$WORK/wit-on.json" "$WORK/wit-dispatched.json" \
+    && "$SEPE_RUN" check-witness "$WORK"/wit-dispatch/*.witness >/dev/null 2>&1; then
+  echo "ok: dispatched witness artifacts cross-check and merge byte-identically"
+else
+  echo "FAIL: dispatched witness run differs from the unsharded reference:"
+  diff "$WORK/wit-on.json" "$WORK/wit-dispatched.json"
   FAILURES=$((FAILURES + 1))
 fi
 

@@ -450,7 +450,10 @@ TEST_F(CheckpointTest, ResumeSkipsFinishedJobsAndReproducesTheReport) {
   const CampaignReport recovered = run_sharded(spec, options, &error);
   ASSERT_TRUE(error.empty()) << error;
   EXPECT_GE(g_builds.load(), dropped);
-  EXPECT_LE(g_builds.load(), 2 * dropped);  // never more than both provers
+  // Never more than both provers plus the witness post-pass rebuild of
+  // each re-run FALSIFIED row (resumed rows round-trip witness_checked
+  // through the journal and are not re-checked).
+  EXPECT_LE(g_builds.load(), 3 * dropped);
   EXPECT_EQ(recovered.to_json(/*include_timing=*/false),
             first.to_json(/*include_timing=*/false));
 }

@@ -1,72 +1,18 @@
-// ts_sim.hpp — test-support harness: concrete cycle-by-cycle simulation of
-// a TransitionSystem via the term evaluator.
-//
-// Used by the processor and QED-module tests to cross-check the symbolic
-// pipeline against the golden ISS without any solver in the loop: states
-// are held as concrete BitVecs, each step() evaluates every next-state
-// function under the current state + supplied inputs.
+// ts_sim.hpp — test-support glue over the library's concrete
+// TransitionSystem simulator (src/sim/ts_sim.hpp, promoted there for the
+// witness pipeline) plus the processor driving helpers the proc/QED tests
+// share.
 #pragma once
-
-#include <cassert>
 
 #include "isa/semantics.hpp"
 #include "proc/processor.hpp"
+#include "sim/ts_sim.hpp"
 #include "smt/eval.hpp"
 #include "ts/transition_system.hpp"
 
 namespace sepe::testing {
 
-/// Concrete simulator for a complete TransitionSystem.
-class TsSim {
- public:
-  explicit TsSim(const ts::TransitionSystem& ts) : ts_(ts) {
-    assert(ts.complete());
-    // States with init terms start there (init terms are input-free);
-    // everything else defaults to zero and may be overridden via
-    // set_state before the first step.
-    for (smt::TermRef s : ts.states()) {
-      const smt::TermRef init = ts.init_of(s);
-      state_[s] = init != smt::kNullTerm
-                      ? smt::eval_term(ts.mgr(), init, {})
-                      : BitVec::zeros(ts.mgr().width(s));
-    }
-  }
-
-  void set_state(smt::TermRef s, const BitVec& v) {
-    assert(ts_.is_state(s) && v.width() == ts_.mgr().width(s));
-    state_[s] = v;
-  }
-
-  const BitVec& state(smt::TermRef s) const { return state_.at(s); }
-
-  /// Evaluate any term under the current state and the given inputs.
-  BitVec eval(smt::TermRef t, const smt::Assignment& inputs = {}) const {
-    smt::Assignment combined = state_;
-    for (const auto& [k, v] : inputs) combined[k] = v;
-    return smt::eval_term(ts_.mgr(), t, combined);
-  }
-
-  /// Do all step constraints hold under the current state + inputs?
-  bool constraints_ok(const smt::Assignment& inputs) const {
-    for (smt::TermRef c : ts_.constraints())
-      if (!eval(c, inputs).is_true()) return false;
-    return true;
-  }
-
-  /// Advance one cycle.
-  void step(const smt::Assignment& inputs) {
-    smt::Assignment combined = state_;
-    for (const auto& [k, v] : inputs) combined[k] = v;
-    smt::Evaluator ev(ts_.mgr());
-    smt::Assignment next;
-    for (smt::TermRef s : ts_.states()) next[s] = ev.eval(ts_.next_of(s), combined);
-    state_ = std::move(next);
-  }
-
- private:
-  const ts::TransitionSystem& ts_;
-  smt::Assignment state_;
-};
+using sim::TsSim;
 
 /// Input bundle driving a ProcModel for one cycle with `inst`, mirroring
 /// how the QED modules extend architectural immediates onto the datapath.

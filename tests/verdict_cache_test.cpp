@@ -267,11 +267,13 @@ TEST_F(VerdictCacheRunTest, WarmRunIsByteIdenticalWithZeroBuilds) {
   EXPECT_GT(g_builds.load(), 0u);
   for (const JobResult& j : cold.jobs) EXPECT_FALSE(j.from_cache) << j.name;
 
-  // Warm: no model is ever built, no hook fires, every job is marked
-  // from_cache, and the stable JSON is byte-identical.
+  // Warm, with the witness post-pass opted out: no model is ever built,
+  // no hook fires, every job is marked from_cache, and the stable JSON
+  // is byte-identical.
   g_builds.store(0);
   unsigned hook_fired = 0;
   options.pool.on_job_done = [&](std::size_t, const JobResult&) { ++hook_fired; };
+  options.pool.witness.check = false;
   const CampaignReport warm = run_sharded(spec, options, &error);
   ASSERT_TRUE(error.empty()) << error;
   EXPECT_EQ(g_builds.load(), 0u);
@@ -285,6 +287,23 @@ TEST_F(VerdictCacheRunTest, WarmRunIsByteIdenticalWithZeroBuilds) {
   // The UNKNOWN row kept its diagnostic.
   EXPECT_EQ(warm.jobs.back().note, "synthetic build failure");
 
+  // Warm, with the post-pass on (the default): a cached FALSIFIED row is
+  // hearsay until it reproduces, so exactly the two falsified rows are
+  // rebuilt and re-derived (engine/witness.hpp). They stay from_cache,
+  // and the stable JSON is still byte-identical.
+  g_builds.store(0);
+  options.pool.on_job_done = nullptr;
+  options.pool.witness.check = true;
+  const CampaignReport audited = run_sharded(spec, options, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  EXPECT_EQ(g_builds.load(), 2u);
+  for (const JobResult& j : audited.jobs) {
+    EXPECT_TRUE(j.from_cache) << j.name;
+    EXPECT_EQ(j.witness_checked, j.verdict == Verdict::Falsified) << j.name;
+  }
+  EXPECT_EQ(audited.to_json(/*include_timing=*/false),
+            cold.to_json(/*include_timing=*/false));
+
   // Cross-campaign reuse: a sharded slice of the same spec hits the same
   // journal (keys embed job identity, not campaign shape).
   g_builds.store(0);
@@ -292,6 +311,7 @@ TEST_F(VerdictCacheRunTest, WarmRunIsByteIdenticalWithZeroBuilds) {
   sliced.cache_dir = dir_;
   sliced.fingerprint = "test-campaign";
   sliced.shard = ShardSpec{0, 2};
+  sliced.pool.witness.check = false;
   const CampaignReport half = run_sharded(spec, sliced, &error);
   ASSERT_TRUE(error.empty()) << error;
   EXPECT_EQ(g_builds.load(), 0u);

@@ -56,6 +56,7 @@
 #include "engine/pinned_table.hpp"
 #include "engine/report_io.hpp"
 #include "engine/shard.hpp"
+#include "engine/witness.hpp"
 #include "engine/workload.hpp"
 #include "proc/mutations.hpp"
 #include "sat/dimacs_backend.hpp"
@@ -97,6 +98,7 @@ void usage() {
       "       sepe-run corpus DIR [options]      BTOR2 corpus workload\n"
       "       sepe-run dispatch [options] [workload args...]\n"
       "       sepe-run merge [--output FILE] SHARD.json...\n"
+      "       sepe-run check-witness FILE...\n"
       "\n"
       "common options (both workload families):\n"
       "  --threads N      worker threads (default: hardware concurrency)\n"
@@ -136,6 +138,16 @@ void usage() {
       "  --json FILE      write a JSON report ('-' = stdout)\n"
       "  --stable-json    JSON omits timing/race fields (byte-deterministic)\n"
       "  --witness        print the counterexample trace of falsified jobs\n"
+      "  --witness-dir D  write one standalone witness artifact per falsified\n"
+      "                   job into D (*.witness, see docs/FORMATS.md) — each\n"
+      "                   re-validatable later with check-witness\n"
+      "  --no-witness-check\n"
+      "                   skip the witness post-pass. By default every\n"
+      "                   FALSIFIED verdict is replayed (and delta-debugged)\n"
+      "                   on the concrete simulator, independent of the SAT\n"
+      "                   stack; a trace that does not replay demotes its row\n"
+      "                   to UNKNOWN ('witness: replay mismatch'). Stable JSON\n"
+      "                   is byte-identical either way\n"
       "\n"
       "QED workload options:\n"
       "  --xlen W         DUV datapath width (default 4)\n"
@@ -165,6 +177,13 @@ void usage() {
       "                   may steal it (default 1)\n"
       "  --work-dir D     keep per-attempt journals and reports in D\n"
       "                   (default: a temp directory, removed on success)\n"
+      "  --witness-dir D  forwarded to the workers (they write the artifacts)\n"
+      "                   and additionally audited after the merge: every\n"
+      "                   FALSIFIED row — retried and stolen shards included —\n"
+      "                   must be backed by a valid artifact in D matching its\n"
+      "                   name, bound, and bad label, or the row is demoted to\n"
+      "                   UNKNOWN ('witness: replay mismatch'); the audit runs\n"
+      "                   on the simulator alone (no SAT stack)\n"
       "  --json FILE      merged report destination ('-' = stdout; always\n"
       "                   stable JSON, like merge)\n"
       "\n"
@@ -172,6 +191,12 @@ void usage() {
       "complete, and write the merged report as stable JSON — byte-identical\n"
       "to an unsharded --stable-json run of the same campaign.\n"
       "  --output FILE    merged report destination (default '-' = stdout)\n"
+      "\n"
+      "check-witness: re-validate standalone witness artifacts (--witness-dir\n"
+      "output) from their bytes alone — self-check digest, embedded model,\n"
+      "and a full replay on the concrete simulator; the SAT stack is never\n"
+      "loaded. Exit 0 when every file is valid, 1 when any is rejected (each\n"
+      "rejection is diagnosed on stderr), 2 on usage errors.\n"
       "\n"
       "exit codes: 0 success; 1 I/O, merge, or dispatch failure; 2 usage\n"
       "error; 3 the campaign finished with UNKNOWN verdicts; 130/143 the\n"
@@ -254,6 +279,8 @@ struct CommonOptions {
   double time_cap = 0.0;
   unsigned memory_mb = 0;
   unsigned share_clauses = 0;
+  bool witness_check = true;
+  std::string witness_dir;
   std::string json_path;
   std::string checkpoint_path;
   std::string cache_dir;
@@ -358,6 +385,10 @@ bool parse_common_flag(int& i, int argc, char** argv, CommonOptions* o) {
     o->stable_json = true;
   else if (!std::strcmp(argv[i], "--witness"))
     o->print_witness = true;
+  else if (!std::strcmp(argv[i], "--witness-dir"))
+    o->witness_dir = next("--witness-dir");
+  else if (!std::strcmp(argv[i], "--no-witness-check"))
+    o->witness_check = false;
   else
     return false;
   return true;
@@ -370,6 +401,25 @@ int run_and_report(const engine::CampaignSpec& spec, const CommonOptions& common
                    const std::string& fingerprint) {
   engine::ShardRunOptions options;
   options.pool.threads = common.threads;
+  options.pool.witness.check = common.witness_check;
+  if (!common.witness_dir.empty()) {
+    if (!common.witness_check) {
+      // Artifacts are the post-pass's output; without it the directory
+      // would stay silently empty and a later check-witness audit would
+      // demote every row.
+      std::fprintf(stderr, "sepe-run: --witness-dir needs the witness post-pass "
+                           "(drop --no-witness-check) — try --help\n");
+      return 2;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(common.witness_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "sepe-run: cannot create witness directory '%s': %s\n",
+                   common.witness_dir.c_str(), ec.message().c_str());
+      return exit_code(1);
+    }
+    options.pool.witness.artifact_dir = common.witness_dir;
+  }
   options.shard = common.shard;
   options.checkpoint_path = common.checkpoint_path;
   options.cache_dir = common.cache_dir;
@@ -509,6 +559,61 @@ int run_merge(int argc, char** argv) {
   return merged->count(engine::Verdict::Unknown) == 0 ? 0 : 3;
 }
 
+/// `sepe-run check-witness FILE...` — re-validate standalone witness
+/// artifacts with the concrete simulator alone. The SAT stack is never
+/// loaded: this is the independent audit path for artifacts produced by
+/// --witness-dir, wherever (and by whichever binary) they were written.
+int run_check_witness(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage();
+      return 0;
+    }
+    if (argv[i][0] == '-') {
+      std::fprintf(stderr,
+                   "sepe-run: check-witness takes artifact files, got '%s' — "
+                   "try --help\n",
+                   argv[i]);
+      return 2;
+    }
+    files.push_back(argv[i]);
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "sepe-run: check-witness needs at least one artifact file — "
+                 "try --help\n");
+    return 2;
+  }
+
+  unsigned rejected = 0;
+  for (const std::string& path : files) {
+    const auto text = engine::read_text_file(path);
+    if (!text) {
+      std::fprintf(stderr, "sepe-run: cannot read '%s'\n", path.c_str());
+      ++rejected;
+      continue;
+    }
+    engine::WitnessHeader header;
+    std::string why;
+    if (!engine::check_witness_text(*text, &header, &why)) {
+      std::fprintf(stderr, "sepe-run: '%s' REJECTED: %s\n", path.c_str(),
+                   why.c_str());
+      ++rejected;
+      continue;
+    }
+    std::printf("%s: valid witness for job '%s' (%s): bad '%s' fires at bound "
+                "%u, effective stimulus %u step(s)\n",
+                path.c_str(), header.name.c_str(),
+                header.mode.empty() ? header.family.c_str() : header.mode.c_str(),
+                header.bad_label.c_str(), header.length, header.shrunk);
+  }
+  if (rejected > 0)
+    std::fprintf(stderr, "sepe-run: %u of %zu artifact(s) rejected\n", rejected,
+                 files.size());
+  return rejected == 0 ? 0 : 1;
+}
+
 /// The absolute path of this binary, for spawning workers that survive
 /// a changed working directory. /proc/self/exe is authoritative on
 /// Linux; argv[0] is the portable fallback.
@@ -527,8 +632,10 @@ int run_dispatch_cli(int argc, char** argv) {
   engine::DispatchOptions options;
   std::string json_path;
   std::string work_dir_flag;
+  std::string witness_dir;
   std::vector<std::string> forwarded;
   bool forwards_threads = false;
+  bool forwards_no_witness_check = false;
   for (int i = 2; i < argc; ++i) {
     const auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -550,7 +657,12 @@ int run_dispatch_cli(int argc, char** argv) {
           parse_seconds_arg("--steal-after", next("--steal-after"));
     else if (!std::strcmp(argv[i], "--work-dir"))
       work_dir_flag = next("--work-dir");
-    else if (!std::strcmp(argv[i], "--json"))
+    else if (!std::strcmp(argv[i], "--witness-dir")) {
+      // Shared between the fleet and the dispatcher: the workers write
+      // the artifacts (the flag is forwarded below), the dispatcher
+      // audits every merged FALSIFIED row against them.
+      witness_dir = next("--witness-dir");
+    } else if (!std::strcmp(argv[i], "--json"))
       json_path = next("--json");
     else if (!std::strcmp(argv[i], "--stable-json")) {
       // The merged report is always stable JSON (like merge); accepted
@@ -567,6 +679,8 @@ int run_dispatch_cli(int argc, char** argv) {
       return 2;
     } else {
       if (!std::strcmp(argv[i], "--threads")) forwards_threads = true;
+      if (!std::strcmp(argv[i], "--no-witness-check"))
+        forwards_no_witness_check = true;
       forwarded.push_back(argv[i]);
     }
   }
@@ -579,6 +693,26 @@ int run_dispatch_cli(int argc, char** argv) {
     // unless the caller explicitly sizes them.
     options.worker_command.push_back("--threads");
     options.worker_command.push_back("1");
+  }
+  if (!witness_dir.empty()) {
+    if (forwards_no_witness_check) {
+      // The workers would write no artifacts, so the post-merge audit
+      // would demote every falsified row. Refuse the contradiction (the
+      // single-process run_and_report path does the same).
+      std::fprintf(stderr, "sepe-run: --witness-dir needs the witness post-pass "
+                           "(drop --no-witness-check) — try --help\n");
+      return 2;
+    }
+    std::error_code dir_ec;
+    std::filesystem::create_directories(witness_dir, dir_ec);
+    if (dir_ec) {
+      std::fprintf(stderr, "sepe-run: cannot create witness directory '%s': %s\n",
+                   witness_dir.c_str(), dir_ec.message().c_str());
+      return 1;
+    }
+    options.worker_command.push_back("--witness-dir");
+    options.worker_command.push_back(witness_dir);
+    options.witness_dir = witness_dir;
   }
 
   const bool auto_work_dir = work_dir_flag.empty();
@@ -696,6 +830,8 @@ int main(int argc, char** argv) {
   if (argc > 1 && !std::strcmp(argv[1], "merge")) return run_merge(argc, argv);
   if (argc > 1 && !std::strcmp(argv[1], "corpus")) return run_corpus(argc, argv);
   if (argc > 1 && !std::strcmp(argv[1], "dispatch")) return run_dispatch_cli(argc, argv);
+  if (argc > 1 && !std::strcmp(argv[1], "check-witness"))
+    return run_check_witness(argc, argv);
 
   CommonOptions common;
   unsigned xlen = 4, rows = ~0u;
